@@ -1,0 +1,255 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per exhibit), plus ablation benchmarks for the design
+// choices called out in DESIGN.md: the t/2 wasted-runtime approximation,
+// the pruning rules, the success percentile, and top-k join enumeration.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package bench
+
+import (
+	"testing"
+
+	"ftpde/internal/core"
+	"ftpde/internal/cost"
+	"ftpde/internal/engine"
+	"ftpde/internal/exec"
+	"ftpde/internal/experiments"
+	"ftpde/internal/failure"
+	"ftpde/internal/plan"
+	"ftpde/internal/schemes"
+	"ftpde/internal/tpch"
+)
+
+func benchConfig() experiments.Config {
+	return experiments.Config{Nodes: 10, Traces: 10, Seed: 1, SF: 100}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl, err := r.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// One benchmark per paper exhibit.
+
+func BenchmarkFigure1(b *testing.B)     { runExperiment(b, "fig1") }
+func BenchmarkTable2(b *testing.B)      { runExperiment(b, "table2") }
+func BenchmarkFigure8Low(b *testing.B)  { runExperiment(b, "fig8a") }
+func BenchmarkFigure8High(b *testing.B) { runExperiment(b, "fig8b") }
+func BenchmarkFigure10(b *testing.B)    { runExperiment(b, "fig10") }
+func BenchmarkFigure11(b *testing.B)    { runExperiment(b, "fig11") }
+func BenchmarkFigure12a(b *testing.B)   { runExperiment(b, "fig12a") }
+func BenchmarkFigure12b(b *testing.B)   { runExperiment(b, "fig12b") }
+func BenchmarkTable3(b *testing.B)      { runExperiment(b, "table3") }
+func BenchmarkFigure13(b *testing.B)    { runExperiment(b, "fig13") }
+
+// Ablation: exact Equation 3 vs the paper's t/2 approximation for w(c).
+
+func benchWasted(b *testing.B, exact bool) {
+	m := cost.Model{MTBF: 3600, MTTR: 1, Percentile: 0.95, PipeConst: 1, ExactWasted: exact}
+	q, err := tpch.Q5(tpch.Params{SF: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.EstimateRuntime(q.Plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWastedApprox(b *testing.B) { benchWasted(b, false) }
+func BenchmarkAblationWastedExact(b *testing.B)  { benchWasted(b, true) }
+
+// Ablation: optimizer enumeration with and without the pruning rules, over
+// the top-20 Q5 join orders.
+
+func q5TopK(b *testing.B, k int) []*plan.Plan {
+	b.Helper()
+	prm := tpch.Params{SF: 100, Nodes: 10}
+	g, err := tpch.Q5JoinGraph(prm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coster, err := tpch.Q5Coster(prm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trees, err := g.TopK(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plans := make([]*plan.Plan, len(trees))
+	for i, tr := range trees {
+		plans[i] = tpch.Q5PlanFromTree(tr, g, coster)
+	}
+	return plans
+}
+
+func benchPruning(b *testing.B, opt core.Options) {
+	plans := q5TopK(b, 20)
+	opt.Model = cost.Model{MTBF: 3600, MTTR: 1, Percentile: 0.95, PipeConst: 1, Nodes: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FindBestFTPlan(plans, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPruningOn(b *testing.B) { benchPruning(b, core.Options{MemoizePaths: true}) }
+func BenchmarkAblationPruningOff(b *testing.B) {
+	benchPruning(b, core.Options{DisableRule1: true, DisableRule2: true, DisableRule3: true})
+}
+
+// Ablation: success percentile sensitivity of the optimizer.
+
+func BenchmarkAblationPercentile(b *testing.B) {
+	q, err := tpch.Q5(tpch.Params{SF: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	percentiles := []float64{0.5, 0.9, 0.95, 0.99}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := percentiles[i%len(percentiles)]
+		m := cost.Model{MTBF: 3600, MTTR: 1, Percentile: s, PipeConst: 1}
+		if _, err := core.Optimize(q.Plan, core.Options{Model: m}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: top-k join enumeration depth.
+
+func BenchmarkAblationTopK1(b *testing.B)  { benchTopK(b, 1) }
+func BenchmarkAblationTopK5(b *testing.B)  { benchTopK(b, 5) }
+func BenchmarkAblationTopK20(b *testing.B) { benchTopK(b, 20) }
+
+func benchTopK(b *testing.B, k int) {
+	plans := q5TopK(b, k)
+	m := cost.Model{MTBF: 3600, MTTR: 1, Percentile: 0.95, PipeConst: 1, Nodes: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FindBestFTPlan(plans, core.Options{Model: m, MemoizePaths: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Substrate micro-benchmarks.
+
+func BenchmarkCollapsePaperExample(b *testing.B) {
+	m := cost.Model{MTBF: 60, MTTR: 0, Percentile: 0.95, PipeConst: 1}
+	p := plan.PaperExample()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cost.Collapse(p, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinEnumerateQ5(b *testing.B) {
+	g, err := tpch.Q5JoinGraph(tpch.Params{SF: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trees, err := g.EnumerateAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(trees) != 1344 {
+			b.Fatalf("got %d trees", len(trees))
+		}
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	spec := failure.Spec{Nodes: 10, MTBF: 3600, MTTR: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		failure.NewTrace(spec, 500*905.33, int64(i))
+	}
+}
+
+func BenchmarkSimulateQ5(b *testing.B) {
+	q, err := tpch.Q5(tpch.Params{SF: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := failure.Spec{Nodes: 10, MTBF: 3600, MTTR: 1}
+	m := cost.DefaultModel(spec)
+	p := q.Plan.Clone()
+	if err := p.Apply(plan.AllMat(p)); err != nil {
+		b.Fatal(err)
+	}
+	tr := failure.NewTrace(spec, 500*q.Baseline, 7)
+	opt := exec.Options{Cluster: spec, Model: m, Recovery: schemes.FineGrained}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Run(p, opt, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Real-engine benchmark: TPC-H Q3 end to end at a small scale factor, with
+// and without an injected failure.
+
+func benchEngineQ3(b *testing.B, withFailure bool) {
+	cat, err := tpch.Generate(0.002, 4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, err := tpch.EngineQ3(cat, "BUILDING", 1200, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var inj engine.FailureInjector = engine.NoFailures{}
+		if withFailure {
+			inj = engine.NewScriptedFailures().Add("q3-join-orders-lineitem", 1, 0)
+		}
+		co := &engine.Coordinator{Nodes: 4, Injector: inj}
+		res, _, err := co.Execute(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.AllRows()) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkEngineQ3(b *testing.B)         { benchEngineQ3(b, false) }
+func BenchmarkEngineQ3Recovery(b *testing.B) { benchEngineQ3(b, true) }

@@ -1,0 +1,66 @@
+// Command ftbench regenerates the tables and figures of "Cost-based
+// Fault-tolerance for Parallel Data Processing" (SIGMOD'15) on the simulated
+// cluster substrate.
+//
+// Usage:
+//
+//	ftbench -list
+//	ftbench -exp all
+//	ftbench -exp fig8a -traces 20 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ftpde/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (see -list), 'all' (paper exhibits), 'extras' (ablations/extensions), or 'everything'")
+		list   = flag.Bool("list", false, "list available experiments")
+		nodes  = flag.Int("nodes", 10, "cluster size")
+		traces = flag.Int("traces", 10, "failure traces per MTBF")
+		seed   = flag.Int64("seed", 1, "trace generation seed")
+		sf     = flag.Float64("sf", 100, "TPC-H scale factor for fixed-scale experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Everything() {
+			fmt.Printf("%-20s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Nodes: *nodes, Traces: *traces, Seed: *seed, SF: *sf}
+	var runners []experiments.Runner
+	switch *exp {
+	case "all":
+		runners = experiments.All()
+	case "extras":
+		runners = experiments.Extras()
+	case "everything":
+		runners = experiments.Everything()
+	default:
+		r, err := experiments.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+	for _, r := range runners {
+		start := time.Now()
+		tbl, err := r.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl)
+		fmt.Printf("(%s regenerated in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

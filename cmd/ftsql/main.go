@@ -1,0 +1,178 @@
+// Command ftsql runs SQL against a generated TPC-H database on the
+// partition-parallel engine, optionally under the cost-based fault-tolerance
+// scheme with injected node failures.
+//
+// Usage:
+//
+//	echo "SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag" | ftsql
+//	ftsql -q "SELECT ... " -sf 0.01 -nodes 4
+//	ftsql -q "..." -fail "join-1/2/0,aggregate/0/0"    # op/partition/attempt
+//	ftsql -q "..." -explain -mtbf 3600                 # cost plan + FT choice
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ftpde/internal/cost"
+	"ftpde/internal/engine"
+	"ftpde/internal/failure"
+	"ftpde/internal/sql"
+	"ftpde/internal/stats"
+	"ftpde/internal/tpch"
+)
+
+func main() {
+	var (
+		query    = flag.String("q", "", "SQL query (default: read from stdin)")
+		sf       = flag.Float64("sf", 0.005, "TPC-H scale factor for the generated database")
+		nodes    = flag.Int("nodes", 4, "cluster size / partition count")
+		seed     = flag.Int64("seed", 7, "data generation seed")
+		failSpec = flag.String("fail", "", "injected failures, comma-separated op/partition/attempt triples")
+		mat      = flag.String("mat", "", "comma-separated operator names to materialize (e.g. join-1,join-2)")
+		explain  = flag.Bool("explain", false, "print the cost plan and the optimizer's materialization choice instead of executing")
+		topK     = flag.Int("topk", 5, "join orders to enumerate for -explain (phase 1 of enumFTPlans)")
+		mtbf     = flag.Float64("mtbf", failure.OneHour, "per-node MTBF for -explain (seconds)")
+		maxRows  = flag.Int("rows", 20, "max result rows to print")
+	)
+	flag.Parse()
+
+	text := *query
+	if text == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		text = string(data)
+	}
+	if strings.TrimSpace(text) == "" {
+		fatal(fmt.Errorf("no query given (use -q or stdin)"))
+	}
+
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		fatal(err)
+	}
+	cat, err := tpch.Generate(*sf, *nodes, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *explain {
+		tables := make([]string, 0, len(stmt.From))
+		for _, tr := range stmt.From {
+			tables = append(tables, tr.Table)
+		}
+		tstats, err := sql.CollectStats(cat, tables)
+		if err != nil {
+			fatal(err)
+		}
+		cp := stats.CostParams{CPUPerRow: 1e-6, WritePerRow: 1.7e-5, Nodes: *nodes}
+		m := cost.Model{MTBF: *mtbf, MTTR: 1, Percentile: 0.95, PipeConst: 1, Nodes: *nodes}
+		res, err := sql.FTPlan(stmt, cat, tstats, cp, m, *topK)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("best fault-tolerant plan over top-%d join orders (%d candidates scored, %d/%d configs enumerated):\n",
+			*topK, res.Stats.PlansConsidered, res.Stats.FTPlansEnumerated, res.Stats.FTPlansTotal)
+		for _, op := range res.Plan.Operators() {
+			marker := " "
+			if op.Materialize {
+				marker = "M"
+			}
+			fmt.Printf("  [%s] %-40s tr=%-10.4g tm=%-10.4g rows=%.4g\n",
+				marker, op.Name, op.RunCost, op.MatCost, op.Rows)
+		}
+		fmt.Printf("\ncost-based choice at MTBF=%s: materialize %s, estimated runtime %.4gs\n",
+			failure.FormatDuration(*mtbf), res.Config, res.Runtime)
+		return
+	}
+
+	pp, err := sql.Compile(stmt, cat)
+	if err != nil {
+		fatal(err)
+	}
+	for _, name := range splitList(*mat) {
+		found := false
+		for _, j := range pp.Joins {
+			if j.Name() == name {
+				j.SetMaterialize(true)
+				found = true
+			}
+		}
+		if !found {
+			fatal(fmt.Errorf("unknown materialization target %q (joins: %v)", name, joinNames(pp)))
+		}
+	}
+
+	injector := engine.NewScriptedFailures()
+	for _, spec := range splitList(*failSpec) {
+		parts := strings.Split(spec, "/")
+		if len(parts) != 3 {
+			fatal(fmt.Errorf("bad -fail entry %q, want op/partition/attempt", spec))
+		}
+		part, err1 := strconv.Atoi(parts[1])
+		attempt, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			fatal(fmt.Errorf("bad -fail entry %q", spec))
+		}
+		injector.Add(parts[0], part, attempt)
+	}
+
+	co := &engine.Coordinator{Nodes: *nodes, Injector: injector}
+	res, rep, err := co.Execute(pp.Root)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Header.
+	var header []string
+	for _, c := range pp.Output {
+		header = append(header, c.Name)
+	}
+	fmt.Println(strings.Join(header, "\t"))
+	rows := res.AllRows()
+	for i, r := range rows {
+		if i >= *maxRows {
+			fmt.Printf("... (%d more rows)\n", len(rows)-*maxRows)
+			break
+		}
+		cells := make([]string, len(r))
+		for j, v := range r {
+			cells[j] = fmt.Sprintf("%v", v)
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Printf("\n%d rows; failures handled: %d, partitions recomputed: %d, materialized: %d\n",
+		len(rows), rep.Failures, rep.RecomputedPartitions, rep.MaterializedPartitions)
+}
+
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func joinNames(pp *sql.PhysicalPlan) []string {
+	var out []string
+	for _, j := range pp.Joins {
+		out = append(out, j.Name())
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftsql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Quickstart: build a DAG-structured execution plan, run the cost-based
+// fault-tolerance optimizer for a given cluster, and inspect which
+// intermediates it decides to checkpoint.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftpde/internal/core"
+	"ftpde/internal/cost"
+	"ftpde/internal/failure"
+	"ftpde/internal/plan"
+)
+
+func main() {
+	// A small ETL-style pipeline: two scans feeding a join, an expensive
+	// UDF, and a final aggregation. Costs are in seconds, accumulated over
+	// partition-parallel execution; MatCost is the price of writing the
+	// operator's output to fault-tolerant storage.
+	p := plan.New()
+	scanA := p.Add(plan.Operator{Name: "scan events", Kind: plan.KindScan, RunCost: 120, MatCost: 300, Bound: true})
+	scanB := p.Add(plan.Operator{Name: "scan users", Kind: plan.KindScan, RunCost: 30, MatCost: 60, Bound: true})
+	join := p.Add(plan.Operator{Name: "join on user_id", Kind: plan.KindHashJoin, RunCost: 200, MatCost: 80})
+	udf := p.Add(plan.Operator{Name: "enrich UDF", Kind: plan.KindMapUDF, RunCost: 400, MatCost: 25})
+	agg := p.Add(plan.Operator{Name: "sessionize", Kind: plan.KindAggregate, RunCost: 150, MatCost: 5, Bound: true})
+	p.MustConnect(scanA, join)
+	p.MustConnect(scanB, join)
+	p.MustConnect(join, udf)
+	p.MustConnect(udf, agg)
+
+	// Optimize the same plan for three cluster profiles.
+	for _, cluster := range []failure.Spec{
+		{Nodes: 10, MTBF: failure.OneWeek, MTTR: 2},  // reliable on-prem rack
+		{Nodes: 10, MTBF: failure.OneHour, MTTR: 2},  // flaky commodity nodes
+		{Nodes: 100, MTBF: failure.OneHour, MTTR: 2}, // large spot-market fleet
+	} {
+		model := cost.DefaultModel(cluster)
+		res, err := core.Optimize(p, core.Options{Model: model})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", cluster)
+		fmt.Printf("  checkpoint operators: %s\n", res.Config)
+		fmt.Printf("  estimated runtime under failures: %.1fs\n", res.Runtime)
+		fmt.Printf("  probability a 900s query finishes with zero failures here: %.1f%%\n\n",
+			100*failure.ProbClusterSuccess(900, cluster.MTBF, cluster.Nodes))
+	}
+}

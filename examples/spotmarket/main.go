@@ -1,0 +1,57 @@
+// Spot market: the paper's "cluster 1" setting — a large fleet of cheap,
+// unreliable nodes (IaaS spot instances with n=100 and MTBF around an hour).
+// Even short queries rarely finish without a failure there (paper Figure 1),
+// so the optimizer checkpoints aggressively; the same query on a small
+// reliable cluster gets no checkpoints at all.
+//
+// The example sweeps TPC-H Q5's materialization configuration choice across
+// cluster profiles and prints how the chosen checkpoints, their
+// materialization overhead, and the estimated runtime shift.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftpde/internal/core"
+	"ftpde/internal/cost"
+	"ftpde/internal/failure"
+	"ftpde/internal/tpch"
+)
+
+func main() {
+	q, err := tpch.Q5(tpch.Params{SF: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TPC-H Q5 @ SF100, baseline %.0fs; free operators: %v\n\n",
+		q.Baseline, q.Plan.FreeOperators())
+
+	profiles := []struct {
+		name string
+		spec failure.Spec
+	}{
+		{"small reliable rack", failure.Spec{Nodes: 10, MTBF: failure.OneWeek, MTTR: 1}},
+		{"commodity cluster", failure.Spec{Nodes: 10, MTBF: failure.OneDay, MTTR: 1}},
+		{"flaky commodity cluster", failure.Spec{Nodes: 10, MTBF: failure.OneHour, MTTR: 1}},
+		{"spot-market fleet", failure.Spec{Nodes: 100, MTBF: failure.OneHour, MTTR: 1}},
+	}
+
+	fmt.Printf("%-26s %-22s %-14s %-12s %s\n", "cluster", "checkpoints", "mat. cost (s)", "est. (s)", "P(no failure)")
+	for _, pr := range profiles {
+		model := cost.DefaultModel(pr.spec)
+		res, err := core.Optimize(q.Plan, core.Options{Model: model})
+		if err != nil {
+			log.Fatal(err)
+		}
+		matCost := 0.0
+		for _, id := range res.Config.Materialized() {
+			matCost += q.Plan.Op(id).MatCost
+		}
+		pSuccess := failure.ProbClusterSuccess(q.Baseline, pr.spec.MTBF, pr.spec.Nodes)
+		fmt.Printf("%-26s %-22s %-14.1f %-12.1f %.2f%%\n",
+			pr.name, res.Config.String(), matCost, res.Runtime, 100*pSuccess)
+	}
+
+	fmt.Println("\nMore failures per query-second => more (and cheaper) checkpoints chosen.")
+}

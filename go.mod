@@ -1,0 +1,3 @@
+module ftpde
+
+go 1.22

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"ftpde/internal/cost"
+	"ftpde/internal/failure"
+	"ftpde/internal/plan"
+)
+
+// groupCost returns t({os..., p}): the total runtime of the hypothetical
+// collapsed operator formed by folding the producers os into their consumer
+// p, with p materialized (Section 4.1). The dominant path of the group is
+// the longest producer followed by p, so
+//
+//	t = (max_i tr(oi) + tr(p)) * CONSTpipe + tm(p)
+func groupCost(p *plan.Plan, os []plan.OpID, parent plan.OpID, m cost.Model) float64 {
+	maxTr := 0.0
+	for _, o := range os {
+		if tr := p.Op(o).RunCost; tr > maxTr {
+			maxTr = tr
+		}
+	}
+	pop := p.Op(parent)
+	return (maxTr+pop.RunCost)*m.PipeConst + pop.MatCost
+}
+
+// soloCost returns t({o}) for operator o materialized on its own:
+// tr(o)*CONSTpipe + tm(o).
+func soloCost(p *plan.Plan, o plan.OpID, m cost.Model) float64 {
+	op := p.Op(o)
+	return op.RunCost*m.PipeConst + op.MatCost
+}
+
+// ApplyRule1 implements pruning rule 1 (high materialization costs): a free
+// operator o is marked non-materializable (m = 0, bound) when collapsing it
+// into its consumer p is guaranteed to cost no more than materializing it:
+//
+//	unary parent:  t({o,p}) <= t({o})
+//	n-ary parent:  t({o1..ok,p}) <= t({oi}) for every free child oi
+//
+// Children that are already bound non-materializable take part in the
+// collapsed group (they end up inside it in every configuration) but need no
+// condition of their own; an always-materialized child makes the rule
+// inapplicable, as do children feeding more than one consumer.
+// ApplyRule1 mutates p and returns the number of operators bound.
+func ApplyRule1(p *plan.Plan, m cost.Model) int {
+	bound := 0
+	for _, parent := range p.OperatorIDs() {
+		inputs := p.Inputs(parent)
+		if len(inputs) == 0 {
+			continue
+		}
+		var candidates, groupMembers []plan.OpID
+		applicable := true
+		for _, o := range inputs {
+			op := p.Op(o)
+			switch {
+			case op.Free():
+				if len(p.Outputs(o)) != 1 {
+					applicable = false
+					break
+				}
+				candidates = append(candidates, o)
+				groupMembers = append(groupMembers, o)
+			case !op.Materialize:
+				// Bound non-materializable: always inside the group.
+				groupMembers = append(groupMembers, o)
+			default:
+				// Always-materialized child: a separate re-execution unit,
+				// the collapse argument does not apply verbatim.
+				applicable = false
+			}
+			if !applicable {
+				break
+			}
+		}
+		if !applicable || len(candidates) == 0 {
+			continue
+		}
+		group := groupCost(p, groupMembers, parent, m)
+		all := true
+		for _, o := range candidates {
+			if group > soloCost(p, o, m) {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		for _, o := range candidates {
+			op := p.Op(o)
+			op.Materialize = false
+			op.Bound = true
+			bound++
+		}
+	}
+	return bound
+}
+
+// lineageCost returns the runtime of the collapsed operator that folds the
+// operator's entire upstream sub-plan into it under a configuration that
+// materializes nothing: the longest tr-weighted path from any source to the
+// operator, times CONSTpipe.
+func lineageCost(p *plan.Plan, target plan.OpID, m cost.Model) float64 {
+	memo := make(map[plan.OpID]float64)
+	var walk func(plan.OpID) float64
+	walk = func(id plan.OpID) float64 {
+		if v, ok := memo[id]; ok {
+			return v
+		}
+		best := 0.0
+		for _, pa := range p.Inputs(id) {
+			if v := walk(pa); v > best {
+				best = v
+			}
+		}
+		v := best + p.Op(id).RunCost
+		memo[id] = v
+		return v
+	}
+	return walk(target) * m.PipeConst
+}
+
+// ApplyRule2 implements pruning rule 2 (high probability of success): an
+// operator o that is the only child of a unary parent p is marked
+// non-materializable when the collapsed operator {o,p} already meets the
+// desired success percentile without materializing o:
+//
+//	gamma({o,p}) >= S
+//
+// Because rules run before any materialization is decided, the collapsed
+// operator pessimistically contains o's whole upstream lineage, and the
+// success probability must hold across all cluster nodes executing the
+// partition-parallel operator (gamma^Nodes). ApplyRule2 mutates p and
+// returns the number of operators bound.
+func ApplyRule2(p *plan.Plan, m cost.Model) int {
+	nodes := m.Nodes
+	if nodes <= 0 {
+		nodes = 1
+	}
+	bound := 0
+	for _, parent := range p.OperatorIDs() {
+		inputs := p.Inputs(parent)
+		if len(inputs) != 1 {
+			continue
+		}
+		o := inputs[0]
+		if !p.Op(o).Free() || len(p.Outputs(o)) != 1 {
+			continue
+		}
+		t := lineageCost(p, parent, m) + p.Op(parent).MatCost
+		if failure.ProbClusterSuccess(t, m.MTBF, nodes) >= m.Percentile {
+			op := p.Op(o)
+			op.Materialize = false
+			op.Bound = true
+			bound++
+		}
+	}
+	return bound
+}

@@ -1,0 +1,69 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckpointedCost models intra-operator state checkpointing — the extension
+// the paper sketches as future work ("check-pointing of the operator state
+// to also support mid-operator failures ... helpful especially for long
+// running operators which otherwise are likely to fail often").
+//
+// The operator's work t is split into ceil(t/interval) segments; after each
+// segment the operator state is checkpointed at cost cpCost, and a failure
+// only loses the current segment. Each segment is costed with the regular
+// per-operator model (Equations 4-8) and the segment runtimes are summed.
+func (m Model) CheckpointedCost(t, interval, cpCost float64) (OpCost, error) {
+	if t <= 0 {
+		return OpCost{}, nil
+	}
+	if interval <= 0 {
+		return OpCost{}, fmt.Errorf("cost: checkpoint interval must be positive, got %g", interval)
+	}
+	if cpCost < 0 {
+		return OpCost{}, fmt.Errorf("cost: checkpoint cost must be non-negative, got %g", cpCost)
+	}
+	segments := int(math.Ceil(t / interval))
+	total := OpCost{}
+	remaining := t
+	for s := 0; s < segments; s++ {
+		seg := math.Min(interval, remaining)
+		remaining -= seg
+		segWork := seg + cpCost
+		oc := m.OperatorCost(segWork)
+		total.Total += oc.Total
+		total.Wasted += oc.Wasted * oc.Attempts // accumulated expected loss
+		total.Attempts += oc.Attempts
+		total.Runtime += oc.Runtime
+	}
+	// Gamma of the whole chain: product of per-segment success probabilities
+	// for a single pass (informational).
+	segWork := math.Min(interval, t) + cpCost
+	gammaSeg := m.OperatorCost(segWork).Gamma
+	total.Gamma = math.Pow(gammaSeg, float64(segments))
+	return total, nil
+}
+
+// BestCheckpointInterval sweeps candidate intervals (t/2, t/4, ..., down to
+// minSegments splits) and returns the interval minimizing the estimated
+// runtime, or 0 when no checkpointing beats running the operator whole.
+func (m Model) BestCheckpointInterval(t, cpCost float64, maxSegments int) (bestInterval, bestRuntime float64, err error) {
+	if maxSegments < 2 {
+		return 0, 0, fmt.Errorf("cost: maxSegments must be at least 2, got %d", maxSegments)
+	}
+	bestRuntime = m.OperatorCost(t).Runtime
+	bestInterval = 0
+	for k := 2; k <= maxSegments; k *= 2 {
+		interval := t / float64(k)
+		oc, cerr := m.CheckpointedCost(t, interval, cpCost)
+		if cerr != nil {
+			return 0, 0, cerr
+		}
+		if oc.Runtime < bestRuntime {
+			bestRuntime = oc.Runtime
+			bestInterval = interval
+		}
+	}
+	return bestInterval, bestRuntime, nil
+}

@@ -1,0 +1,95 @@
+package cost
+
+import (
+	"testing"
+)
+
+func TestCheckpointedCostValidation(t *testing.T) {
+	m := Model{MTBF: 100, MTTR: 1, Percentile: 0.95, PipeConst: 1}
+	if _, err := m.CheckpointedCost(10, 0, 1); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := m.CheckpointedCost(10, 5, -1); err == nil {
+		t.Error("negative checkpoint cost accepted")
+	}
+	oc, err := m.CheckpointedCost(0, 5, 1)
+	if err != nil || oc.Runtime != 0 {
+		t.Errorf("zero work should cost nothing: %+v, %v", oc, err)
+	}
+}
+
+func TestCheckpointingHelpsLongOperators(t *testing.T) {
+	// Operator twice as long as the MTBF: without checkpointing the retry
+	// cost explodes; with segments it shrinks dramatically.
+	m := Model{MTBF: 100, MTTR: 1, Percentile: 0.95, PipeConst: 1}
+	whole := m.OperatorCost(200).Runtime
+	seg, err := m.CheckpointedCost(200, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Runtime >= whole {
+		t.Errorf("checkpointed runtime %g should beat whole-operator %g", seg.Runtime, whole)
+	}
+}
+
+func TestCheckpointingHurtsShortOperators(t *testing.T) {
+	// Operator far below the MTBF: checkpoints are pure overhead.
+	m := Model{MTBF: 1e6, MTTR: 1, Percentile: 0.95, PipeConst: 1}
+	whole := m.OperatorCost(10).Runtime
+	seg, err := m.CheckpointedCost(10, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Runtime <= whole {
+		t.Errorf("checkpointing a safe operator should add cost: %g <= %g", seg.Runtime, whole)
+	}
+}
+
+func TestBestCheckpointInterval(t *testing.T) {
+	m := Model{MTBF: 100, MTTR: 1, Percentile: 0.95, PipeConst: 1}
+	// Long operator: some interval must win.
+	interval, runtime, err := m.BestCheckpointInterval(300, 0.5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interval == 0 {
+		t.Error("long operator should benefit from checkpointing")
+	}
+	if runtime >= m.OperatorCost(300).Runtime {
+		t.Error("best checkpointed runtime should beat the whole operator")
+	}
+	// Short operator: none should win.
+	interval, _, err = m.BestCheckpointInterval(1, 0.5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interval != 0 {
+		t.Errorf("short operator picked interval %g, want none", interval)
+	}
+	if _, _, err := m.BestCheckpointInterval(10, 0.5, 1); err == nil {
+		t.Error("maxSegments < 2 accepted")
+	}
+}
+
+func TestClusterAwareModel(t *testing.T) {
+	base := Model{MTBF: 1000, MTTR: 1, Percentile: 0.95, PipeConst: 1, Nodes: 10}
+	aware := base
+	aware.ClusterAware = true
+	// Cluster-aware estimates must never be lower: n nodes fail n times as
+	// often.
+	for _, tt := range []float64{1, 50, 200, 1000} {
+		b := base.OperatorCost(tt).Runtime
+		a := aware.OperatorCost(tt).Runtime
+		if a < b-1e-9 {
+			t.Errorf("t=%g: cluster-aware %g < per-node %g", tt, a, b)
+		}
+	}
+	// With one node both agree.
+	one := base
+	one.Nodes = 1
+	oneAware := one
+	oneAware.ClusterAware = true
+	if one.OperatorCost(100).Runtime != oneAware.OperatorCost(100).Runtime {
+		t.Error("single-node cluster-aware should equal per-node")
+	}
+}

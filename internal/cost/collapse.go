@@ -1,0 +1,228 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ftpde/internal/plan"
+)
+
+// Collapsed is a collapsed plan P^c (paper Section 3.3): every operator that
+// does not materialize its output is folded into the next materializing
+// consumer(s). A collapsed operator is the granularity of re-execution — once
+// it has materialized its output it never needs to re-run.
+type Collapsed struct {
+	// P is the collapsed plan itself: one operator per collapsed group, with
+	// RunCost = tr(c) (Eq. 1), MatCost = tm(c), Materialize = whether the
+	// group's root materializes.
+	P *plan.Plan
+	// Source is the original plan the collapse was derived from.
+	Source *plan.Plan
+	// Root maps each collapsed operator (ID in P) to the original operator
+	// that terminates the group (the materializing operator or a sink).
+	Root map[plan.OpID]plan.OpID
+	// Members maps each collapsed operator to coll(c), the original
+	// operators folded into it, sorted by ID.
+	Members map[plan.OpID][]plan.OpID
+	// Dominant maps each collapsed operator to dom(c), the longest execution
+	// path (by tr) inside the group, ending at the root.
+	Dominant map[plan.OpID][]plan.OpID
+	// ByRoot maps an original root operator ID to the collapsed operator ID.
+	ByRoot map[plan.OpID]plan.OpID
+}
+
+// Collapse builds the collapsed plan for p under its current materialization
+// configuration. Roots are the operators with m(o) = 1 plus all sinks (a
+// query's final results are consumed even if not spooled to fault-tolerant
+// storage; they still delimit re-execution of downstream work because there
+// is none).
+func Collapse(p *plan.Plan, m Model) (*Collapsed, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+
+	isRoot := make(map[plan.OpID]bool)
+	for _, op := range p.Operators() {
+		if op.Materialize {
+			isRoot[op.ID] = true
+		}
+	}
+	for _, s := range p.Sinks() {
+		isRoot[s] = true
+	}
+
+	var roots []plan.OpID
+	for _, id := range p.OperatorIDs() {
+		if isRoot[id] {
+			roots = append(roots, id)
+		}
+	}
+
+	c := &Collapsed{
+		P:        plan.New(),
+		Source:   p,
+		Root:     make(map[plan.OpID]plan.OpID),
+		Members:  make(map[plan.OpID][]plan.OpID),
+		Dominant: make(map[plan.OpID][]plan.OpID),
+		ByRoot:   make(map[plan.OpID]plan.OpID),
+	}
+
+	// For each root, gather coll(root): the root plus every non-root
+	// ancestor reachable through non-root operators only.
+	memberSets := make(map[plan.OpID]map[plan.OpID]bool, len(roots))
+	for _, r := range roots {
+		members := map[plan.OpID]bool{r: true}
+		var up func(plan.OpID)
+		up = func(id plan.OpID) {
+			for _, pa := range p.Inputs(id) {
+				if isRoot[pa] || members[pa] {
+					continue
+				}
+				members[pa] = true
+				up(pa)
+			}
+		}
+		up(r)
+		memberSets[r] = members
+	}
+
+	// Longest execution path inside the group ending at the root, weighted
+	// by tr(o); memoized per group.
+	for _, r := range roots {
+		members := memberSets[r]
+		longest := make(map[plan.OpID]float64)
+		pred := make(map[plan.OpID]plan.OpID)
+		var walk func(plan.OpID) float64
+		walk = func(id plan.OpID) float64 {
+			if v, ok := longest[id]; ok {
+				return v
+			}
+			best := 0.0
+			bestPa := plan.OpID(0)
+			for _, pa := range p.Inputs(id) {
+				if !members[pa] || isRoot[pa] {
+					continue
+				}
+				if v := walk(pa); bestPa == 0 || v > best {
+					best = v
+					bestPa = pa
+				}
+			}
+			total := best + p.Op(id).RunCost
+			longest[id] = total
+			if bestPa != 0 {
+				pred[id] = bestPa
+			}
+			return total
+		}
+		domLen := walk(r)
+
+		var domPath []plan.OpID
+		for id := r; ; {
+			domPath = append([]plan.OpID{id}, domPath...)
+			pa, ok := pred[id]
+			if !ok {
+				break
+			}
+			id = pa
+		}
+
+		rootOp := p.Op(r)
+		tr := domLen * m.PipeConst
+		tm := 0.0
+		if rootOp.Materialize {
+			tm = rootOp.MatCost
+		}
+		sortedMembers := make([]plan.OpID, 0, len(members))
+		for id := range members {
+			sortedMembers = append(sortedMembers, id)
+		}
+		sort.Slice(sortedMembers, func(i, j int) bool { return sortedMembers[i] < sortedMembers[j] })
+
+		cid := c.P.Add(plan.Operator{
+			Name:        groupName(sortedMembers),
+			Kind:        rootOp.Kind,
+			RunCost:     tr,
+			MatCost:     tm,
+			Materialize: rootOp.Materialize,
+		})
+		c.Root[cid] = r
+		c.ByRoot[r] = cid
+		c.Members[cid] = sortedMembers
+		c.Dominant[cid] = domPath
+	}
+
+	// Edges between collapsed operators: root r1 feeds group of r2 when some
+	// member of coll(r2) consumes r1's output in the original plan.
+	type edge struct{ from, to plan.OpID }
+	seen := make(map[edge]bool)
+	for _, r2 := range roots {
+		cid2 := c.ByRoot[r2]
+		for _, member := range c.Members[cid2] {
+			for _, pa := range p.Inputs(member) {
+				if !isRoot[pa] {
+					continue
+				}
+				// pa is a root feeding this group. Skip the degenerate case
+				// where pa is the group's own root (can't happen: roots have
+				// no members besides themselves upstream).
+				cid1 := c.ByRoot[pa]
+				if cid1 == cid2 {
+					continue
+				}
+				e := edge{cid1, cid2}
+				if !seen[e] {
+					seen[e] = true
+					c.P.MustConnect(cid1, cid2)
+				}
+			}
+		}
+	}
+
+	// A collapsed plan may legitimately consist of multiple disconnected
+	// groups (e.g. no-mat with several sinks), so only check acyclicity.
+	if _, err := c.P.TopoOrder(); err != nil {
+		return nil, fmt.Errorf("cost: collapsed plan invalid: %w", err)
+	}
+	return c, nil
+}
+
+func groupName(members []plan.OpID) string {
+	parts := make([]string, len(members))
+	for i, id := range members {
+		parts[i] = fmt.Sprintf("%d", id)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// OpByMembers returns the collapsed operator whose member set is exactly ids
+// (order-insensitive), or 0 if none matches. Intended for tests and tools.
+func (c *Collapsed) OpByMembers(ids ...plan.OpID) plan.OpID {
+	want := append([]plan.OpID(nil), ids...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for cid, members := range c.Members {
+		if len(members) != len(want) {
+			continue
+		}
+		match := true
+		for i := range members {
+			if members[i] != want[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return cid
+		}
+	}
+	return 0
+}
+
+// Total returns t(c) for the collapsed operator with ID cid.
+func (c *Collapsed) Total(cid plan.OpID) float64 {
+	return c.P.Op(cid).TotalCost()
+}

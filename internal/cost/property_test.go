@@ -1,0 +1,101 @@
+package cost
+
+import (
+	"testing"
+
+	"ftpde/internal/plan"
+)
+
+// Collapse invariants on random DAGs: every original operator belongs to at
+// least one collapsed group; every group's members can actually reach the
+// group's root through non-materialized operators; group totals are
+// consistent with Equation 1.
+func TestCollapseInvariantsOnRandomDAGs(t *testing.T) {
+	m := Model{MTBF: 50, MTTR: 1, Percentile: 0.95, PipeConst: 0.9}
+	for seed := int64(0); seed < 100; seed++ {
+		p := plan.RandomDAG(seed, 12)
+		c, err := Collapse(p, m)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		covered := map[plan.OpID]bool{}
+		for cid, members := range c.Members {
+			root := c.Root[cid]
+			rootOp := p.Op(root)
+			if !rootOp.Materialize && len(p.Outputs(root)) != 0 {
+				t.Fatalf("seed %d: group root %d neither materializes nor is a sink", seed, root)
+			}
+			memberSet := map[plan.OpID]bool{}
+			for _, id := range members {
+				covered[id] = true
+				memberSet[id] = true
+				if id != root && p.Op(id).Materialize {
+					t.Fatalf("seed %d: materialized operator %d folded into group of %d", seed, id, root)
+				}
+			}
+			if !memberSet[root] {
+				t.Fatalf("seed %d: root %d missing from its own group", seed, root)
+			}
+			// Dominant path lies inside the group and ends at the root.
+			dom := c.Dominant[cid]
+			if len(dom) == 0 || dom[len(dom)-1] != root {
+				t.Fatalf("seed %d: dominant path of %d does not end at root", seed, root)
+			}
+			domTr := 0.0
+			for _, id := range dom {
+				if !memberSet[id] {
+					t.Fatalf("seed %d: dominant path leaves the group", seed)
+				}
+				domTr += p.Op(id).RunCost
+			}
+			// Equation 1: tr(c) = sum over dom(c) * CONSTpipe.
+			if got := c.P.Op(cid).RunCost; !almostEqual(got, domTr*m.PipeConst, 1e-9) {
+				t.Fatalf("seed %d: tr(c)=%g != dominant %g * pipe", seed, got, domTr*m.PipeConst)
+			}
+		}
+		for _, op := range p.Operators() {
+			if !covered[op.ID] {
+				t.Fatalf("seed %d: operator %d not covered by any collapsed group", seed, op.ID)
+			}
+		}
+		// The collapsed plan has exactly one group per root.
+		roots := 0
+		for _, op := range p.Operators() {
+			if op.Materialize || len(p.Outputs(op.ID)) == 0 {
+				roots++
+			}
+		}
+		if c.P.Len() != roots {
+			t.Fatalf("seed %d: %d groups for %d roots", seed, c.P.Len(), roots)
+		}
+	}
+}
+
+// Materializing one more operator never increases any collapsed group's
+// total below it; more precisely, the failure-free makespan of the collapsed
+// plan (sum along any path) equals or exceeds the plan's critical path.
+func TestCollapsedPathAtLeastCriticalPath(t *testing.T) {
+	m := Model{MTBF: 50, MTTR: 1, Percentile: 0.95, PipeConst: 1}
+	for seed := int64(0); seed < 50; seed++ {
+		p := plan.RandomDAG(seed, 10)
+		c, err := Collapse(p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// For every path in the collapsed plan, its run cost without
+		// failures must be at least the tr of the original dominant chain it
+		// represents (materialization only adds cost).
+		for _, path := range c.P.Paths() {
+			sum := 0.0
+			trOnly := 0.0
+			for _, cid := range path {
+				sum += c.P.Op(cid).TotalCost()
+				trOnly += c.P.Op(cid).RunCost
+			}
+			if sum < trOnly-1e-9 {
+				t.Fatalf("seed %d: materialization made a path cheaper", seed)
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Store is the fault-tolerant storage medium for materialized intermediates.
+// Implementations must survive node failures: MatStore models that by living
+// on the coordinator, DiskStore by writing to files (the analogue of the
+// paper's external iSCSI target, which also survives restarts of the whole
+// engine).
+type Store interface {
+	// Put persists one partition of an operator's output.
+	Put(op string, part int, rows []Row, parts int)
+	// Get returns a stored partition.
+	Get(op string, part int) ([]Row, bool)
+	// Len returns the number of operators with stored output.
+	Len() int
+}
+
+var (
+	_ Store = (*MatStore)(nil)
+	_ Store = (*DiskStore)(nil)
+)
+
+func init() {
+	// Row values are interfaces; register the concrete value types so gob
+	// can encode them.
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+}
+
+// DiskStore persists materialized partitions as gob files under a directory.
+// Unlike MatStore it survives engine restarts, so a re-submitted query can
+// resume from previously materialized intermediates.
+type DiskStore struct {
+	dir string
+	mu  sync.Mutex
+	// err records the first write failure; subsequent Gets miss so the
+	// engine recomputes instead of reading torn state.
+	err error
+}
+
+// NewDiskStore creates (or reuses) the directory.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: disk store: %w", err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Err returns the first write error, if any.
+func (d *DiskStore) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.err
+}
+
+func (d *DiskStore) path(op string, part int) string {
+	// Operator names may contain characters unsuitable for filenames.
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, op)
+	return filepath.Join(d.dir, fmt.Sprintf("%s.part%d.gob", safe, part))
+}
+
+// Put implements Store. Writes are atomic (temp file + rename) so a crash
+// mid-write never leaves a torn partition visible.
+func (d *DiskStore) Put(op string, part int, rows []Row, parts int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tmp, err := os.CreateTemp(d.dir, "put-*")
+	if err != nil {
+		d.err = err
+		return
+	}
+	enc := gob.NewEncoder(tmp)
+	if rows == nil {
+		rows = []Row{}
+	}
+	if err := enc.Encode(rows); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		d.err = err
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		d.err = err
+		return
+	}
+	if err := os.Rename(tmp.Name(), d.path(op, part)); err != nil {
+		os.Remove(tmp.Name())
+		d.err = err
+	}
+}
+
+// Get implements Store.
+func (d *DiskStore) Get(op string, part int) ([]Row, bool) {
+	f, err := os.Open(d.path(op, part))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var rows []Row
+	if err := gob.NewDecoder(f).Decode(&rows); err != nil {
+		return nil, false
+	}
+	return rows, true
+}
+
+// Len implements Store: the number of distinct operators with at least one
+// stored partition.
+func (d *DiskStore) Len() int {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0
+	}
+	ops := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if i := strings.Index(name, ".part"); i > 0 {
+			ops[name[:i]] = true
+		}
+	}
+	return len(ops)
+}

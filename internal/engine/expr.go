@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"fmt"
+)
+
+// Expr is a scalar expression evaluated against a row.
+type Expr interface {
+	Eval(row Row) (Value, error)
+}
+
+// Col references the i-th column of the input row.
+type Col int
+
+// Eval implements Expr.
+func (c Col) Eval(row Row) (Value, error) {
+	if int(c) < 0 || int(c) >= len(row) {
+		return nil, fmt.Errorf("engine: column %d out of range (row width %d)", int(c), len(row))
+	}
+	return row[c], nil
+}
+
+// Const is a literal value.
+type Const struct{ V Value }
+
+// Eval implements Expr.
+func (c Const) Eval(Row) (Value, error) { return c.V, nil }
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// Cmp compares two sub-expressions and yields an int64 0/1 (SQL-ish bool).
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (c Cmp) Eval(row Row) (Value, error) {
+	l, err := c.L.Eval(row)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.R.Eval(row)
+	if err != nil {
+		return nil, err
+	}
+	cmp, err := compareValues(l, r)
+	if err != nil {
+		return nil, err
+	}
+	var ok bool
+	switch c.Op {
+	case EQ:
+		ok = cmp == 0
+	case NE:
+		ok = cmp != 0
+	case LT:
+		ok = cmp < 0
+	case LE:
+		ok = cmp <= 0
+	case GT:
+		ok = cmp > 0
+	case GE:
+		ok = cmp >= 0
+	default:
+		return nil, fmt.Errorf("engine: unknown comparison op %d", int(c.Op))
+	}
+	if ok {
+		return int64(1), nil
+	}
+	return int64(0), nil
+}
+
+// And is a logical conjunction of boolean (0/1) sub-expressions.
+type And []Expr
+
+// Eval implements Expr.
+func (a And) Eval(row Row) (Value, error) {
+	for _, e := range a {
+		v, err := e.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		b, ok := toFloat(v)
+		if !ok {
+			return nil, fmt.Errorf("engine: AND over non-numeric %T", v)
+		}
+		if b == 0 {
+			return int64(0), nil
+		}
+	}
+	return int64(1), nil
+}
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+// Arith combines two numeric sub-expressions.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (a Arith) Eval(row Row) (Value, error) {
+	l, err := a.L.Eval(row)
+	if err != nil {
+		return nil, err
+	}
+	r, err := a.R.Eval(row)
+	if err != nil {
+		return nil, err
+	}
+	fl, ok := toFloat(l)
+	if !ok {
+		return nil, fmt.Errorf("engine: arithmetic over %T", l)
+	}
+	fr, ok := toFloat(r)
+	if !ok {
+		return nil, fmt.Errorf("engine: arithmetic over %T", r)
+	}
+	switch a.Op {
+	case Add:
+		return fl + fr, nil
+	case Sub:
+		return fl - fr, nil
+	case Mul:
+		return fl * fr, nil
+	case Div:
+		if fr == 0 {
+			return nil, fmt.Errorf("engine: division by zero")
+		}
+		return fl / fr, nil
+	default:
+		return nil, fmt.Errorf("engine: unknown arithmetic op %d", int(a.Op))
+	}
+}
+
+// truthy evaluates a predicate expression to a bool.
+func truthy(e Expr, row Row) (bool, error) {
+	v, err := e.Eval(row)
+	if err != nil {
+		return false, err
+	}
+	f, ok := toFloat(v)
+	if !ok {
+		return false, fmt.Errorf("engine: predicate returned non-numeric %T", v)
+	}
+	return f != 0, nil
+}

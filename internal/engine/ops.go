@@ -1,0 +1,485 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Operator is a physical operator of the engine. Every operator produces a
+// partitioned result with one partition per cluster node.
+//
+// Narrow (partition-wise) operators read only partition p of each input to
+// produce output partition p; wide operators (exchange, broadcast-join build
+// sides, global aggregation) read all partitions of (some) inputs. The
+// distinction drives recovery: recomputing a lost partition of a narrow
+// operator needs one partition per input, a wide operator needs them all.
+type Operator interface {
+	// Name identifies the operator for materialization and reporting; it
+	// must be unique within a query.
+	Name() string
+	// Inputs returns the producer operators.
+	Inputs() []Operator
+	// OutSchema describes the output rows.
+	OutSchema() Schema
+	// Materialize reports whether the output is persisted to the
+	// fault-tolerant store (the engine-level m(o) flag).
+	Materialize() bool
+	// Wide reports whether Compute reads all partitions of its inputs.
+	Wide() bool
+	// Compute produces output partition part from the inputs' results.
+	Compute(part int, inputs []*PartitionedResult) ([]Row, error)
+}
+
+// PartitionedResult is an operator's output: one slice of rows per node.
+type PartitionedResult struct {
+	Schema Schema
+	Parts  [][]Row
+	// Lost[i] marks partition i as destroyed by a node failure (volatile
+	// intermediates only; materialized results never get lost).
+	Lost []bool
+}
+
+func newResult(schema Schema, parts int) *PartitionedResult {
+	return &PartitionedResult{Schema: schema, Parts: make([][]Row, parts), Lost: make([]bool, parts)}
+}
+
+// AllRows flattens the result (for tests and sinks).
+func (r *PartitionedResult) AllRows() []Row {
+	var out []Row
+	for _, p := range r.Parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// base provides common operator plumbing.
+type base struct {
+	name   string
+	mat    bool
+	inputs []Operator
+	schema Schema
+}
+
+func (b *base) Name() string       { return b.name }
+func (b *base) Inputs() []Operator { return b.inputs }
+func (b *base) OutSchema() Schema  { return b.schema }
+func (b *base) Materialize() bool  { return b.mat }
+
+// SetMaterialize flips the engine-level m(o) flag; used by schemes to apply
+// a materialization configuration to an executable query.
+func (b *base) SetMaterialize(m bool) { b.mat = m }
+
+// Scan reads a base table partition-wise, optionally filtering and
+// projecting. Base tables are never lost (they live in the partitioned
+// database, which is recovered by the DBMS itself), so Scan has no inputs.
+type Scan struct {
+	base
+	table   *Table
+	filter  Expr // optional
+	project []int
+	once    bool
+}
+
+// NewScan creates a scan over the named table. project selects column
+// indexes (nil keeps all); filter drops rows when non-truthy (nil keeps all).
+func NewScan(name string, t *Table, filter Expr, project []int) *Scan {
+	schema := t.Schema
+	if project != nil {
+		schema = projectSchema(t.Schema, project)
+	}
+	return &Scan{base: base{name: name, schema: schema}, table: t, filter: filter, project: project}
+}
+
+// NewScanOnce creates a scan over a replicated table that emits each row
+// exactly once (in partition 0). Use it when a replicated table (NATION,
+// REGION) feeds a broadcast join build side: a partition-wise scan would
+// emit every replica and multiply join matches.
+func NewScanOnce(name string, t *Table, filter Expr, project []int) *Scan {
+	s := NewScan(name, t, filter, project)
+	s.once = true
+	return s
+}
+
+// Wide implements Operator.
+func (s *Scan) Wide() bool { return false }
+
+// Compute implements Operator.
+func (s *Scan) Compute(part int, _ []*PartitionedResult) ([]Row, error) {
+	if part < 0 || part >= len(s.table.Parts) {
+		return nil, fmt.Errorf("engine: scan %s partition %d out of range", s.name, part)
+	}
+	if s.once && part != 0 {
+		return nil, nil
+	}
+	var out []Row
+	for _, r := range s.table.Parts[part] {
+		if s.filter != nil {
+			ok, err := truthy(s.filter, r)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		out = append(out, projectRow(r, s.project))
+	}
+	return out, nil
+}
+
+// Select filters rows partition-wise.
+type Select struct {
+	base
+	pred Expr
+}
+
+// NewSelect creates a filter operator.
+func NewSelect(name string, in Operator, pred Expr) *Select {
+	return &Select{base: base{name: name, inputs: []Operator{in}, schema: in.OutSchema()}, pred: pred}
+}
+
+// Wide implements Operator.
+func (s *Select) Wide() bool { return false }
+
+// Compute implements Operator.
+func (s *Select) Compute(part int, inputs []*PartitionedResult) ([]Row, error) {
+	var out []Row
+	for _, r := range inputs[0].Parts[part] {
+		ok, err := truthy(s.pred, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Project evaluates expressions partition-wise.
+type Project struct {
+	base
+	exprs []Expr
+}
+
+// NewProject creates a projection; outSchema names the produced columns.
+func NewProject(name string, in Operator, exprs []Expr, outSchema Schema) *Project {
+	return &Project{base: base{name: name, inputs: []Operator{in}, schema: outSchema}, exprs: exprs}
+}
+
+// Wide implements Operator.
+func (p *Project) Wide() bool { return false }
+
+// Compute implements Operator.
+func (p *Project) Compute(part int, inputs []*PartitionedResult) ([]Row, error) {
+	in := inputs[0].Parts[part]
+	out := make([]Row, 0, len(in))
+	for _, r := range in {
+		nr := make(Row, len(p.exprs))
+		for i, e := range p.exprs {
+			v, err := e.Eval(r)
+			if err != nil {
+				return nil, err
+			}
+			nr[i] = v
+		}
+		out = append(out, nr)
+	}
+	return out, nil
+}
+
+// Exchange hash-repartitions its input on a key column — the engine's
+// repartitioning operator (wide: every output partition reads every input
+// partition, like an MPP shuffle).
+type Exchange struct {
+	base
+	keyCol int
+}
+
+// NewExchange creates a shuffle on the given key column.
+func NewExchange(name string, in Operator, keyCol int) *Exchange {
+	return &Exchange{base: base{name: name, inputs: []Operator{in}, schema: in.OutSchema()}, keyCol: keyCol}
+}
+
+// Wide implements Operator.
+func (e *Exchange) Wide() bool { return true }
+
+// Compute implements Operator.
+func (e *Exchange) Compute(part int, inputs []*PartitionedResult) ([]Row, error) {
+	n := uint64(len(inputs[0].Parts))
+	var out []Row
+	for _, p := range inputs[0].Parts {
+		for _, r := range p {
+			if e.keyCol >= len(r) {
+				return nil, fmt.Errorf("engine: exchange %s key column %d out of range", e.name, e.keyCol)
+			}
+			if int(hashValue(r[e.keyCol])%n) == part {
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// HashJoin joins a broadcast build side with a partition-wise probe side.
+// The build input (inputs[0]) is read in full by every partition (broadcast
+// join, suited to the smaller side); the probe input (inputs[1]) is read
+// partition-wise. Output schema is probe columns followed by build columns.
+type HashJoin struct {
+	base
+	buildKey, probeKey int
+}
+
+// NewHashJoin creates a broadcast hash join.
+func NewHashJoin(name string, build, probe Operator, buildKey, probeKey int) *HashJoin {
+	schema := append(append(Schema{}, probe.OutSchema()...), build.OutSchema()...)
+	return &HashJoin{
+		base:     base{name: name, inputs: []Operator{build, probe}, schema: schema},
+		buildKey: buildKey, probeKey: probeKey,
+	}
+}
+
+// Wide implements Operator. The build side is read in full; recovery of any
+// partition therefore needs all build partitions (and one probe partition —
+// the engine conservatively treats the operator as wide).
+func (j *HashJoin) Wide() bool { return true }
+
+// Compute implements Operator.
+func (j *HashJoin) Compute(part int, inputs []*PartitionedResult) ([]Row, error) {
+	build, probe := inputs[0], inputs[1]
+	ht := make(map[uint64][]Row)
+	for _, p := range build.Parts {
+		for _, r := range p {
+			if j.buildKey >= len(r) {
+				return nil, fmt.Errorf("engine: join %s build key out of range", j.name)
+			}
+			h := hashValue(r[j.buildKey])
+			ht[h] = append(ht[h], r)
+		}
+	}
+	var out []Row
+	for _, r := range probe.Parts[part] {
+		if j.probeKey >= len(r) {
+			return nil, fmt.Errorf("engine: join %s probe key out of range", j.name)
+		}
+		for _, b := range ht[hashValue(r[j.probeKey])] {
+			cmp, err := compareValues(r[j.probeKey], b[j.buildKey])
+			if err != nil {
+				return nil, err
+			}
+			if cmp != 0 {
+				continue // hash collision
+			}
+			nr := make(Row, 0, len(r)+len(b))
+			nr = append(nr, r...)
+			nr = append(nr, b...)
+			out = append(out, nr)
+		}
+	}
+	return out, nil
+}
+
+// AggKind enumerates aggregate functions.
+type AggKind int
+
+// Aggregate functions.
+const (
+	AggSum AggKind = iota
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// AggSpec is one aggregate over an input column.
+type AggSpec struct {
+	Kind AggKind
+	Col  int // ignored for AggCount
+}
+
+// HashAggregate groups rows and computes aggregates. When Global is set the
+// operator gathers all partitions into output partition 0 (a final/gather
+// aggregation); otherwise it aggregates partition-wise (requires the input
+// to be partitioned on the group key, e.g. via Exchange).
+type HashAggregate struct {
+	base
+	groupCols []int
+	aggs      []AggSpec
+	global    bool
+}
+
+// NewHashAggregate creates an aggregation. outSchema must have
+// len(groupCols)+len(aggs) columns.
+func NewHashAggregate(name string, in Operator, groupCols []int, aggs []AggSpec, global bool, outSchema Schema) *HashAggregate {
+	return &HashAggregate{
+		base:      base{name: name, inputs: []Operator{in}, schema: outSchema},
+		groupCols: groupCols, aggs: aggs, global: global,
+	}
+}
+
+// Wide implements Operator.
+func (a *HashAggregate) Wide() bool { return a.global }
+
+type aggState struct {
+	key    Row
+	sums   []float64
+	counts []int64
+	mins   []Value
+	maxs   []Value
+}
+
+// Compute implements Operator.
+func (a *HashAggregate) Compute(part int, inputs []*PartitionedResult) ([]Row, error) {
+	var src [][]Row
+	if a.global {
+		if part != 0 {
+			return nil, nil
+		}
+		src = inputs[0].Parts
+	} else {
+		src = [][]Row{inputs[0].Parts[part]}
+	}
+	groups := make(map[string]*aggState)
+	var order []string
+	for _, p := range src {
+		for _, r := range p {
+			key := make(Row, len(a.groupCols))
+			sig := ""
+			for i, g := range a.groupCols {
+				if g >= len(r) {
+					return nil, fmt.Errorf("engine: aggregate %s group column %d out of range", a.name, g)
+				}
+				key[i] = r[g]
+				sig += fmt.Sprintf("%v|", r[g])
+			}
+			st, ok := groups[sig]
+			if !ok {
+				st = &aggState{
+					key:    key,
+					sums:   make([]float64, len(a.aggs)),
+					counts: make([]int64, len(a.aggs)),
+					mins:   make([]Value, len(a.aggs)),
+					maxs:   make([]Value, len(a.aggs)),
+				}
+				groups[sig] = st
+				order = append(order, sig)
+			}
+			for i, spec := range a.aggs {
+				if spec.Kind == AggCount {
+					st.counts[i]++
+					continue
+				}
+				if spec.Col >= len(r) {
+					return nil, fmt.Errorf("engine: aggregate %s column %d out of range", a.name, spec.Col)
+				}
+				v := r[spec.Col]
+				f, ok := toFloat(v)
+				if !ok && (spec.Kind == AggSum || spec.Kind == AggAvg) {
+					return nil, fmt.Errorf("engine: aggregate %s over non-numeric %T", a.name, v)
+				}
+				st.sums[i] += f
+				st.counts[i]++
+				if st.mins[i] == nil {
+					st.mins[i] = v
+					st.maxs[i] = v
+				} else {
+					if c, err := compareValues(v, st.mins[i]); err == nil && c < 0 {
+						st.mins[i] = v
+					}
+					if c, err := compareValues(v, st.maxs[i]); err == nil && c > 0 {
+						st.maxs[i] = v
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(order)
+	out := make([]Row, 0, len(order))
+	for _, sig := range order {
+		st := groups[sig]
+		r := append(Row{}, st.key...)
+		for i, spec := range a.aggs {
+			switch spec.Kind {
+			case AggSum:
+				r = append(r, st.sums[i])
+			case AggCount:
+				r = append(r, st.counts[i])
+			case AggAvg:
+				if st.counts[i] == 0 {
+					r = append(r, 0.0)
+				} else {
+					r = append(r, st.sums[i]/float64(st.counts[i]))
+				}
+			case AggMin:
+				r = append(r, st.mins[i])
+			case AggMax:
+				r = append(r, st.maxs[i])
+			default:
+				return nil, fmt.Errorf("engine: unknown aggregate kind %d", int(spec.Kind))
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Sort orders rows globally by a column (gathers into partition 0).
+type Sort struct {
+	base
+	col  int
+	desc bool
+}
+
+// NewSort creates a global sort.
+func NewSort(name string, in Operator, col int, desc bool) *Sort {
+	return &Sort{base: base{name: name, inputs: []Operator{in}, schema: in.OutSchema()}, col: col, desc: desc}
+}
+
+// Wide implements Operator.
+func (s *Sort) Wide() bool { return true }
+
+// Compute implements Operator.
+func (s *Sort) Compute(part int, inputs []*PartitionedResult) ([]Row, error) {
+	if part != 0 {
+		return nil, nil
+	}
+	var all []Row
+	for _, p := range inputs[0].Parts {
+		all = append(all, p...)
+	}
+	var sortErr error
+	sort.SliceStable(all, func(i, j int) bool {
+		c, err := compareValues(all[i][s.col], all[j][s.col])
+		if err != nil {
+			sortErr = err
+			return false
+		}
+		if s.desc {
+			return c > 0
+		}
+		return c < 0
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	return all, nil
+}
+
+func projectSchema(s Schema, cols []int) Schema {
+	out := make(Schema, len(cols))
+	for i, c := range cols {
+		out[i] = s[c]
+	}
+	return out
+}
+
+func projectRow(r Row, cols []int) Row {
+	if cols == nil {
+		return r
+	}
+	out := make(Row, len(cols))
+	for i, c := range cols {
+		out[i] = r[c]
+	}
+	return out
+}

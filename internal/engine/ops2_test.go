@@ -1,0 +1,70 @@
+package engine
+
+import "testing"
+
+func TestLimitAfterSort(t *testing.T) {
+	tb := mustTable(t, "t", kvSchema(), kvRows(20), 3, -1)
+	scan := NewScan("scan", tb, nil, nil)
+	s := NewSort("sort", scan, 0, true)
+	lim := NewLimit("limit", s, 5)
+	co := &Coordinator{Nodes: 3}
+	res, _ := execute(t, co, lim)
+	rows := res.AllRows()
+	if len(rows) != 5 {
+		t.Fatalf("limit returned %d rows, want 5", len(rows))
+	}
+	if rows[0][0].(int64) != 19 {
+		t.Errorf("top row key = %v, want 19", rows[0][0])
+	}
+}
+
+func TestLimitBeyondInput(t *testing.T) {
+	tb := mustTable(t, "t", kvSchema(), kvRows(3), 2, -1)
+	lim := NewLimit("limit", NewScan("scan", tb, nil, nil), 100)
+	co := &Coordinator{Nodes: 2}
+	res, _ := execute(t, co, lim)
+	if got := len(res.AllRows()); got != 3 {
+		t.Errorf("limit past input returned %d rows, want 3", got)
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	a := mustTable(t, "a", kvSchema(), kvRows(4), 2, 0)
+	b := mustTable(t, "b", kvSchema(), kvRows(6), 2, 0)
+	u, err := NewUnionAll("union", NewScan("sa", a, nil, nil), NewScan("sb", b, nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := &Coordinator{Nodes: 2}
+	res, _ := execute(t, co, u)
+	if got := len(res.AllRows()); got != 10 {
+		t.Errorf("union returned %d rows, want 10", got)
+	}
+}
+
+func TestUnionAllWidthMismatch(t *testing.T) {
+	a := mustTable(t, "a", kvSchema(), kvRows(4), 2, 0)
+	b := mustTable(t, "b", Schema{{Name: "x", Type: TypeInt}}, intRows(1, 2), 2, 0)
+	if _, err := NewUnionAll("u", NewScan("sa", a, nil, nil), NewScan("sb", b, nil, nil)); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestLimitRecovery(t *testing.T) {
+	tb := mustTable(t, "t", kvSchema(), kvRows(20), 3, -1)
+	scan := NewScan("scan", tb, nil, nil)
+	s := NewSort("sort", scan, 0, false)
+	lim := NewLimit("limit", s, 4)
+	co := &Coordinator{Nodes: 3, Injector: NewScriptedFailures().Add("limit", 0, 0)}
+	res, rep, err := co.Execute(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 1 {
+		t.Errorf("failures = %d, want 1", rep.Failures)
+	}
+	rows := res.AllRows()
+	if len(rows) != 4 || rows[0][0].(int64) != 0 {
+		t.Errorf("limit after recovery wrong: %v", rows)
+	}
+}

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"fmt"
+)
+
+// Table is a horizontally partitioned base relation. Partition i is hosted
+// on node i (one partition per node, like the paper's setup).
+type Table struct {
+	Name   string
+	Schema Schema
+	Parts  [][]Row
+	// Replicated marks tables whose every partition holds a full copy (the
+	// paper replicates NATION and REGION); scans over them must read a
+	// single partition to avoid duplicating rows.
+	Replicated bool
+}
+
+// NewTable partitions rows across `parts` partitions by hashing the key
+// column (round-robin when keyCol < 0).
+func NewTable(name string, schema Schema, rows []Row, parts int, keyCol int) (*Table, error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("engine: table %s needs at least one partition", name)
+	}
+	t := &Table{Name: name, Schema: schema, Parts: make([][]Row, parts)}
+	for i, r := range rows {
+		if len(r) != len(schema) {
+			return nil, fmt.Errorf("engine: table %s row %d has %d values, schema has %d", name, i, len(r), len(schema))
+		}
+		var p int
+		if keyCol >= 0 {
+			if keyCol >= len(r) {
+				return nil, fmt.Errorf("engine: table %s key column %d out of range", name, keyCol)
+			}
+			p = int(hashValue(r[keyCol]) % uint64(parts))
+		} else {
+			p = i % parts
+		}
+		t.Parts[p] = append(t.Parts[p], r)
+	}
+	return t, nil
+}
+
+// NewReplicatedTable replicates all rows to every partition (the paper
+// replicates the small NATION and REGION tables to all cluster nodes).
+func NewReplicatedTable(name string, schema Schema, rows []Row, parts int) (*Table, error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("engine: table %s needs at least one partition", name)
+	}
+	t := &Table{Name: name, Schema: schema, Parts: make([][]Row, parts), Replicated: true}
+	for p := 0; p < parts; p++ {
+		cp := make([]Row, len(rows))
+		copy(cp, rows)
+		t.Parts[p] = cp
+	}
+	return t, nil
+}
+
+// Rows returns the total row count across partitions.
+func (t *Table) Rows() int {
+	n := 0
+	for _, p := range t.Parts {
+		n += len(p)
+	}
+	return n
+}
+
+// LogicalRows returns the number of distinct rows: replicated tables count
+// one copy, partitioned tables count all partitions.
+func (t *Table) LogicalRows() int {
+	if t.Replicated && len(t.Parts) > 0 {
+		return len(t.Parts[0])
+	}
+	return t.Rows()
+}
+
+// Partitions returns the number of partitions.
+func (t *Table) Partitions() int { return len(t.Parts) }
+
+// Catalog maps table names to tables (one database shard layout).
+type Catalog struct {
+	tables map[string]*Table
+	parts  int
+}
+
+// NewCatalog creates a catalog for a cluster with the given partition count.
+func NewCatalog(parts int) *Catalog {
+	return &Catalog{tables: make(map[string]*Table), parts: parts}
+}
+
+// Add registers a table; its partition count must match the catalog's.
+func (c *Catalog) Add(t *Table) error {
+	if t.Partitions() != c.parts {
+		return fmt.Errorf("engine: table %s has %d partitions, catalog expects %d", t.Name, t.Partitions(), c.parts)
+	}
+	if _, dup := c.tables[t.Name]; dup {
+		return fmt.Errorf("engine: duplicate table %s", t.Name)
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %s", name)
+	}
+	return t, nil
+}
+
+// Partitions returns the catalog's partition count.
+func (c *Catalog) Partitions() int { return c.parts }

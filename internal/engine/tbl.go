@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTBL serializes a table in dbgen's .tbl format: one row per line,
+// '|'-separated values with a trailing '|'. Replicated tables emit each row
+// once.
+func WriteTBL(t *Table, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	parts := t.Parts
+	if t.Replicated {
+		parts = t.Parts[:1]
+	}
+	for _, p := range parts {
+		for _, r := range p {
+			for i, v := range r {
+				if i > 0 {
+					if err := bw.WriteByte('|'); err != nil {
+						return err
+					}
+				}
+				var s string
+				switch x := v.(type) {
+				case int64:
+					s = strconv.FormatInt(x, 10)
+				case float64:
+					s = strconv.FormatFloat(x, 'g', -1, 64)
+				case string:
+					if strings.ContainsAny(x, "|\n") {
+						return fmt.Errorf("engine: string value %q cannot be written to .tbl", x)
+					}
+					s = x
+				default:
+					return fmt.Errorf("engine: unsupported value type %T in .tbl", v)
+				}
+				if _, err := bw.WriteString(s); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString("|\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTBL parses dbgen .tbl data into a partitioned table. keyCol selects
+// the hash-partitioning column (-1 = round robin); replicated copies the
+// full data to every partition.
+func ReadTBL(name string, schema Schema, r io.Reader, parts, keyCol int, replicated bool) (*Table, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var rows []Row
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		line = strings.TrimSuffix(line, "|")
+		fields := strings.Split(line, "|")
+		if len(fields) < len(schema) {
+			return nil, fmt.Errorf("engine: %s.tbl line %d has %d fields, schema needs %d",
+				name, lineNo, len(fields), len(schema))
+		}
+		row := make(Row, len(schema))
+		for i, c := range schema {
+			f := fields[i]
+			switch c.Type {
+			case TypeInt:
+				v, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("engine: %s.tbl line %d col %s: %w", name, lineNo, c.Name, err)
+				}
+				row[i] = v
+			case TypeFloat:
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("engine: %s.tbl line %d col %s: %w", name, lineNo, c.Name, err)
+				}
+				row[i] = v
+			case TypeString:
+				row[i] = f
+			default:
+				return nil, fmt.Errorf("engine: %s.tbl: unsupported column type %v", name, c.Type)
+			}
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if replicated {
+		return NewReplicatedTable(name, schema, rows, parts)
+	}
+	return NewTable(name, schema, rows, parts, keyCol)
+}

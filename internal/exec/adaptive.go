@@ -1,0 +1,269 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"ftpde/internal/core"
+	"ftpde/internal/cost"
+	"ftpde/internal/failure"
+	"ftpde/internal/plan"
+)
+
+// RunAdaptive simulates execution when the optimizer's statistics are wrong
+// (skewed data, hard-to-estimate UDFs — the paper's second future-work
+// item): the plan carries *estimated* costs, while `actual` multiplies each
+// operator's true runtime and materialization cost (cardinality skew: more
+// rows mean both more work and a bigger output to checkpoint).
+//
+// With adapt=false the materialization configuration is chosen once from the
+// estimates and executed to completion (the paper's static scheme under
+// misestimation). With adapt=true the configuration is re-optimized at every
+// materialization point: once a stage completes, the actual costs of its
+// operators and of their direct consumers are revealed (their input
+// cardinalities are now known), completed operators are frozen, and the
+// optimizer re-decides the remaining free operators.
+//
+// Stages execute sequentially (a barrier per materialization point), which
+// is exact for chain plans like Q5 and pessimistic for bushy DAGs.
+func RunAdaptive(p *plan.Plan, opt Options, tr *failure.Trace, actual map[plan.OpID]float64, adapt bool) (*Result, error) {
+	if err := opt.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil || tr.Nodes() < opt.Cluster.Nodes {
+		return nil, fmt.Errorf("exec: trace does not cover the cluster")
+	}
+	for id, f := range actual {
+		if p.Op(id) == nil {
+			return nil, fmt.Errorf("exec: actual-cost multiplier for unknown operator %d", id)
+		}
+		if f <= 0 {
+			return nil, fmt.Errorf("exec: actual-cost multiplier must be positive, got %g", f)
+		}
+	}
+
+	// Working copy with estimated costs; trueCosts holds the ground truth.
+	cur := p.Clone()
+	trueCosts := p.Clone()
+	for _, op := range trueCosts.Operators() {
+		if f, ok := actual[op.ID]; ok {
+			op.RunCost *= f
+			op.MatCost *= f
+		}
+	}
+
+	// Initial configuration from the (mis)estimates.
+	res0, err := core.Optimize(cur, core.Options{Model: opt.Model})
+	if err != nil {
+		return nil, err
+	}
+	if err := cur.Apply(res0.Config); err != nil {
+		return nil, err
+	}
+
+	result := &Result{}
+	completed := make(map[plan.OpID]bool)
+	now := 0.0
+
+	for {
+		stage, members, ok, err := nextStage(cur, completed, opt.Model)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		_ = stage
+
+		// True stage work: collapse the ground-truth plan under the same
+		// configuration and find the group with the same root.
+		if err := syncConfig(trueCosts, cur); err != nil {
+			return nil, err
+		}
+		trueCollapsed, err := cost.Collapse(trueCosts, opt.Model)
+		if err != nil {
+			return nil, err
+		}
+		work, err := groupWork(trueCollapsed, members)
+		if err != nil {
+			return nil, err
+		}
+
+		// Execute the stage: every node runs its partition, retrying on
+		// failure from the stage start.
+		stageEnd := now
+		stageRetries := 0
+		for node := 0; node < opt.Cluster.Nodes; node++ {
+			cursor := now
+			for {
+				f := tr.NextFailure(node, cursor)
+				if f >= cursor+work {
+					cursor += work
+					break
+				}
+				result.Failures++
+				stageRetries++
+				cursor = f + opt.Cluster.MTTR
+			}
+			if cursor > stageEnd {
+				stageEnd = cursor
+			}
+		}
+		result.Stages = append(result.Stages, StageReport{
+			Name: groupName(members), Start: now, End: stageEnd, Work: work, Retries: stageRetries,
+		})
+		now = stageEnd
+
+		for _, id := range members {
+			completed[id] = true
+		}
+
+		if adapt {
+			// Reveal actual costs for the completed operators and for their
+			// direct consumers, freeze completed operators, re-optimize the
+			// rest.
+			reveal := append([]plan.OpID{}, members...)
+			for _, id := range members {
+				reveal = append(reveal, cur.Outputs(id)...)
+			}
+			for _, id := range reveal {
+				op := cur.Op(id)
+				truth := trueCosts.Op(id)
+				op.RunCost = truth.RunCost
+				op.MatCost = truth.MatCost
+			}
+			for id := range completed {
+				cur.Op(id).Bound = true
+			}
+			if len(cur.FreeOperators()) > 0 {
+				resN, err := core.Optimize(cur, core.Options{Model: opt.Model})
+				if err != nil {
+					return nil, err
+				}
+				if err := cur.Apply(resN.Config); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	result.Runtime = now
+	return result, nil
+}
+
+// nextStage collapses the plan and returns the first (topological) collapsed
+// group whose members are all incomplete and whose predecessors are done.
+func nextStage(p *plan.Plan, completed map[plan.OpID]bool, m cost.Model) (plan.OpID, []plan.OpID, bool, error) {
+	c, err := cost.Collapse(p, m)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	order, err := c.P.TopoOrder()
+	if err != nil {
+		return 0, nil, false, err
+	}
+	for _, cid := range order {
+		root := c.Root[cid]
+		if completed[root] {
+			continue
+		}
+		ready := true
+		for _, pred := range c.P.Inputs(cid) {
+			if !completed[c.Root[pred]] {
+				ready = false
+				break
+			}
+		}
+		if ready {
+			return cid, c.Members[cid], true, nil
+		}
+	}
+	return 0, nil, false, nil
+}
+
+// groupWork finds the collapsed group in c whose member set matches and
+// returns its total cost.
+func groupWork(c *cost.Collapsed, members []plan.OpID) (float64, error) {
+	cid := c.OpByMembers(members...)
+	if cid == 0 {
+		// Membership can differ when a completed-op freeze changed the
+		// collapse; fall back to the group containing the root (last
+		// member is the root by construction of cost.Collapse members
+		// being sorted — locate by root instead).
+		for candidate, root := range c.Root {
+			for _, id := range members {
+				if id == root {
+					cid = candidate
+				}
+			}
+		}
+	}
+	if cid == 0 {
+		return 0, fmt.Errorf("exec: no collapsed group for members %v", members)
+	}
+	return c.P.Op(cid).TotalCost(), nil
+}
+
+// syncConfig copies dst's materialization flags from src (same operator
+// IDs, different cost annotations).
+func syncConfig(dst, src *plan.Plan) error {
+	for _, op := range src.Operators() {
+		d := dst.Op(op.ID)
+		if d == nil {
+			return fmt.Errorf("exec: plans diverged at operator %d", op.ID)
+		}
+		d.Materialize = op.Materialize
+	}
+	return nil
+}
+
+func groupName(members []plan.OpID) string {
+	s := "{"
+	for i, id := range members {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%d", id)
+	}
+	return s + "}"
+}
+
+// AdaptiveComparison runs static-misestimated, adaptive, and oracle
+// (statistics known upfront) executions over the same traces and returns
+// mean runtimes.
+func AdaptiveComparison(p *plan.Plan, opt Options, traces []*failure.Trace, actual map[plan.OpID]float64) (static, adaptive, oracle float64, err error) {
+	if len(traces) == 0 {
+		return 0, 0, 0, fmt.Errorf("exec: no traces")
+	}
+	// Oracle plan: optimize directly on true costs.
+	oraclePlan := p.Clone()
+	for _, op := range oraclePlan.Operators() {
+		if f, ok := actual[op.ID]; ok {
+			op.RunCost *= f
+			op.MatCost *= f
+		}
+	}
+	var sums [3]float64
+	for _, tr := range traces {
+		s, err := RunAdaptive(p, opt, tr, actual, false)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		a, err := RunAdaptive(p, opt, tr, actual, true)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		// Oracle: no misestimation at all (identity multipliers).
+		o, err := RunAdaptive(oraclePlan, opt, tr, nil, false)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		sums[0] += s.Runtime
+		sums[1] += a.Runtime
+		sums[2] += o.Runtime
+	}
+	n := float64(len(traces))
+	if math.IsNaN(sums[0]) {
+		return 0, 0, 0, fmt.Errorf("exec: adaptive comparison produced NaN")
+	}
+	return sums[0] / n, sums[1] / n, sums[2] / n, nil
+}

@@ -1,0 +1,116 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"ftpde/internal/cost"
+	"ftpde/internal/failure"
+	"ftpde/internal/plan"
+)
+
+// chainPlan builds scan -> a -> b -> c -> agg with free mid operators.
+func chainPlan() *plan.Plan {
+	p := plan.New()
+	scan := p.Add(plan.Operator{Name: "scan", Kind: plan.KindScan, RunCost: 20, MatCost: 100, Bound: true})
+	a := p.Add(plan.Operator{Name: "a", Kind: plan.KindHashJoin, RunCost: 100, MatCost: 10})
+	b := p.Add(plan.Operator{Name: "b", Kind: plan.KindHashJoin, RunCost: 100, MatCost: 10})
+	c := p.Add(plan.Operator{Name: "c", Kind: plan.KindHashJoin, RunCost: 100, MatCost: 10})
+	agg := p.Add(plan.Operator{Name: "agg", Kind: plan.KindAggregate, RunCost: 20, MatCost: 1, Bound: true})
+	p.MustConnect(scan, a)
+	p.MustConnect(a, b)
+	p.MustConnect(b, c)
+	p.MustConnect(c, agg)
+	return p
+}
+
+func adaptiveOpts(nodes int, mtbf float64) Options {
+	return Options{
+		Cluster: failure.Spec{Nodes: nodes, MTBF: mtbf, MTTR: 1},
+		Model:   cost.Model{MTBF: mtbf, MTTR: 1, Percentile: 0.95, PipeConst: 1},
+	}
+}
+
+func TestRunAdaptiveNoFailuresNoMisestimation(t *testing.T) {
+	p := chainPlan()
+	opt := adaptiveOpts(2, 1e9)
+	res, err := RunAdaptive(p, opt, emptyTrace(2), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At huge MTBF nothing materializes: one stage = whole plan, runtime =
+	// critical path 340.
+	if math.Abs(res.Runtime-340) > 1e-9 {
+		t.Errorf("runtime = %g, want 340", res.Runtime)
+	}
+	if res.Failures != 0 {
+		t.Error("unexpected failures")
+	}
+}
+
+func TestRunAdaptiveRespectsConfiguredCheckpoints(t *testing.T) {
+	p := chainPlan()
+	opt := adaptiveOpts(1, 150) // failures likely: checkpoints chosen
+	res, err := RunAdaptive(p, opt, emptyTrace(1), nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) < 2 {
+		t.Errorf("expected multiple stages under low MTBF, got %d", len(res.Stages))
+	}
+}
+
+func TestRunAdaptiveValidation(t *testing.T) {
+	p := chainPlan()
+	opt := adaptiveOpts(2, 100)
+	if _, err := RunAdaptive(p, opt, nil, nil, false); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := RunAdaptive(p, opt, emptyTrace(2), map[plan.OpID]float64{99: 2}, false); err == nil {
+		t.Error("unknown operator multiplier accepted")
+	}
+	if _, err := RunAdaptive(p, opt, emptyTrace(2), map[plan.OpID]float64{2: 0}, false); err == nil {
+		t.Error("zero multiplier accepted")
+	}
+}
+
+func TestAdaptiveBeatsStaticUnderSkew(t *testing.T) {
+	// Operator c is 15x more expensive than estimated (skewed join). Static
+	// planning does not checkpoint enough ahead of it; adaptive re-plans
+	// after observing b's actual output and protects the tail; the oracle
+	// knows everything upfront.
+	p := chainPlan()
+	mtbf := 300.0
+	opt := adaptiveOpts(4, mtbf)
+	spec := failure.Spec{Nodes: 4, MTBF: mtbf, MTTR: 1}
+	traces := failure.NewTraces(spec, 1e6, 5, 10)
+	actual := map[plan.OpID]float64{4: 15} // operator "c"
+
+	static, adaptive, oracle, err := AdaptiveComparison(p, opt, traces, actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle > static+1e-9 && oracle > adaptive+1e-9 {
+		t.Errorf("oracle (%g) should be best: static %g adaptive %g", oracle, static, adaptive)
+	}
+	if adaptive > static+1e-9 {
+		t.Errorf("adaptive (%g) should not be worse than static (%g) under skew", adaptive, static)
+	}
+	t.Logf("static=%.1f adaptive=%.1f oracle=%.1f", static, adaptive, oracle)
+}
+
+func TestAdaptiveEqualsStaticWithoutMisestimation(t *testing.T) {
+	p := chainPlan()
+	mtbf := 200.0
+	opt := adaptiveOpts(2, mtbf)
+	spec := failure.Spec{Nodes: 2, MTBF: mtbf, MTTR: 1}
+	traces := failure.NewTraces(spec, 1e6, 9, 5)
+	static, adaptive, oracle, err := AdaptiveComparison(p, opt, traces, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With exact statistics all three coincide.
+	if math.Abs(static-adaptive) > 1e-6 || math.Abs(static-oracle) > 1e-6 {
+		t.Errorf("static/adaptive/oracle should coincide: %g %g %g", static, adaptive, oracle)
+	}
+}

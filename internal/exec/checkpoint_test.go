@@ -1,0 +1,91 @@
+package exec
+
+import (
+	"testing"
+
+	"ftpde/internal/failure"
+)
+
+func TestSimulateCheckpointedNoFailures(t *testing.T) {
+	spec := failure.Spec{Nodes: 3, MTBF: 100, MTTR: 1}
+	tr := emptyTrace(3)
+	// 4 segments of 25 + 1 checkpoint each = 104.
+	got, err := SimulateCheckpointed(100, 25, 1, spec, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 104 {
+		t.Errorf("runtime = %g, want 104", got)
+	}
+	// No checkpointing: exactly the work.
+	got, err = SimulateCheckpointed(100, 0, 0, spec, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Errorf("runtime = %g, want 100", got)
+	}
+}
+
+func TestSimulateCheckpointedLosesOnlySegment(t *testing.T) {
+	spec := failure.Spec{Nodes: 1, MTBF: 100, MTTR: 1}
+	// Failure at t=90: without checkpoints the whole 100 restarts (91+100 =
+	// 191); with 25+1 segments, only the in-flight segment re-runs.
+	tr := &failure.Trace{PerNode: [][]float64{{90}}}
+	whole, err := SimulateCheckpointed(100, 0, 0, spec, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole != 191 {
+		t.Errorf("whole-op runtime = %g, want 191", whole)
+	}
+	seg, err := SimulateCheckpointed(100, 25, 1, spec, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segments end at 26, 52, 78, 104; failure at 90 interrupts the fourth:
+	// resume at 91, run 26 again -> 117.
+	if seg != 117 {
+		t.Errorf("checkpointed runtime = %g, want 117", seg)
+	}
+}
+
+func TestSimulateCheckpointedValidation(t *testing.T) {
+	spec := failure.Spec{Nodes: 2, MTBF: 10, MTTR: 1}
+	if _, err := SimulateCheckpointed(10, 5, 1, spec, nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := SimulateCheckpointed(10, 5, -1, spec, emptyTrace(2)); err == nil {
+		t.Error("negative checkpoint cost accepted")
+	}
+	if _, err := SimulateCheckpointed(10, 5, 1, failure.Spec{}, emptyTrace(2)); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	got, err := SimulateCheckpointed(0, 5, 1, spec, emptyTrace(2))
+	if err != nil || got != 0 {
+		t.Errorf("zero work should finish instantly: %g, %v", got, err)
+	}
+}
+
+func TestSimulateCheckpointedMatchesModelRegime(t *testing.T) {
+	// Statistical check: under heavy failures, checkpointed execution beats
+	// whole-operator execution on the same traces.
+	spec := failure.Spec{Nodes: 4, MTBF: 60, MTTR: 1}
+	traces := failure.NewTraces(spec, 1e6, 11, 10)
+	sumWhole, sumSeg := 0.0, 0.0
+	for _, tr := range traces {
+		w, err := SimulateCheckpointed(120, 0, 0, spec, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := SimulateCheckpointed(120, 15, 0.5, spec, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumWhole += w
+		sumSeg += s
+	}
+	if sumSeg >= sumWhole {
+		t.Errorf("checkpointing did not help under heavy failures: %g >= %g", sumSeg, sumWhole)
+	}
+}

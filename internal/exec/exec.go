@@ -1,0 +1,282 @@
+// Package exec simulates the partition-parallel execution of a
+// fault-tolerant plan on a shared-nothing cluster under an injected failure
+// trace — the substitute for the paper's 10-node XDB/MySQL testbed.
+//
+// Execution model: the plan is collapsed under its materialization
+// configuration (cost.Collapse); each collapsed operator is a stage executed
+// partition-parallel on every node. A stage starts when all its producer
+// stages have completed (materialization points are blocking), and it
+// completes when every node has finished its partition. A node failure
+// during a stage destroys that node's in-flight partition work; the node is
+// redeployed after MTTR and re-runs its partition from the stage's last
+// materialized inputs (fine-grained recovery) — or, for coarse-grained
+// recovery, any failure restarts the whole query. Materialized intermediates
+// survive failures (the paper's fault-tolerant-storage assumption).
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ftpde/internal/cost"
+	"ftpde/internal/failure"
+	"ftpde/internal/plan"
+	"ftpde/internal/schemes"
+)
+
+// DefaultMaxRestarts matches the paper: coarse-grained queries are aborted
+// after 100 restarts.
+const DefaultMaxRestarts = 100
+
+// Options configures a simulated run.
+type Options struct {
+	// Cluster provides node count and MTTR. (MTBF is only used to generate
+	// traces; the simulation itself replays the given trace.)
+	Cluster failure.Spec
+	// Model provides CONSTpipe for plan collapsing.
+	Model cost.Model
+	// Recovery selects fine-grained vs. coarse-grained recovery.
+	Recovery schemes.Recovery
+	// MaxRestarts aborts a coarse-grained query after this many full
+	// restarts; 0 means DefaultMaxRestarts.
+	MaxRestarts int
+}
+
+// StageReport describes the simulated execution of one collapsed operator.
+type StageReport struct {
+	// Name is the collapsed operator's member-set label, e.g. "{1,2,3}".
+	Name string
+	// Start and End are the stage's simulated times.
+	Start, End float64
+	// Work is the per-node partition work t(c).
+	Work float64
+	// Retries counts per-node re-executions caused by failures.
+	Retries int
+}
+
+// Result is the outcome of a simulated run.
+type Result struct {
+	// Runtime is the simulated query runtime (cost units / seconds).
+	Runtime float64
+	// Failures counts the failures that interrupted execution.
+	Failures int
+	// Restarts counts full-query restarts (coarse recovery only).
+	Restarts int
+	// Aborted is set when MaxRestarts was exceeded; Runtime then holds the
+	// time spent until the abort.
+	Aborted bool
+	// Stages holds per-stage timelines (fine-grained recovery only).
+	Stages []StageReport
+}
+
+// Run simulates the execution of plan p (with its current materialization
+// configuration) against the failure trace.
+func Run(p *plan.Plan, opt Options, tr *failure.Trace) (*Result, error) {
+	if err := opt.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("exec: nil failure trace")
+	}
+	if tr.Nodes() < opt.Cluster.Nodes {
+		return nil, fmt.Errorf("exec: trace covers %d nodes, cluster has %d", tr.Nodes(), opt.Cluster.Nodes)
+	}
+	collapsed, err := cost.Collapse(p, opt.Model)
+	if err != nil {
+		return nil, err
+	}
+	switch opt.Recovery {
+	case schemes.FineGrained:
+		return runFine(collapsed, opt, tr), nil
+	case schemes.CoarseRestart:
+		return runCoarse(collapsed, opt, tr), nil
+	default:
+		return nil, fmt.Errorf("exec: unknown recovery kind %d", int(opt.Recovery))
+	}
+}
+
+// runFine executes stage-by-stage; failed nodes re-run only their partition
+// of the interrupted stage.
+func runFine(c *cost.Collapsed, opt Options, tr *failure.Trace) *Result {
+	res := &Result{}
+	order, err := c.P.TopoOrder()
+	if err != nil {
+		// Collapse guarantees acyclicity; this is defensive.
+		panic(err)
+	}
+	end := make(map[plan.OpID]float64, len(order))
+	for _, cid := range order {
+		start := 0.0
+		for _, pred := range c.P.Inputs(cid) {
+			if end[pred] > start {
+				start = end[pred]
+			}
+		}
+		work := c.P.Op(cid).TotalCost()
+		stage := StageReport{Name: c.P.Op(cid).Name, Start: start, Work: work}
+		stageEnd := start
+		for node := 0; node < opt.Cluster.Nodes; node++ {
+			cur := start
+			for {
+				f := tr.NextFailure(node, cur)
+				if f >= cur+work {
+					cur += work
+					break
+				}
+				res.Failures++
+				stage.Retries++
+				cur = f + opt.Cluster.MTTR
+			}
+			if cur > stageEnd {
+				stageEnd = cur
+			}
+		}
+		stage.End = stageEnd
+		end[cid] = stageEnd
+		res.Stages = append(res.Stages, stage)
+		if stageEnd > res.Runtime {
+			res.Runtime = stageEnd
+		}
+	}
+	return res
+}
+
+// runCoarse restarts the whole query whenever any node fails mid-execution.
+func runCoarse(c *cost.Collapsed, opt Options, tr *failure.Trace) *Result {
+	maxRestarts := opt.MaxRestarts
+	if maxRestarts == 0 {
+		maxRestarts = DefaultMaxRestarts
+	}
+	res := &Result{}
+	makespan := failureFreeMakespan(c)
+	start := 0.0
+	for {
+		f, _ := tr.NextClusterFailure(start)
+		if f >= start+makespan {
+			res.Runtime = start + makespan
+			return res
+		}
+		res.Failures++
+		res.Restarts++
+		if res.Restarts > maxRestarts {
+			res.Aborted = true
+			res.Runtime = f
+			return res
+		}
+		start = f + opt.Cluster.MTTR
+	}
+}
+
+// failureFreeMakespan returns the critical-path length of the collapsed plan
+// weighted by t(c) — the query runtime with zero failures, including any
+// added materialization costs.
+func failureFreeMakespan(c *cost.Collapsed) float64 {
+	order, err := c.P.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	end := make(map[plan.OpID]float64, len(order))
+	best := 0.0
+	for _, cid := range order {
+		start := 0.0
+		for _, pred := range c.P.Inputs(cid) {
+			if end[pred] > start {
+				start = end[pred]
+			}
+		}
+		e := start + c.P.Op(cid).TotalCost()
+		end[cid] = e
+		if e > best {
+			best = e
+		}
+	}
+	return best
+}
+
+// FailureFreeMakespan returns the failure-free runtime of p under its
+// current materialization configuration (stage-blocking execution).
+func FailureFreeMakespan(p *plan.Plan, m cost.Model) (float64, error) {
+	c, err := cost.Collapse(p, m)
+	if err != nil {
+		return 0, err
+	}
+	return failureFreeMakespan(c), nil
+}
+
+// MeasuredOverhead runs the plan against every trace and returns the mean
+// overhead percentage over the baseline runtime:
+//
+//	overhead = (runtime_with_failures - baseline) / baseline * 100
+//
+// Aborted runs (coarse recovery exceeding MaxRestarts) yield an infinite
+// overhead; if any trace aborts, aborted reports true and the mean is taken
+// over the remaining traces (matching the paper, which reports "Aborted").
+func MeasuredOverhead(p *plan.Plan, opt Options, traces []*failure.Trace, baseline float64) (mean float64, aborted bool, err error) {
+	if baseline <= 0 {
+		return 0, false, fmt.Errorf("exec: baseline must be positive, got %g", baseline)
+	}
+	if len(traces) == 0 {
+		return 0, false, fmt.Errorf("exec: no traces")
+	}
+	sum, n := 0.0, 0
+	for _, tr := range traces {
+		res, rerr := Run(p, opt, tr)
+		if rerr != nil {
+			return 0, false, rerr
+		}
+		if res.Aborted {
+			aborted = true
+			continue
+		}
+		sum += (res.Runtime - baseline) / baseline * 100
+		n++
+	}
+	if n == 0 {
+		return math.Inf(1), true, nil
+	}
+	return sum / float64(n), aborted, nil
+}
+
+// MeanRuntime runs the plan against every trace and returns the mean
+// simulated runtime. Aborted runs are excluded; ok reports whether at least
+// one run finished.
+func MeanRuntime(p *plan.Plan, opt Options, traces []*failure.Trace) (mean float64, ok bool, err error) {
+	mean, finished, _, err := RuntimeStats(p, opt, traces)
+	return mean, finished > 0, err
+}
+
+// RuntimeStats runs the plan against every trace and returns the mean
+// runtime over the finished runs together with finished/aborted counts.
+// Beware of survivorship bias: when aborted > 0 the mean covers only the
+// lucky traces.
+func RuntimeStats(p *plan.Plan, opt Options, traces []*failure.Trace) (mean float64, finished, aborted int, err error) {
+	sum := 0.0
+	for _, tr := range traces {
+		res, rerr := Run(p, opt, tr)
+		if rerr != nil {
+			return 0, 0, 0, rerr
+		}
+		if res.Aborted {
+			aborted++
+			continue
+		}
+		sum += res.Runtime
+		finished++
+	}
+	if finished == 0 {
+		return 0, 0, aborted, nil
+	}
+	return sum / float64(finished), finished, aborted, nil
+}
+
+// SortStages orders a result's stages by start time (stable on name) for
+// display purposes.
+func SortStages(stages []StageReport) {
+	sort.SliceStable(stages, func(i, j int) bool {
+		if stages[i].Start != stages[j].Start {
+			return stages[i].Start < stages[j].Start
+		}
+		return stages[i].Name < stages[j].Name
+	})
+}

@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fastConfig keeps the integration tests quick while preserving shapes.
+func fastConfig() Config {
+	return Config{Nodes: 10, Traces: 5, Seed: 1, SF: 100}
+}
+
+func cellFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric", s)
+	}
+	return v
+}
+
+func TestFigure1Shape(t *testing.T) {
+	tbl := Figure1()
+	if len(tbl.Rows) != 17 {
+		t.Fatalf("want 17 runtime samples, got %d", len(tbl.Rows))
+	}
+	// Columns: cluster1 worst, cluster4 best; all monotone non-increasing.
+	for col := 1; col <= 4; col++ {
+		prev := 101.0
+		for _, row := range tbl.Rows {
+			v := cellFloat(t, row[col])
+			if v > prev+1e-9 {
+				t.Fatalf("column %d not monotone", col)
+			}
+			prev = v
+		}
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if c1 := cellFloat(t, last[1]); c1 > 0.01 {
+		t.Errorf("cluster 1 at 160min = %g, want ~0", c1)
+	}
+	if c4 := cellFloat(t, last[4]); c4 < 80 {
+		t.Errorf("cluster 4 at 160min = %g, want > 80", c4)
+	}
+}
+
+func TestTable2Content(t *testing.T) {
+	tbl := Table2()
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("want 4 collapsed operators, got %d", len(tbl.Rows))
+	}
+	// t(c) column.
+	want := []string{"4", "3", "1", "2"}
+	for i, row := range tbl.Rows {
+		if row[1] != want[i] {
+			t.Errorf("row %d t(c) = %s, want %s", i, row[1], want[i])
+		}
+	}
+	s := tbl.String()
+	if !strings.Contains(s, "dominant") {
+		t.Error("table 2 should mark the dominant path")
+	}
+}
+
+// colIdx maps a header name to its column.
+func colIdx(t *testing.T, tbl *Table, name string) int {
+	t.Helper()
+	for i, h := range tbl.Header {
+		if strings.Contains(h, name) {
+			return i
+		}
+	}
+	t.Fatalf("no column %q in %v", name, tbl.Header)
+	return -1
+}
+
+func TestFigure8LowMTBF(t *testing.T) {
+	tbl, err := Figure8(true, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := colIdx(t, tbl, "cost-based")
+	am := colIdx(t, tbl, "all-mat")
+	lin := colIdx(t, tbl, "lineage")
+	rst := colIdx(t, tbl, "restart")
+	for _, row := range tbl.Rows {
+		// The paper's headline: cost-based has the least (or comparable)
+		// overhead of all schemes, for every query.
+		if row[rst] != "Aborted" {
+			t.Errorf("%s: no-mat(restart) should abort at low MTBF, got %s", row[0], row[rst])
+		}
+		cbv := cellFloat(t, row[cb])
+		for _, other := range []int{am, lin} {
+			ov := cellFloat(t, row[other])
+			if cbv > ov*1.15+2 {
+				t.Errorf("%s: cost-based %.1f%% worse than %s %.1f%%", row[0], cbv, tbl.Header[other], ov)
+			}
+		}
+		// Q1 has no free operator: fine-grained schemes coincide.
+		if row[0] == "Q1" {
+			if row[cb] != row[am] || row[cb] != row[lin] {
+				t.Errorf("Q1 overheads differ across fine-grained schemes: %v", row)
+			}
+		}
+	}
+	// All-mat pays much more than cost-based on the complex queries.
+	for _, row := range tbl.Rows {
+		if row[0] == "Q1C" || row[0] == "Q2C" {
+			if cellFloat(t, row[am]) < 1.5*cellFloat(t, row[cb]) {
+				t.Errorf("%s: all-mat %.1f%% should far exceed cost-based %.1f%%",
+					row[0], cellFloat(t, row[am]), cellFloat(t, row[cb]))
+			}
+		}
+	}
+}
+
+func TestFigure8HighMTBF(t *testing.T) {
+	tbl, err := Figure8(false, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := colIdx(t, tbl, "cost-based")
+	for _, row := range tbl.Rows {
+		cbv := cellFloat(t, row[cb])
+		for col := 1; col < len(row); col++ {
+			if col == cb || row[col] == "Aborted" {
+				continue
+			}
+			if cbv > cellFloat(t, row[col])*1.15+2 {
+				t.Errorf("%s: cost-based %.1f%% worse than %s", row[0], cbv, tbl.Header[col])
+			}
+		}
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	tbl, err := Figure10(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := colIdx(t, tbl, "cost-based")
+	lin := colIdx(t, tbl, "lineage")
+	rst := colIdx(t, tbl, "restart")
+	first, last := tbl.Rows[0], tbl.Rows[len(tbl.Rows)-1]
+	// Short queries: both no-mat schemes and cost-based at ~0%.
+	for _, col := range []int{cb, lin, rst} {
+		if v := cellFloat(t, first[col]); v > 5 {
+			t.Errorf("short query overhead %s = %g, want ~0", tbl.Header[col], v)
+		}
+	}
+	// Long queries: restart aborts; cost-based <= lineage.
+	if last[rst] != "Aborted" {
+		t.Errorf("restart at the longest runtime should abort, got %s", last[rst])
+	}
+	if cellFloat(t, last[cb]) > cellFloat(t, last[lin])*1.15+2 {
+		t.Error("cost-based should not exceed lineage for long queries")
+	}
+	if cellFloat(t, last[cb]) < 20 {
+		t.Error("long-running query should show substantial overhead under failures")
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	tbl, err := Figure11(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows are schemes; columns: 1 week, 1 day, 1 hour.
+	var costRow, restartRow []string
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "cost-based":
+			costRow = row
+		case "no-mat (restart)":
+			restartRow = row
+		}
+		// Overhead must not decrease as MTBF drops (left to right).
+		prev := -1.0
+		for col := 1; col <= 3; col++ {
+			if row[col] == "Aborted" {
+				continue
+			}
+			v := cellFloat(t, row[col])
+			if v < prev-1 {
+				t.Errorf("%s: overhead decreased as MTBF dropped: %v", row[0], row)
+			}
+			prev = v
+		}
+	}
+	// Cost-based is the best scheme at every MTBF.
+	for col := 1; col <= 3; col++ {
+		cbv := cellFloat(t, costRow[col])
+		for _, row := range tbl.Rows {
+			if row[0] == "cost-based" || row[col] == "Aborted" {
+				continue
+			}
+			if cbv > cellFloat(t, row[col])*1.15+2 {
+				t.Errorf("cost-based %.1f%% worse than %s at %s", cbv, row[0], tbl.Header[col])
+			}
+		}
+	}
+	// Coarse restart is the worst at MTBF = 1 hour.
+	if restartRow[3] != "Aborted" {
+		rv := cellFloat(t, restartRow[3])
+		if rv < cellFloat(t, costRow[3]) {
+			t.Error("restart should be worst at MTBF=1 hour")
+		}
+	}
+}
+
+func TestFigure12aShape(t *testing.T) {
+	tbl, err := Figure12a(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("want 5 MTBF rows, got %d", len(tbl.Rows))
+	}
+	// High MTBF: near-zero error.
+	if e := cellFloat(t, tbl.Rows[0][3]); e < -2 || e > 2 {
+		t.Errorf("error at MTBF=1 month = %g%%, want ~0", e)
+	}
+	// Actual runtime grows as MTBF drops.
+	prev := 0.0
+	for _, row := range tbl.Rows {
+		a := cellFloat(t, row[1])
+		if a < prev-1e-6 {
+			t.Errorf("actual runtime decreased as MTBF dropped: %v", row)
+		}
+		prev = a
+	}
+	// The model underestimates under failures but stays within ~40%.
+	for _, row := range tbl.Rows {
+		e := cellFloat(t, row[3])
+		if e > 5 || e < -40 {
+			t.Errorf("error %g%% out of expected band at %s", e, row[0])
+		}
+	}
+}
+
+func TestFigure12bCorrelation(t *testing.T) {
+	cfg := fastConfig()
+	tbl, err := Figure12b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 32 {
+		t.Fatalf("want 32 configurations, got %d", len(tbl.Rows))
+	}
+	// Estimated column must be ascending (sorted); extract Spearman note.
+	prev := 0.0
+	for _, row := range tbl.Rows {
+		e := cellFloat(t, row[2])
+		if e < prev-1e-9 {
+			t.Error("rows not sorted by estimate")
+		}
+		prev = e
+	}
+	found := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "Spearman") {
+			found = true
+			parts := strings.Fields(n)
+			rho := cellFloat(t, parts[len(parts)-1])
+			if rho < 0.7 {
+				t.Errorf("Spearman correlation %.3f too low — cost model does not rank configurations", rho)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing Spearman note")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tbl, err := Table3(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 13 {
+		t.Fatalf("want 13 rows (exact + 12 perturbations), got %d", len(tbl.Rows))
+	}
+	// Exact statistics row is the identity ranking.
+	for i := 1; i <= 5; i++ {
+		if tbl.Rows[0][i] != strconv.Itoa(i) {
+			t.Errorf("exact row cell %d = %s", i, tbl.Rows[0][i])
+		}
+	}
+	// Mild perturbations (x0.5, x2) keep the selected top-5 within the
+	// baseline top-10 (robustness claim).
+	for _, row := range tbl.Rows[1:] {
+		if !strings.Contains(row[0], "0.5") && !strings.Contains(row[0], "2") {
+			continue
+		}
+		if strings.Contains(row[0], "10") { // "x10" contains neither guard
+			continue
+		}
+		for i := 1; i <= 5; i++ {
+			if cellFloat(t, row[i]) > 16 {
+				t.Errorf("mild perturbation %s placed baseline rank %s in top-5", row[0], row[i])
+			}
+		}
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	tbl, err := Figure13(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("want 3 cluster rows, got %d", len(tbl.Rows))
+	}
+	r1 := colIdx(t, tbl, "Rule 1")
+	r2 := colIdx(t, tbl, "Rule 2")
+	all := colIdx(t, tbl, "All Rules")
+	// Rule 1 is MTBF-independent.
+	v0 := cellFloat(t, tbl.Rows[0][r1])
+	for _, row := range tbl.Rows {
+		if cellFloat(t, row[r1]) != v0 {
+			t.Errorf("rule 1 pruning varies with MTBF: %v", tbl.Rows)
+		}
+	}
+	// Rule 2 prunes at least as much at higher MTBF (rows: 1w, 1d, 1h).
+	if cellFloat(t, tbl.Rows[0][r2]) < cellFloat(t, tbl.Rows[2][r2]) {
+		t.Error("rule 2 should prune more at MTBF=1 week than at 1 hour")
+	}
+	if cellFloat(t, tbl.Rows[0][r2]) <= 0 {
+		t.Error("rule 2 should prune something at MTBF=1 week")
+	}
+	// All rules prune a substantial share everywhere and at least as much at
+	// 1 week as at 1 hour.
+	if cellFloat(t, tbl.Rows[0][all]) < cellFloat(t, tbl.Rows[2][all])-1e-9 {
+		t.Error("all-rules pruning should not be lower at 1 week than at 1 hour")
+	}
+	for _, row := range tbl.Rows {
+		if cellFloat(t, row[all]) < 10 {
+			t.Errorf("all-rules pruning suspiciously low: %v", row)
+		}
+	}
+	// Search-space size: 1344 x 32.
+	if tbl.Rows[0][len(tbl.Rows[0])-1] != "43008" {
+		t.Errorf("FT plan total = %s, want 43008", tbl.Rows[0][len(tbl.Rows[0])-1])
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("want 10 experiments, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment id %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if _, err := ByID("fig8a"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tbl := &Table{Title: "T", Header: []string{"a", "bb"}, Notes: []string{"n"}}
+	tbl.AddRow("1", "2")
+	s := tbl.String()
+	for _, want := range []string{"== T ==", "a", "bb", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtrasRegistry(t *testing.T) {
+	extras := Extras()
+	if len(extras) != 9 {
+		t.Fatalf("want 9 extras, got %d", len(extras))
+	}
+	if len(Everything()) != len(All())+len(extras) {
+		t.Error("Everything() should concatenate All and Extras")
+	}
+	if _, err := ByID("ext-checkpoint"); err != nil {
+		t.Error("extras not reachable via ByID")
+	}
+}
+
+func TestAblationWastedShape(t *testing.T) {
+	tbl, err := AblationWasted(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Approximation never underestimates the exact model (w_approx >= w_exact
+	// implies higher or equal runtime estimates): delta >= 0.
+	for _, row := range tbl.Rows {
+		if cellFloat(t, row[5]) < -1e-9 {
+			t.Errorf("approximation estimated lower than exact at %s: %v", row[0], row)
+		}
+	}
+}
+
+func TestAblationPercentileShape(t *testing.T) {
+	tbl, err := AblationPercentile(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("want 4 percentile rows, got %d", len(tbl.Rows))
+	}
+	// Estimated runtime is monotone in S (more attempts provisioned).
+	prev := 0.0
+	for _, row := range tbl.Rows {
+		est := cellFloat(t, row[2])
+		if est < prev-1e-9 {
+			t.Errorf("estimate not monotone in S: %v", tbl.Rows)
+		}
+		prev = est
+	}
+}
+
+func TestAblationMemoShape(t *testing.T) {
+	tbl, err := AblationMemo(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(tbl.Rows))
+	}
+	// Same best estimate, fewer path evaluations with memoization.
+	if tbl.Rows[0][1] != tbl.Rows[1][1] {
+		t.Error("memoization changed the chosen plan")
+	}
+	if cellFloat(t, tbl.Rows[1][2]) >= cellFloat(t, tbl.Rows[0][2]) {
+		t.Error("memoized dominant paths did not reduce path evaluations")
+	}
+}
+
+func TestExtCheckpointShape(t *testing.T) {
+	tbl, err := ExtCheckpoint(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := cellFloat(t, tbl.Rows[0][3])
+	best := none
+	for _, row := range tbl.Rows[1:] {
+		if v := cellFloat(t, row[3]); v < best {
+			best = v
+		}
+	}
+	if best >= none {
+		t.Errorf("no checkpoint interval beat the un-checkpointed operator: none=%g best=%g", none, best)
+	}
+	// Sweet spot: the most aggressive interval should NOT be the best
+	// (checkpoint overhead kicks in).
+	last := cellFloat(t, tbl.Rows[len(tbl.Rows)-1][3])
+	if last <= best {
+		t.Log("most aggressive interval happened to win; acceptable but unexpected")
+	}
+}
+
+func TestExtAdaptiveShape(t *testing.T) {
+	tbl, err := ExtAdaptive(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		static := cellFloat(t, row[1])
+		adaptive := cellFloat(t, row[2])
+		oracle := cellFloat(t, row[3])
+		if adaptive > static*1.01+1 {
+			t.Errorf("adaptive worse than static at %s: %v", row[0], row)
+		}
+		if oracle > adaptive*1.01+1 {
+			t.Errorf("oracle worse than adaptive at %s: %v", row[0], row)
+		}
+		if row[0] == "x1" && (static != adaptive || adaptive != oracle) {
+			t.Errorf("no-skew row should coincide: %v", row)
+		}
+	}
+	// Somewhere in the sweep, adaptation must provide a real win.
+	won := false
+	for _, row := range tbl.Rows {
+		if cellFloat(t, row[2]) < cellFloat(t, row[1])*0.95 {
+			won = true
+		}
+	}
+	if !won {
+		t.Error("adaptive never beat static by >5% across the skew sweep")
+	}
+}
+
+func TestExtClusterAwareShape(t *testing.T) {
+	tbl, err := ExtClusterAware(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if strings.HasPrefix(row[2], "Aborted") {
+			continue
+		}
+		perNodeErr := cellFloat(t, row[4])
+		awareErr := cellFloat(t, row[6])
+		if abs(perNodeErr) < 10 && abs(awareErr) < 10 {
+			// Failure-light regime: both granularities are fine and the
+			// comparison is noise.
+			continue
+		}
+		switch row[1] {
+		case "fine-grained":
+			// Per-node rates fit fine-grained recovery better.
+			if abs(perNodeErr) > abs(awareErr) {
+				t.Errorf("per-node model should fit fine-grained recovery at %s: %v", row[0], row)
+			}
+		case "coarse restart":
+			if abs(awareErr) > abs(perNodeErr) {
+				t.Errorf("cluster-wide model should fit coarse restarts at %s: %v", row[0], row)
+			}
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestExtWorkloadShape(t *testing.T) {
+	tbl, err := ExtWorkload(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("want 4 scheme rows, got %d", len(tbl.Rows))
+	}
+	// Cost-based never aborts.
+	for _, row := range tbl.Rows {
+		if row[0] == "cost-based" && (row[2] != "0" || row[4] != "0") {
+			t.Errorf("cost-based aborted queries: %v", row)
+		}
+	}
+}
+
+func TestExtWeibullShape(t *testing.T) {
+	tbl, err := ExtWeibull(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("want 4 shape rows, got %d", len(tbl.Rows))
+	}
+	// Actual runtime decreases as failures become more regular (same mean
+	// rate, but long clean windows become predictable), so the estimation
+	// error grows monotonically from underestimate toward overestimate.
+	prevActual := 1e18
+	prevErr := -1e18
+	for _, row := range tbl.Rows {
+		if row[2] == "Aborted" {
+			t.Fatalf("unexpected abort: %v", row)
+		}
+		a := cellFloat(t, row[2])
+		e := cellFloat(t, row[3])
+		if a > prevActual+1 {
+			t.Errorf("actual runtime should not grow with shape: %v", tbl.Rows)
+		}
+		if e < prevErr-1 {
+			t.Errorf("estimation error should grow with shape: %v", tbl.Rows)
+		}
+		prevActual, prevErr = a, e
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ftpde/internal/failure"
+)
+
+// Figure1 reproduces paper Figure 1: the probability that a query finishes
+// without any mid-query failure, as a function of its runtime (0-160 min),
+// for four cluster setups varying node count and per-node MTBF.
+func Figure1() *Table {
+	clusters := []struct {
+		name string
+		mtbf float64
+		n    int
+	}{
+		{"Cluster 1 (MTBF=1 hour,n=100)", failure.OneHour, 100},
+		{"Cluster 2 (MTBF=1 week,n=100)", failure.OneWeek, 100},
+		{"Cluster 3 (MTBF=1 hour,n=10)", failure.OneHour, 10},
+		{"Cluster 4 (MTBF=1 week,n=10)", failure.OneWeek, 10},
+	}
+	t := &Table{
+		Title:  "Figure 1: Probability of Success of a Query (in %)",
+		Header: []string{"Runtime (min)"},
+		Notes: []string{
+			"analytic: P = exp(-t*n/MTBF); cluster 1 fails almost surely even for short queries, cluster 4 almost never",
+		},
+	}
+	for _, c := range clusters {
+		t.Header = append(t.Header, c.name)
+	}
+	for m := 0; m <= 160; m += 10 {
+		row := []string{fmt.Sprintf("%d", m)}
+		for _, c := range clusters {
+			p := failure.ProbClusterSuccess(float64(m)*60, c.mtbf, c.n)
+			row = append(row, fmt.Sprintf("%.2f", p*100))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

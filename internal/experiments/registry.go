@@ -1,0 +1,51 @@
+package experiments
+
+import "fmt"
+
+// Runner couples an experiment ID (the paper's table/figure number) with its
+// regenerator.
+type Runner struct {
+	// ID is the flag value used by cmd/ftbench, e.g. "fig8a".
+	ID string
+	// Desc summarizes the experiment.
+	Desc string
+	// Run regenerates the table/figure.
+	Run func(Config) (*Table, error)
+}
+
+// All returns every experiment in the paper's order.
+func All() []Runner {
+	return []Runner{
+		{"fig1", "Figure 1: probability of query success vs runtime for 4 cluster setups",
+			func(Config) (*Table, error) { return Figure1(), nil }},
+		{"table2", "Table 2: worked cost-estimation example",
+			func(Config) (*Table, error) { return Table2(), nil }},
+		{"fig8a", "Figure 8(a): overhead by query and scheme, low MTBF",
+			func(c Config) (*Table, error) { return Figure8(true, c) }},
+		{"fig8b", "Figure 8(b): overhead by query and scheme, high MTBF",
+			func(c Config) (*Table, error) { return Figure8(false, c) }},
+		{"fig10", "Figure 10: overhead vs query runtime (Q5, SF sweep, MTBF=1 day)",
+			Figure10},
+		{"fig11", "Figure 11: overhead vs MTBF (Q5@SF100)",
+			Figure11},
+		{"fig12a", "Figure 12(a): cost-model accuracy across MTBFs",
+			Figure12a},
+		{"fig12b", "Figure 12(b): cost-model accuracy across 32 materialization configurations",
+			Figure12b},
+		{"table3", "Table 3: robustness of the cost model under perturbed statistics",
+			Table3},
+		{"fig13", "Figure 13: pruning effectiveness over 1344 Q5 join orders",
+			Figure13},
+	}
+}
+
+// ByID returns the runner with the given ID, searching the paper's exhibits
+// and the extras.
+func ByID(id string) (Runner, error) {
+	for _, r := range Everything() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"ftpde/internal/cost"
+	"ftpde/internal/failure"
+	"ftpde/internal/plan"
+	"ftpde/internal/stats"
+	"ftpde/internal/tpch"
+)
+
+// rankConfigs estimates every materialization configuration of p under the
+// model and returns the config masks ordered ascending by estimated runtime.
+func rankConfigs(p *plan.Plan, m cost.Model) ([]uint64, error) {
+	free := p.FreeOperators()
+	type scored struct {
+		mask uint64
+		est  float64
+	}
+	q := p.Clone()
+	var all []scored
+	for mask := uint64(0); mask < 1<<uint(len(free)); mask++ {
+		if err := q.Apply(plan.ConfigFromMask(free, mask)); err != nil {
+			return nil, err
+		}
+		est, err := m.EstimateRuntime(q)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, scored{mask, est})
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].est < all[j].est })
+	out := make([]uint64, len(all))
+	for i, s := range all {
+		out[i] = s.mask
+	}
+	return out, nil
+}
+
+// Table3 reproduces the paper's robustness experiment (Table 3): perturb the
+// cost model's inputs — the MTBF, the I/O (materialization) costs, or both
+// compute and I/O costs — by factors {0.1, 0.5, 2, 10} and report, for each
+// perturbation, which positions of the exact-statistics baseline ranking end
+// up in the perturbed top-5. Small numbers mean the perturbed model still
+// selects near-optimal materialization configurations.
+func Table3(c Config) (*Table, error) {
+	c = c.withDefaults()
+	q, err := tpch.Q5(tpch.Params{SF: c.SF, Nodes: c.Nodes})
+	if err != nil {
+		return nil, err
+	}
+	spec := failure.Spec{Nodes: c.Nodes, MTBF: failure.OneHour, MTTR: 1}
+	m := cost.DefaultModel(spec)
+
+	baseline, err := rankConfigs(q.Plan, m)
+	if err != nil {
+		return nil, err
+	}
+	posOf := make(map[uint64]int, len(baseline))
+	for i, mask := range baseline {
+		posOf[mask] = i + 1 // paper ranks are 1-based
+	}
+
+	t := &Table{
+		Title:  fmt.Sprintf("Table 3: Robustness of Cost Model — Q5@SF%g, MTBF=1 hour", c.SF),
+		Header: []string{"Perturbation", "1", "2", "3", "4", "5"},
+		Notes: []string{
+			"cells are baseline-ranking positions of the perturbed top-5 (exact statistics rank 1..32);",
+			"expected shape: small factors (0.5x/2x) barely reshuffle the top-5, extreme factors (0.1x/10x) on I/O costs hurt most",
+		},
+	}
+	t.AddRow("Ranking w exact statistics", "1", "2", "3", "4", "5")
+
+	factors := []float64{0.1, 0.5, 2, 10}
+	// MTBF perturbation: the failure statistic is wrong by factor f.
+	for _, f := range factors {
+		pm := m
+		pm.MTBF = m.MTBF * f
+		ranking, err := rankConfigs(q.Plan, pm)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(append([]string{fmt.Sprintf("MTBF x%g", f)}, top5(ranking, posOf)...)...)
+	}
+	// I/O cost perturbation: tm(o) off by factor f.
+	for _, f := range factors {
+		pp := q.Plan.Clone()
+		stats.ScaleMatCosts(pp, f)
+		ranking, err := rankConfigs(pp, m)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(append([]string{fmt.Sprintf("I/O costs x%g", f)}, top5(ranking, posOf)...)...)
+	}
+	// Compute & I/O perturbation: tr(o) and tm(o) off by factor f.
+	for _, f := range factors {
+		pp := q.Plan.Clone()
+		stats.ScaleRunCosts(pp, f)
+		stats.ScaleMatCosts(pp, f)
+		ranking, err := rankConfigs(pp, m)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(append([]string{fmt.Sprintf("Compute & I/O costs x%g", f)}, top5(ranking, posOf)...)...)
+	}
+	return t, nil
+}
+
+func top5(ranking []uint64, posOf map[uint64]int) []string {
+	out := make([]string, 0, 5)
+	for i := 0; i < 5 && i < len(ranking); i++ {
+		out = append(out, fmt.Sprintf("%d", posOf[ranking[i]]))
+	}
+	return out
+}

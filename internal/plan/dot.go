@@ -1,0 +1,44 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the plan in Graphviz format. Materialized operators are drawn
+// as boxes (blocking, checkpointed), pipelined operators as ellipses; bound
+// operators are shaded.
+func (p *Plan) DOT(title string) string {
+	var b strings.Builder
+	b.WriteString("digraph plan {\n")
+	b.WriteString("  rankdir=BT;\n")
+	if title != "" {
+		fmt.Fprintf(&b, "  label=%q;\n", title)
+	}
+	for _, op := range p.Operators() {
+		shape := "ellipse"
+		if op.Materialize {
+			shape = "box"
+		}
+		style := "solid"
+		if op.Bound {
+			style = "filled"
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%d: %s\\ntr=%.2f tm=%.2f m=%d\", shape=%s, style=%s];\n",
+			op.ID, op.ID, op.Name, op.RunCost, op.MatCost, boolToInt(op.Materialize), shape, style)
+	}
+	for _, from := range p.OperatorIDs() {
+		for _, to := range p.Outputs(from) {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", from, to)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

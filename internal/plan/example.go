@@ -1,0 +1,29 @@
+package plan
+
+// PaperExample builds the running example of the paper (Figures 2 and 3):
+//
+//	1: Scan R    ─┐
+//	              ├─ 3: Hash Join ── 4: Repartition ── 5: Map UDF ─┬─ 6: Reduce UDF
+//	2: Scan S    ─┘                                                └─ 7: Reduce UDF
+//
+// with the materialization configuration of Figure 3 (operators 3, 5, 6 and 7
+// materialize). Operator costs are chosen so that, with CONSTpipe = 1, the
+// collapsed operators have exactly the total runtimes of Table 2:
+// t({1,2,3}) = 4, t({4,5}) = 3, t({6}) = 1, t({7}) = 2.
+func PaperExample() *Plan {
+	p := New()
+	scanR := p.Add(Operator{Name: "Scan R", Kind: KindScan, RunCost: 1.0, MatCost: 2.0})
+	scanS := p.Add(Operator{Name: "Scan S", Kind: KindScan, RunCost: 1.5, MatCost: 2.0})
+	join := p.Add(Operator{Name: "Hash Join", Kind: KindHashJoin, RunCost: 2.0, MatCost: 0.5, Materialize: true})
+	repart := p.Add(Operator{Name: "Repartition", Kind: KindRepartition, RunCost: 1.0, MatCost: 1.0})
+	mapUDF := p.Add(Operator{Name: "Map UDF", Kind: KindMapUDF, RunCost: 1.5, MatCost: 0.5, Materialize: true})
+	red1 := p.Add(Operator{Name: "Reduce UDF", Kind: KindReduceUDF, RunCost: 0.8, MatCost: 0.2, Materialize: true})
+	red2 := p.Add(Operator{Name: "Reduce UDF", Kind: KindReduceUDF, RunCost: 1.7, MatCost: 0.3, Materialize: true})
+	p.MustConnect(scanR, join)
+	p.MustConnect(scanS, join)
+	p.MustConnect(join, repart)
+	p.MustConnect(repart, mapUDF)
+	p.MustConnect(mapUDF, red1)
+	p.MustConnect(mapUDF, red2)
+	return p
+}

@@ -1,0 +1,92 @@
+package plan
+
+// Path is a sequence of operator IDs from a source to a sink following
+// data-flow edges.
+type Path []OpID
+
+// Paths enumerates every execution path from each source to each sink via
+// depth-first traversal. For DAG plans the number of paths can be exponential
+// in principle; query plans are small enough that full enumeration is what
+// the paper does (Listing 1, line 9), with pruning handled by the caller.
+func (p *Plan) Paths() []Path {
+	var out []Path
+	var cur Path
+	var dfs func(id OpID)
+	dfs = func(id OpID) {
+		cur = append(cur, id)
+		children := p.children[id]
+		if len(children) == 0 {
+			cp := make(Path, len(cur))
+			copy(cp, cur)
+			out = append(out, cp)
+		} else {
+			for _, c := range children {
+				dfs(c)
+			}
+		}
+		cur = cur[:len(cur)-1]
+	}
+	for _, s := range p.Sources() {
+		dfs(s)
+	}
+	return out
+}
+
+// VisitPaths streams paths to fn, stopping early when fn returns false.
+// This supports pruning rule 3, which abandons path enumeration for a
+// fault-tolerant plan as soon as one path exceeds the best memoized bound.
+func (p *Plan) VisitPaths(fn func(Path) bool) {
+	var cur Path
+	stopped := false
+	var dfs func(id OpID)
+	dfs = func(id OpID) {
+		if stopped {
+			return
+		}
+		cur = append(cur, id)
+		children := p.children[id]
+		if len(children) == 0 {
+			if !fn(cur) {
+				stopped = true
+			}
+		} else {
+			for _, c := range children {
+				dfs(c)
+			}
+		}
+		cur = cur[:len(cur)-1]
+	}
+	for _, s := range p.Sources() {
+		if stopped {
+			return
+		}
+		dfs(s)
+	}
+}
+
+// PathRunCost returns RPt = sum of t(o) over the path — the path runtime
+// without recovery costs.
+func (p *Plan) PathRunCost(pt Path) float64 {
+	s := 0.0
+	for _, id := range pt {
+		s += p.ops[id].TotalCost()
+	}
+	return s
+}
+
+// Reachable returns the set of operators reachable from id (excluding id)
+// following data-flow edges.
+func (p *Plan) Reachable(id OpID) map[OpID]bool {
+	seen := make(map[OpID]bool)
+	var dfs func(OpID)
+	dfs = func(o OpID) {
+		for _, c := range p.children[o] {
+			if !seen[c] {
+				seen[c] = true
+				dfs(c)
+			}
+		}
+	}
+	dfs(id)
+	return seen
+}

@@ -1,0 +1,63 @@
+package plan
+
+import (
+	"math/rand"
+)
+
+// RandomDAG generates a random connected DAG-structured plan with n
+// operators for property-based tests and fuzzing: every non-source operator
+// consumes 1-2 of the previously created operators, sources are bound scans,
+// costs are drawn from [0.1, 10) for tr and [0.01, 5) for tm, and roughly a
+// third of the operators start materialized. The result is always valid.
+func RandomDAG(seed int64, n int) *Plan {
+	if n < 1 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := New()
+	var ids []OpID
+	for i := 0; i < n; i++ {
+		op := Operator{
+			Name:    "op",
+			Kind:    Kind(rng.Intn(int(KindCTE) + 1)),
+			RunCost: 0.1 + rng.Float64()*9.9,
+			MatCost: 0.01 + rng.Float64()*4.99,
+		}
+		// Keep a few sources; all later operators attach to the DAG.
+		isSource := i == 0 || (i < n/2 && rng.Float64() < 0.25)
+		if isSource {
+			op.Kind = KindScan
+			op.Bound = true
+			op.Materialize = false
+		} else {
+			op.Materialize = rng.Float64() < 0.33
+			op.Bound = rng.Float64() < 0.15
+		}
+		id := p.Add(op)
+		if !isSource {
+			inputs := 1
+			if rng.Float64() < 0.35 {
+				inputs = 2
+			}
+			seen := map[OpID]bool{}
+			for k := 0; k < inputs; k++ {
+				src := ids[rng.Intn(len(ids))]
+				if seen[src] {
+					continue
+				}
+				seen[src] = true
+				p.MustConnect(src, id)
+			}
+		}
+		ids = append(ids, id)
+	}
+	// Tie any dangling non-final sinks into the last operator so the plan
+	// stays connected (the last operator may legitimately be a sink).
+	last := ids[len(ids)-1]
+	for _, id := range ids[:len(ids)-1] {
+		if len(p.Outputs(id)) == 0 && len(p.Inputs(id)) == 0 {
+			p.MustConnect(id, last)
+		}
+	}
+	return p
+}

@@ -1,0 +1,90 @@
+// Package schemes implements the four fault-tolerance strategies the paper
+// compares (Section 5.2):
+//
+//   - all-mat: Hadoop-style — every free intermediate is materialized,
+//     recovery is fine-grained (only failed sub-plans restart).
+//   - no-mat (lineage): Spark/Shark-style — nothing is materialized, lineage
+//     re-computes failed sub-plans, recovery is fine-grained.
+//   - no-mat (restart): parallel-database-style — nothing is materialized and
+//     the whole query restarts on any mid-query failure (coarse-grained).
+//   - cost-based: the paper's contribution — a cost model picks the subset of
+//     intermediates to materialize; recovery is fine-grained.
+package schemes
+
+import (
+	"fmt"
+
+	"ftpde/internal/core"
+	"ftpde/internal/cost"
+	"ftpde/internal/plan"
+)
+
+// Recovery is the recovery granularity of a scheme.
+type Recovery int
+
+const (
+	// FineGrained restarts only the failed sub-plans (collapsed operators)
+	// on the failed node, resuming from the last materialized intermediates.
+	FineGrained Recovery = iota
+	// CoarseRestart restarts the complete query on any mid-query failure.
+	CoarseRestart
+)
+
+// Kind identifies a fault-tolerance scheme.
+type Kind int
+
+const (
+	AllMat Kind = iota
+	NoMatLineage
+	NoMatRestart
+	CostBased
+)
+
+var kindNames = map[Kind]string{
+	AllMat:       "all-mat",
+	NoMatLineage: "no-mat (lineage)",
+	NoMatRestart: "no-mat (restart)",
+	CostBased:    "cost-based",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("scheme(%d)", int(k))
+}
+
+// All returns the four schemes in the paper's presentation order.
+func All() []Kind {
+	return []Kind{AllMat, NoMatLineage, NoMatRestart, CostBased}
+}
+
+// Recovery returns the scheme's recovery granularity.
+func (k Kind) Recovery() Recovery {
+	if k == NoMatRestart {
+		return CoarseRestart
+	}
+	return FineGrained
+}
+
+// Configure returns the materialization configuration the scheme would use
+// for the given plan under the given cost model. The input plan is not
+// mutated. For CostBased this runs the paper's optimizer over the single
+// plan (join-order choice is up to the caller, see core.FindBestFTPlan).
+func (k Kind) Configure(p *plan.Plan, m cost.Model) (plan.MatConfig, error) {
+	switch k {
+	case AllMat:
+		return plan.AllMat(p), nil
+	case NoMatLineage, NoMatRestart:
+		return plan.NoMat(p), nil
+	case CostBased:
+		res, err := core.Optimize(p, core.Options{Model: m})
+		if err != nil {
+			return nil, fmt.Errorf("schemes: cost-based configuration: %w", err)
+		}
+		return res.Config, nil
+	default:
+		return nil, fmt.Errorf("schemes: unknown scheme %d", int(k))
+	}
+}

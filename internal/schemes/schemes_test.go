@@ -1,0 +1,111 @@
+package schemes
+
+import (
+	"testing"
+
+	"ftpde/internal/cost"
+	"ftpde/internal/plan"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		AllMat:       "all-mat",
+		NoMatLineage: "no-mat (lineage)",
+		NoMatRestart: "no-mat (restart)",
+		CostBased:    "cost-based",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if Kind(42).String() == "" {
+		t.Error("unknown kind should render something")
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	all := All()
+	if len(all) != 4 || all[0] != AllMat || all[3] != CostBased {
+		t.Errorf("All() = %v", all)
+	}
+}
+
+func TestRecoveryGranularity(t *testing.T) {
+	if NoMatRestart.Recovery() != CoarseRestart {
+		t.Error("no-mat (restart) must be coarse-grained")
+	}
+	for _, k := range []Kind{AllMat, NoMatLineage, CostBased} {
+		if k.Recovery() != FineGrained {
+			t.Errorf("%s must be fine-grained", k)
+		}
+	}
+}
+
+func TestConfigure(t *testing.T) {
+	m := cost.Model{MTBF: 60, MTTR: 1, Percentile: 0.95, PipeConst: 1}
+	p := plan.PaperExample()
+
+	cfg, err := AllMat.Configure(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cfg.Materialized()); got != 7 {
+		t.Errorf("all-mat materializes %d ops, want 7", got)
+	}
+
+	for _, k := range []Kind{NoMatLineage, NoMatRestart} {
+		cfg, err := k.Configure(p, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(cfg.Materialized()); got != 0 {
+			t.Errorf("%s materializes %d ops, want 0", k, got)
+		}
+	}
+
+	cfg, err = CostBased.Configure(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cost-based config must be at least as good as both extremes.
+	q := p.Clone()
+	if err := q.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cb, err := m.EstimateRuntime(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, other := range []plan.MatConfig{plan.AllMat(p), plan.NoMat(p)} {
+		if err := q.Apply(other); err != nil {
+			t.Fatal(err)
+		}
+		rt, err := m.EstimateRuntime(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cb > rt+1e-9 {
+			t.Errorf("cost-based estimate %g worse than static config %g", cb, rt)
+		}
+	}
+
+	if _, err := Kind(42).Configure(p, m); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestConfigureDoesNotMutate(t *testing.T) {
+	m := cost.Model{MTBF: 10, MTTR: 1, Percentile: 0.95, PipeConst: 1}
+	p := plan.PaperExample()
+	before := p.Config()
+	if _, err := CostBased.Configure(p, m); err != nil {
+		t.Fatal(err)
+	}
+	after := p.Config()
+	for id, v := range before {
+		if after[id] != v {
+			t.Errorf("operator %d flag mutated by Configure", id)
+		}
+	}
+}

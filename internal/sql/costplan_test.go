@@ -1,0 +1,218 @@
+package sql
+
+import (
+	"testing"
+
+	"ftpde/internal/core"
+	"ftpde/internal/cost"
+	"ftpde/internal/plan"
+	"ftpde/internal/stats"
+)
+
+func collect(t *testing.T) (map[string]TableStats, *SelectStmt) {
+	t.Helper()
+	cat := testCatalog(t)
+	st, err := CollectStats(cat, []string{"cust", "ord", "nat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := Parse(`
+		SELECT c_nation, SUM(o_total) AS rev
+		FROM cust JOIN ord ON c_id = o_cust
+		WHERE c_segment = 'BUILDING'
+		GROUP BY c_nation
+		ORDER BY rev DESC LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, stmt
+}
+
+func TestCollectStats(t *testing.T) {
+	st, _ := collect(t)
+	if st["cust"].Rows != 50 || st["ord"].Rows != 200 {
+		t.Errorf("row counts wrong: %+v", st)
+	}
+	if st["cust"].Distinct["c_segment"] != 2 {
+		t.Errorf("c_segment distinct = %g, want 2", st["cust"].Distinct["c_segment"])
+	}
+	if st["cust"].Distinct["c_id"] != 50 {
+		t.Errorf("c_id distinct = %g, want 50", st["cust"].Distinct["c_id"])
+	}
+	// Replicated table counted once.
+	if st["nat"].Rows != 5 {
+		t.Errorf("nat rows = %g, want 5 (replicas must not be double counted)", st["nat"].Rows)
+	}
+}
+
+func TestCostPlanStructure(t *testing.T) {
+	cat := testCatalog(t)
+	st, stmt := collect(t)
+	cp := stats.CostParams{CPUPerRow: 1, WritePerRow: 10, Nodes: 4}
+	p, err := CostPlan(stmt, cat, st, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 scans (bound) + 1 join (free) + agg (free: followed by sort) + sort
+	// (bound).
+	if p.Len() != 5 {
+		t.Fatalf("plan has %d ops, want 5:\n%s", p.Len(), p.DOT(""))
+	}
+	free := p.FreeOperators()
+	if len(free) != 2 {
+		t.Fatalf("free ops = %d, want 2 (join + mid-plan agg)", len(free))
+	}
+	// Selectivity: segment equality with 2 distinct values halves the scan
+	// output.
+	var scanCust *plan.Operator
+	for _, op := range p.Operators() {
+		if op.Kind == plan.KindScan && op.Name == "Scan σ(cust)" {
+			scanCust = op
+		}
+	}
+	if scanCust == nil || scanCust.Rows != 25 {
+		t.Errorf("cust scan output = %v, want 25 rows", scanCust)
+	}
+	// Join cardinality: 25 x 200 x 1/max(50,50) = 100.
+	var join *plan.Operator
+	for _, op := range p.Operators() {
+		if op.Kind == plan.KindHashJoin {
+			join = op
+		}
+	}
+	if join == nil || join.Rows != 100 {
+		t.Errorf("join output = %+v, want 100 rows", join)
+	}
+}
+
+func TestCostPlanFeedsOptimizer(t *testing.T) {
+	cat := testCatalog(t)
+	st, stmt := collect(t)
+	cp := stats.CostParams{CPUPerRow: 1, WritePerRow: 10, Nodes: 4}
+	p, err := CostPlan(stmt, cat, st, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cost.Model{MTBF: 100, MTTR: 1, Percentile: 0.95, PipeConst: 1, Nodes: 4}
+	res, err := core.Optimize(p, core.Options{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runtime <= 0 {
+		t.Error("optimizer returned non-positive runtime")
+	}
+}
+
+func TestCostPlanAggregateBoundWhenSink(t *testing.T) {
+	cat := testCatalog(t)
+	st, _ := collect(t)
+	stmt, err := Parse("SELECT SUM(o_total) FROM ord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := stats.CostParams{CPUPerRow: 1, WritePerRow: 10, Nodes: 4}
+	p, err := CostPlan(stmt, cat, st, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// scan + agg; agg is the sink -> bound; no free operators at all.
+	if p.Len() != 2 {
+		t.Fatalf("plan has %d ops, want 2", p.Len())
+	}
+	if got := len(p.FreeOperators()); got != 0 {
+		t.Errorf("free ops = %d, want 0", got)
+	}
+}
+
+func TestCostPlanErrors(t *testing.T) {
+	cat := testCatalog(t)
+	st, _ := collect(t)
+	cp := stats.CostParams{CPUPerRow: 1, WritePerRow: 10, Nodes: 4}
+
+	stmt, err := Parse("SELECT c_id FROM cust JOIN ord ON n_id = o_cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CostPlan(stmt, cat, st, cp); err == nil {
+		t.Error("disconnected join condition accepted")
+	}
+
+	stmt2, err := Parse("SELECT x FROM nosuch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CostPlan(stmt2, cat, st, cp); err == nil {
+		t.Error("unknown table accepted")
+	}
+
+	stmt3, err := Parse("SELECT c_id FROM cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CostPlan(stmt3, cat, map[string]TableStats{}, cp); err == nil {
+		t.Error("missing statistics accepted")
+	}
+	if _, err := CostPlan(stmt3, cat, st, stats.CostParams{}); err == nil {
+		t.Error("invalid cost params accepted")
+	}
+}
+
+func TestHistogramSelectivityInCostPlan(t *testing.T) {
+	cat := testCatalog(t)
+	st, err := CollectStats(cat, []string{"ord"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["ord"].Histograms["o_day"] == nil {
+		t.Fatal("no histogram collected for o_day")
+	}
+	// o_day is uniform over [0,30): the predicate o_day < 15 selects ~50%,
+	// which a fixed 1/3 default would misestimate.
+	stmt, err := Parse("SELECT o_id FROM ord WHERE o_day < 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := stats.CostParams{CPUPerRow: 1, WritePerRow: 10, Nodes: 4}
+	p, err := CostPlan(stmt, cat, st, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scan *plan.Operator
+	for _, op := range p.Operators() {
+		if op.Kind == plan.KindScan {
+			scan = op
+		}
+	}
+	if scan == nil {
+		t.Fatal("no scan in plan")
+	}
+	if scan.Rows < 85 || scan.Rows > 115 { // ~100 of 200
+		t.Errorf("histogram-based scan estimate = %g rows, want ~100", scan.Rows)
+	}
+}
+
+func TestHistogramMirroredOperator(t *testing.T) {
+	cat := testCatalog(t)
+	st, err := CollectStats(cat, []string{"ord"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Literal on the left: 15 > o_day is the same predicate as o_day < 15.
+	stmt, err := Parse("SELECT o_id FROM ord WHERE 15 > o_day")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := stats.CostParams{CPUPerRow: 1, WritePerRow: 10, Nodes: 4}
+	p, err := CostPlan(stmt, cat, st, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range p.Operators() {
+		if op.Kind == plan.KindScan && (op.Rows < 85 || op.Rows > 115) {
+			t.Errorf("mirrored predicate estimate = %g rows, want ~100", op.Rows)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package sql
+
+import (
+	"fmt"
+
+	"ftpde/internal/core"
+	"ftpde/internal/cost"
+	"ftpde/internal/engine"
+	"ftpde/internal/join"
+	"ftpde/internal/plan"
+	"ftpde/internal/stats"
+)
+
+// FTPlan implements the paper's full enumFTPlans pipeline for a SQL query:
+// phase 1 enumerates the top-k join orders with a dynamic-programming
+// enumerator over the query's join graph; phase 2 runs the cost-based
+// fault-tolerance optimizer (materialization-configuration enumeration with
+// pruning rules 1-3) over those candidates and returns the fault-tolerant
+// plan with the shortest dominant path under failures.
+//
+// Queries over a single table skip phase 1 and optimize the straight cost
+// plan.
+func FTPlan(stmt *SelectStmt, cat *engine.Catalog, tstats map[string]TableStats, cp stats.CostParams, m cost.Model, topK int) (*core.Result, error) {
+	if err := cp.Validate(); err != nil {
+		return nil, err
+	}
+	if topK < 1 {
+		return nil, fmt.Errorf("sql: topK must be at least 1, got %d", topK)
+	}
+	if stmt.Distinct {
+		rewritten, err := rewriteDistinct(stmt)
+		if err != nil {
+			return nil, err
+		}
+		stmt = rewritten
+	}
+	if len(stmt.From) <= 1 {
+		p, err := CostPlan(stmt, cat, tstats, cp)
+		if err != nil {
+			return nil, err
+		}
+		return core.Optimize(p, core.Options{Model: m, MemoizePaths: true})
+	}
+
+	candidates, err := enumerateJoinOrderPlans(stmt, cat, tstats, cp, topK)
+	if err != nil {
+		return nil, err
+	}
+	return core.FindBestFTPlan(candidates, core.Options{Model: m, MemoizePaths: true})
+}
+
+// sqlCoster derives operator costs for enumerated join trees: scans touch
+// the full table but emit the post-pushdown rows; joins touch inputs plus
+// output and emit the estimated cardinality.
+type sqlCoster struct {
+	cp       stats.CostParams
+	fullRows map[string]float64 // relation name -> unfiltered table rows
+}
+
+// ScanCosts implements join.Coster.
+func (sc sqlCoster) ScanCosts(rel join.Relation) (float64, float64) {
+	work := sc.fullRows[rel.Name]
+	if work < rel.Rows {
+		work = rel.Rows
+	}
+	return sc.cp.OpCosts(work, rel.Rows)
+}
+
+// JoinCosts implements join.Coster.
+func (sc sqlCoster) JoinCosts(leftCard, rightCard, outCard float64) (float64, float64) {
+	return sc.cp.OpCosts(leftCard+rightCard+outCard, outCard)
+}
+
+// enumerateJoinOrderPlans builds the query's join graph and converts the
+// top-k join orders into fault-tolerance-ready cost plans (scans bound,
+// joins free, the statement's aggregation/sort tail attached).
+func enumerateJoinOrderPlans(stmt *SelectStmt, cat *engine.Catalog, tstats map[string]TableStats, cp stats.CostParams, topK int) ([]*plan.Plan, error) {
+	if len(stmt.Joins) != len(stmt.From)-1 {
+		return nil, fmt.Errorf("sql: %d joins for %d tables", len(stmt.Joins), len(stmt.From))
+	}
+
+	// Resolve sources and pushdown predicates exactly like CostPlan.
+	var full layout
+	var sources []srcInfo
+	for _, tr := range stmt.From {
+		t, err := cat.Table(tr.Table)
+		if err != nil {
+			return nil, err
+		}
+		ts, ok := tstats[tr.Table]
+		if !ok {
+			return nil, fmt.Errorf("sql: no statistics for table %s", tr.Table)
+		}
+		l := tableLayout(tr.Qualifier(), t.Schema)
+		sources = append(sources, srcInfo{ref: tr, st: ts, l: l})
+		full = full.concat(l)
+	}
+	pushdown := map[string][]Predicate{}
+	for _, pred := range stmt.Where {
+		if q := predicateQualifier(pred, full); q != "" {
+			pushdown[q] = append(pushdown[q], pred)
+		}
+	}
+
+	// Join graph: relations carry post-pushdown rows; edges come from the ON
+	// conditions with 1/max-distinct selectivities.
+	g := join.NewGraph()
+	relIdx := map[string]int{} // qualifier -> graph index
+	fullRows := map[string]float64{}
+	for _, s := range sources {
+		out := s.st.Rows
+		for _, pred := range pushdown[s.ref.Qualifier()] {
+			out *= predicateSelectivity(pred, s.st)
+		}
+		if out < 1 {
+			out = 1
+		}
+		idx := g.AddRelation(join.Relation{Name: s.ref.Qualifier(), Rows: out})
+		relIdx[s.ref.Qualifier()] = idx
+		fullRows[s.ref.Qualifier()] = s.st.Rows
+	}
+	for i, jc := range stmt.Joins {
+		lq, li, err := resolveSide(jc.Left, sources)
+		if err != nil {
+			return nil, fmt.Errorf("sql: join %d: %w", i+1, err)
+		}
+		rq, ri, err := resolveSide(jc.Right, sources)
+		if err != nil {
+			return nil, fmt.Errorf("sql: join %d: %w", i+1, err)
+		}
+		if lq == rq {
+			return nil, fmt.Errorf("sql: join %d joins table %q with itself", i+1, lq)
+		}
+		sel := joinSelectivity(ColumnRef{Qualifier: lq, Column: jc.Left.Column},
+			ColumnRef{Qualifier: rq, Column: jc.Right.Column}, sources, ri)
+		_ = li
+		if err := g.AddEdge(relIdx[lq], relIdx[rq], sel); err != nil {
+			return nil, fmt.Errorf("sql: join %d: %w", i+1, err)
+		}
+	}
+
+	trees, err := g.TopK(topK)
+	if err != nil {
+		return nil, err
+	}
+	coster := sqlCoster{cp: cp, fullRows: fullRows}
+	plans := make([]*plan.Plan, 0, len(trees))
+	for _, tree := range trees {
+		p, root := join.ToPlan(tree, g, coster)
+		for _, op := range p.Operators() {
+			if op.Kind == plan.KindScan {
+				op.Bound = true
+			}
+		}
+		if err := attachTail(p, root, tree.Card, stmt, sources, full, cp); err != nil {
+			return nil, err
+		}
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		plans = append(plans, p)
+	}
+	return plans, nil
+}
+
+// resolveSide maps one side of an ON condition to its table qualifier.
+func resolveSide(c ColumnRef, sources []srcInfo) (string, int, error) {
+	for i, s := range sources {
+		if s.l.has(&c) {
+			return s.ref.Qualifier(), i, nil
+		}
+	}
+	return "", 0, fmt.Errorf("unknown column %s", &c)
+}
+
+// attachTail appends the statement's aggregation and sort/limit operators to
+// an enumerated join plan, mirroring CostPlan's tail.
+func attachTail(p *plan.Plan, root plan.OpID, rootRows float64, stmt *SelectStmt, sources []srcInfo, full layout, cp stats.CostParams) error {
+	accID := root
+	accRows := rootRows
+	for _, pred := range stmt.Where {
+		if predicateQualifier(pred, full) == "" {
+			accRows *= defaultRangeSelectivity
+		}
+	}
+
+	hasAgg := len(stmt.GroupBy) > 0
+	for _, item := range stmt.Select {
+		if item.Agg != nil {
+			hasAgg = true
+		}
+	}
+	followed := stmt.OrderBy != nil || stmt.Limit >= 0
+	if hasAgg {
+		groups := 1.0
+		for gi := range stmt.GroupBy {
+			if i, err := full.resolve(&stmt.GroupBy[gi]); err == nil {
+				q := full[i].qualifier
+				for _, s := range sources {
+					if s.ref.Qualifier() == q {
+						if d := s.st.Distinct[stmt.GroupBy[gi].Column]; d > 0 {
+							groups *= d
+						}
+					}
+				}
+			}
+		}
+		if groups > accRows {
+			groups = accRows
+		}
+		tr, tm := cp.OpCosts(accRows, groups)
+		aid := p.Add(plan.Operator{
+			Name: "Γ aggregate", Kind: plan.KindAggregate,
+			RunCost: tr, MatCost: tm, Rows: groups, Bound: !followed,
+		})
+		p.MustConnect(accID, aid)
+		accID = aid
+		accRows = groups
+	}
+	if followed {
+		rows := accRows
+		if stmt.Limit >= 0 && float64(stmt.Limit) < rows {
+			rows = float64(stmt.Limit)
+		}
+		tr, tm := cp.OpCosts(accRows, rows)
+		sid := p.Add(plan.Operator{
+			Name: "sort/limit", Kind: plan.KindSort,
+			RunCost: tr, MatCost: tm, Rows: rows, Bound: true,
+		})
+		p.MustConnect(accID, sid)
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package sql
+
+import (
+	"testing"
+
+	"ftpde/internal/core"
+	"ftpde/internal/cost"
+	"ftpde/internal/stats"
+)
+
+func ftplanModel() cost.Model {
+	return cost.Model{MTBF: 100, MTTR: 1, Percentile: 0.95, PipeConst: 1, Nodes: 4}
+}
+
+func TestFTPlanThreeWayJoin(t *testing.T) {
+	cat := tpchCatalog(t)
+	st, err := CollectStats(cat, []string{"customer", "orders", "lineitem"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := Parse(`
+		SELECT l_orderkey, SUM(l_extendedprice) AS revenue
+		FROM customer
+		JOIN orders ON c_custkey = o_custkey
+		JOIN lineitem ON o_orderkey = l_orderkey
+		WHERE c_mktsegment = 'BUILDING'
+		GROUP BY l_orderkey
+		ORDER BY revenue DESC LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := stats.CostParams{CPUPerRow: 1e-3, WritePerRow: 1e-2, Nodes: 4}
+	m := ftplanModel()
+
+	res, err := FTPlan(stmt, cat, st, cp, m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 scans + 2 joins + agg + sort.
+	if res.Plan.Len() != 7 {
+		t.Errorf("plan has %d ops, want 7", res.Plan.Len())
+	}
+	if res.Stats.PlansConsidered < 2 {
+		t.Errorf("considered %d join orders, want several", res.Stats.PlansConsidered)
+	}
+
+	// The enumerated best must not be worse than the FROM-order cost plan.
+	fromOrder, err := CostPlan(stmt, cat, st, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromRes, err := core.Optimize(fromOrder, core.Options{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runtime > fromRes.Runtime*1.001 {
+		t.Errorf("enumerated best %g worse than FROM-order plan %g", res.Runtime, fromRes.Runtime)
+	}
+}
+
+func TestFTPlanSingleTableFallback(t *testing.T) {
+	cat := testCatalog(t)
+	st, err := CollectStats(cat, []string{"ord"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := Parse("SELECT SUM(o_total) FROM ord WHERE o_day < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := stats.CostParams{CPUPerRow: 1, WritePerRow: 10, Nodes: 4}
+	res, err := FTPlan(stmt, cat, st, cp, ftplanModel(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Len() != 2 {
+		t.Errorf("single-table plan has %d ops, want 2", res.Plan.Len())
+	}
+}
+
+func TestFTPlanTopKOneMatchesGreedy(t *testing.T) {
+	cat := testCatalog(t)
+	st, err := CollectStats(cat, []string{"cust", "ord"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := Parse("SELECT COUNT(*) FROM cust JOIN ord ON c_id = o_cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := stats.CostParams{CPUPerRow: 1, WritePerRow: 10, Nodes: 4}
+	res1, err := FTPlan(stmt, cat, st, cp, ftplanModel(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res5, err := FTPlan(stmt, cat, st, cp, ftplanModel(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deeper k can only match or improve.
+	if res5.Runtime > res1.Runtime*1.001 {
+		t.Errorf("k=5 runtime %g worse than k=1 %g", res5.Runtime, res1.Runtime)
+	}
+}
+
+func TestFTPlanErrors(t *testing.T) {
+	cat := testCatalog(t)
+	st, err := CollectStats(cat, []string{"cust", "ord"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := stats.CostParams{CPUPerRow: 1, WritePerRow: 10, Nodes: 4}
+	m := ftplanModel()
+
+	stmt, err := Parse("SELECT COUNT(*) FROM cust JOIN ord ON c_id = o_cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FTPlan(stmt, cat, st, cp, m, 0); err == nil {
+		t.Error("topK=0 accepted")
+	}
+	if _, err := FTPlan(stmt, cat, st, stats.CostParams{}, m, 5); err == nil {
+		t.Error("invalid cost params accepted")
+	}
+	if _, err := FTPlan(stmt, cat, map[string]TableStats{}, cp, m, 5); err == nil {
+		t.Error("missing stats accepted")
+	}
+
+	bad, err := Parse("SELECT COUNT(*) FROM cust JOIN ord ON c_id = c_nation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FTPlan(bad, cat, st, cp, m, 5); err == nil {
+		t.Error("self-join condition accepted")
+	}
+}

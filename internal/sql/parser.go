@@ -1,0 +1,335 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("sql: unexpected %s after statement", p.cur())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = map[tokenKind]string{tokIdent: "identifier", tokNumber: "number"}[kind]
+		}
+		return t, fmt.Errorf("sql: expected %s, got %s at offset %d", want, t, t.pos)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.accept(tokKeyword, "DISTINCT")
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Select = append(stmt.Select, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	tr, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = append(stmt.From, tr)
+	for p.accept(tokKeyword, "JOIN") {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, tr)
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		left, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		right, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, JoinCond{Left: *left, Right: *right})
+	}
+
+	if p.accept(tokKeyword, "WHERE") {
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Where = append(stmt.Where, pred)
+			if !p.accept(tokKeyword, "AND") {
+				break
+			}
+		}
+	}
+
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, *c)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		c, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		item := &OrderItem{Col: *c}
+		if p.accept(tokKeyword, "DESC") {
+			item.Desc = true
+		} else {
+			p.accept(tokKeyword, "ASC")
+		}
+		stmt.OrderBy = item
+	}
+
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: invalid LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	var item SelectItem
+	if p.cur().kind == tokKeyword {
+		switch p.cur().text {
+		case "SUM", "COUNT", "AVG", "MIN", "MAX":
+			agg, err := p.parseAgg()
+			if err != nil {
+				return item, err
+			}
+			item.Agg = agg
+		default:
+			return item, fmt.Errorf("sql: unexpected keyword %s in select list", p.cur())
+		}
+	} else {
+		e, err := p.parseExpr()
+		if err != nil {
+			return item, err
+		}
+		item.Expr = e
+	}
+	if p.accept(tokKeyword, "AS") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return item, err
+		}
+		item.Alias = t.text
+	}
+	return item, nil
+}
+
+func (p *parser) parseAgg() (*AggExpr, error) {
+	fn := p.cur().text
+	p.pos++
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	agg := &AggExpr{Func: fn}
+	if fn == "COUNT" && p.accept(tokSymbol, "*") {
+		// COUNT(*)
+	} else {
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		agg.Arg = arg
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Table: t.text}
+	if p.at(tokIdent, "") {
+		tr.Alias = p.cur().text
+		p.pos++
+	}
+	return tr, nil
+}
+
+func (p *parser) parsePredicate() (Predicate, error) {
+	left, err := p.parseExpr()
+	if err != nil {
+		return Predicate{}, err
+	}
+	t := p.cur()
+	ops := map[string]bool{"=": true, "<>": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+	if t.kind != tokSymbol || !ops[t.text] {
+		return Predicate{}, fmt.Errorf("sql: expected comparison operator, got %s at offset %d", t, t.pos)
+	}
+	p.pos++
+	right, err := p.parseExpr()
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Op: t.text, Left: left, Right: right}, nil
+}
+
+func (p *parser) parseExpr() (ExprNode, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSymbol, "+") || p.at(tokSymbol, "-") {
+		op := p.cur().text[0]
+		p.pos++
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (ExprNode, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSymbol, "*") || p.at(tokSymbol, "/") {
+		op := p.cur().text[0]
+		p.pos++
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (ExprNode, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: invalid number %q", t.text)
+		}
+		isInt := true
+		for _, c := range t.text {
+			if c == '.' {
+				isInt = false
+			}
+		}
+		return &NumberLit{Value: v, IsInt: isInt}, nil
+	case t.kind == tokString:
+		p.pos++
+		return &StringLit{Value: t.text}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		return p.parseColumnRef()
+	default:
+		return nil, fmt.Errorf("sql: unexpected %s at offset %d", t, t.pos)
+	}
+}
+
+func (p *parser) parseColumnRef() (*ColumnRef, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	c := &ColumnRef{Column: t.text}
+	if p.accept(tokSymbol, ".") {
+		t2, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		c.Qualifier = t.text
+		c.Column = t2.text
+	}
+	return c, nil
+}

@@ -1,0 +1,143 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return stmt
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, b FROM t")
+	if len(stmt.Select) != 2 || len(stmt.From) != 1 {
+		t.Fatalf("unexpected shape: %+v", stmt)
+	}
+	if stmt.From[0].Table != "t" || stmt.From[0].Qualifier() != "t" {
+		t.Errorf("table ref wrong: %+v", stmt.From[0])
+	}
+	if stmt.Limit != -1 {
+		t.Errorf("limit = %d, want -1", stmt.Limit)
+	}
+}
+
+func TestParseFullQuery(t *testing.T) {
+	stmt := mustParse(t, `
+		SELECT c.name AS customer, SUM(o.total * (1 - o.discount)) AS revenue, COUNT(*)
+		FROM customer c JOIN orders o ON c.id = o.cust_id
+		WHERE o.date < 100 AND c.segment = 'BUILDING'
+		GROUP BY c.name
+		ORDER BY revenue DESC
+		LIMIT 10`)
+	if len(stmt.Select) != 3 {
+		t.Fatalf("select items = %d", len(stmt.Select))
+	}
+	if stmt.Select[0].Alias != "customer" || stmt.Select[1].Alias != "revenue" {
+		t.Error("aliases lost")
+	}
+	if stmt.Select[1].Agg == nil || stmt.Select[1].Agg.Func != "SUM" {
+		t.Error("SUM not parsed as aggregate")
+	}
+	if stmt.Select[2].Agg == nil || stmt.Select[2].Agg.Func != "COUNT" || stmt.Select[2].Agg.Arg != nil {
+		t.Error("COUNT(*) not parsed")
+	}
+	if len(stmt.From) != 2 || stmt.From[1].Alias != "o" {
+		t.Error("joins/aliases wrong")
+	}
+	if len(stmt.Joins) != 1 || stmt.Joins[0].Left.String() != "c.id" {
+		t.Errorf("join condition wrong: %+v", stmt.Joins)
+	}
+	if len(stmt.Where) != 2 {
+		t.Errorf("where preds = %d, want 2", len(stmt.Where))
+	}
+	if len(stmt.GroupBy) != 1 || stmt.GroupBy[0].String() != "c.name" {
+		t.Errorf("group by wrong: %+v", stmt.GroupBy)
+	}
+	if stmt.OrderBy == nil || !stmt.OrderBy.Desc || stmt.OrderBy.Col.Column != "revenue" {
+		t.Errorf("order by wrong: %+v", stmt.OrderBy)
+	}
+	if stmt.Limit != 10 {
+		t.Errorf("limit = %d", stmt.Limit)
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT a + b * c FROM t")
+	e, ok := stmt.Select[0].Expr.(*BinaryExpr)
+	if !ok || e.Op != '+' {
+		t.Fatalf("want + at root, got %s", stmt.Select[0].Expr)
+	}
+	r, ok := e.Right.(*BinaryExpr)
+	if !ok || r.Op != '*' {
+		t.Fatalf("want * bound tighter: %s", stmt.Select[0].Expr)
+	}
+	// Parentheses override.
+	stmt2 := mustParse(t, "SELECT (a + b) * c FROM t")
+	e2 := stmt2.Select[0].Expr.(*BinaryExpr)
+	if e2.Op != '*' {
+		t.Fatalf("parens ignored: %s", stmt2.Select[0].Expr)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	stmt := mustParse(t, "select sum(x) from t group by y")
+	_ = stmt
+	if stmt.Select[0].Agg == nil {
+		t.Error("lower-case sum not recognized")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t JOIN u",             // missing ON
+		"SELECT a FROM t JOIN u ON a",        // missing = b
+		"SELECT a FROM t LIMIT x",            // non-numeric limit
+		"SELECT a FROM t GROUP",              // missing BY
+		"SELECT a FROM t ORDER a",            // missing BY
+		"SELECT a FROM t WHERE a ~ 3",        // bad operator
+		"SELECT a FROM t; DROP TABLE t",      // trailing garbage
+		"SELECT 'unterminated FROM t",        // bad literal
+		"SELECT a FROM t WHERE a = 'x' AND",  // dangling AND
+		"SELECT a, FROM t",                   // dangling comma
+		"SELECT count(* FROM t",              // unbalanced paren
+		"SELECT a FROM t WHERE (a = 1",       // unbalanced paren in expr
+		"SELECT a FROM t WHERE a = 1 OR b=2", // OR unsupported
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("accepted bad query %q", q)
+		}
+	}
+}
+
+func TestLexerOffsetsInErrors(t *testing.T) {
+	_, err := Parse("SELECT a FROM t WHERE a § 3")
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error should carry an offset: %v", err)
+	}
+}
+
+func TestSelectItemNames(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, SUM(b), a+b AS s FROM t")
+	if got := stmt.Select[0].Name(0); got != "a" {
+		t.Errorf("bare column name = %q", got)
+	}
+	if got := stmt.Select[1].Name(1); got != "sum_1" {
+		t.Errorf("agg default name = %q", got)
+	}
+	if got := stmt.Select[2].Name(2); got != "s" {
+		t.Errorf("alias = %q", got)
+	}
+}

@@ -1,0 +1,129 @@
+// Package sql implements a small SQL front end for the engine: a lexer,
+// recursive-descent parser, name resolver, physical planner (producing
+// executable engine operator trees with predicate pushdown and broadcast
+// hash joins) and a cost planner (producing plan.Plan DAGs with
+// cardinality-derived cost estimates for the fault-tolerance optimizer).
+//
+// Supported dialect:
+//
+//	SELECT expr [AS name], agg(expr), ...
+//	FROM table [alias] [JOIN table [alias] ON col = col]...
+//	[WHERE pred [AND pred]...]
+//	[GROUP BY col, ...]
+//	[ORDER BY col [ASC|DESC]]
+//	[LIMIT n]
+//
+// with aggregates SUM/COUNT/AVG/MIN/MAX, arithmetic (+,-,*,/), comparisons
+// (=, <>, !=, <, <=, >, >=) over integer, float and string literals.
+package sql
+
+import "fmt"
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // punctuation and operators
+	tokKeyword // recognized keywords, upper-cased
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "JOIN": true, "ON": true,
+	"GROUP": true, "BY": true, "ORDER": true, "LIMIT": true, "AND": true,
+	"AS": true, "ASC": true, "DESC": true, "DISTINCT": true,
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+// lex tokenizes the input.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isAlpha(c):
+			start := i
+			for i < n && (isAlpha(input[i]) || isDigit(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			up := toUpper(word)
+			if keywords[up] {
+				toks = append(toks, token{tokKeyword, up, start})
+			} else {
+				toks = append(toks, token{tokIdent, word, start})
+			}
+		case isDigit(c):
+			start := i
+			seenDot := false
+			for i < n && (isDigit(input[i]) || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			for i < n && input[i] != '\'' {
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, token{tokString, input[start+1 : i], start})
+			i++
+		case c == '<' || c == '>' || c == '!':
+			start := i
+			i++
+			if i < n && (input[i] == '=' || (c == '<' && input[i] == '>')) {
+				i++
+			}
+			toks = append(toks, token{tokSymbol, input[start:i], start})
+		case c == '=' || c == ',' || c == '(' || c == ')' || c == '.' ||
+			c == '+' || c == '-' || c == '*' || c == '/':
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func toUpper(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'a' && b[i] <= 'z' {
+			b[i] -= 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,183 @@
+package sql
+
+import (
+	"math"
+	"testing"
+
+	"ftpde/internal/engine"
+	"ftpde/internal/stats"
+	"ftpde/internal/tpch"
+)
+
+// The TPC-H queries expressed in the SQL dialect, executed against the
+// generated database and validated against the hand-built engine plans.
+
+func tpchCatalog(t *testing.T) *engine.Catalog {
+	t.Helper()
+	cat, err := tpch.Generate(0.002, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestTPCHQ1ViaSQL(t *testing.T) {
+	cat := tpchCatalog(t)
+	rows, _ := runSQL(t, cat, `
+		SELECT l_returnflag, l_linestatus,
+		       SUM(l_quantity) AS sum_qty,
+		       SUM(l_extendedprice) AS sum_price,
+		       AVG(l_extendedprice) AS avg_price,
+		       COUNT(*) AS cnt
+		FROM lineitem
+		WHERE l_shipdate <= 1200
+		GROUP BY l_returnflag, l_linestatus`)
+
+	// Reference: the hand-built engine plan.
+	q, err := tpch.EngineQ1(cat, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := &engine.Coordinator{Nodes: 4}
+	ref, _, err := co.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRows := ref.AllRows()
+	if len(rows) != len(refRows) {
+		t.Fatalf("SQL returned %d groups, engine plan %d", len(rows), len(refRows))
+	}
+	refByKey := map[string]engine.Row{}
+	for _, r := range refRows {
+		refByKey[r[0].(string)+"|"+r[1].(string)] = r
+	}
+	for _, r := range rows {
+		ref := refByKey[r[0].(string)+"|"+r[1].(string)]
+		if ref == nil {
+			t.Fatalf("unexpected group %v", r)
+		}
+		for c := 2; c <= 4; c++ {
+			if math.Abs(r[c].(float64)-ref[c].(float64)) > 1e-6 {
+				t.Errorf("group %v col %d: %v != %v", r[0], c, r[c], ref[c])
+			}
+		}
+		if r[5].(int64) != ref[5].(int64) {
+			t.Errorf("group %v count differs", r[0])
+		}
+	}
+}
+
+func TestTPCHQ3ViaSQL(t *testing.T) {
+	cat := tpchCatalog(t)
+	rows, _ := runSQL(t, cat, `
+		SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+		FROM customer
+		JOIN orders ON c_custkey = o_custkey
+		JOIN lineitem ON o_orderkey = l_orderkey
+		WHERE c_mktsegment = 'BUILDING' AND o_orderdate < 1200
+		GROUP BY l_orderkey
+		ORDER BY revenue DESC`)
+
+	q, err := tpch.EngineQ3(cat, "BUILDING", 1200, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := &engine.Coordinator{Nodes: 4}
+	ref, _, err := co.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRows := ref.AllRows()
+	if len(rows) != len(refRows) {
+		t.Fatalf("SQL returned %d orders, engine plan %d", len(rows), len(refRows))
+	}
+	refRev := map[int64]float64{}
+	for _, r := range refRows {
+		refRev[r[0].(int64)] = r[1].(float64)
+	}
+	for i, r := range rows {
+		ok := r[0].(int64)
+		if math.Abs(r[1].(float64)-refRev[ok]) > 1e-6 {
+			t.Errorf("order %d revenue %v != %g", ok, r[1], refRev[ok])
+		}
+		if i > 0 && rows[i][1].(float64) > rows[i-1][1].(float64) {
+			t.Fatal("not sorted by revenue desc")
+		}
+	}
+}
+
+func TestTPCHSQLWithFailureInjection(t *testing.T) {
+	cat := tpchCatalog(t)
+	q := `
+		SELECT n_name, COUNT(*) AS suppliers
+		FROM nation JOIN supplier ON n_nationkey = s_nationkey
+		GROUP BY n_name
+		ORDER BY suppliers DESC`
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := Compile(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := &engine.Coordinator{Nodes: 4}
+	cleanRes, _, err := clean.Execute(pp.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pp2, err := Compile(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := &engine.Coordinator{
+		Nodes:    4,
+		Injector: engine.NewScriptedFailures().Add("join-1", 1, 0).Add("agg-exchange", 2, 0),
+	}
+	res, rep, err := co.Execute(pp2.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 2 {
+		t.Errorf("failures = %d, want 2", rep.Failures)
+	}
+	a, b := cleanRes.AllRows(), res.AllRows()
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ after recovery: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i][0] != b[i][0] || a[i][1].(int64) != b[i][1].(int64) {
+			t.Errorf("row %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTPCHCostPlanOptimization(t *testing.T) {
+	// End to end: SQL text -> statistics -> cost plan -> fault-tolerance
+	// optimizer. The Q3-like query should expose its joins as free operators.
+	cat := tpchCatalog(t)
+	st, err := CollectStats(cat, []string{"customer", "orders", "lineitem"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := Parse(`
+		SELECT l_orderkey, SUM(l_extendedprice) AS revenue
+		FROM customer
+		JOIN orders ON c_custkey = o_custkey
+		JOIN lineitem ON o_orderkey = l_orderkey
+		WHERE c_mktsegment = 'BUILDING'
+		GROUP BY l_orderkey
+		ORDER BY revenue DESC LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := stats.CostParams{CPUPerRow: 1, WritePerRow: 10, Nodes: 4}
+	p, err := CostPlan(stmt, cat, st, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.FreeOperators()); got != 3 { // 2 joins + mid-plan agg
+		t.Errorf("free operators = %d, want 3", got)
+	}
+}

@@ -1,0 +1,188 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ftpde/internal/engine"
+)
+
+// Date constants: o_orderdate/l_shipdate are day numbers in [0, dateRange).
+const dateRange = 2406 // ~1992-01-01 .. 1998-08-02 in days, like TPC-H
+
+// Generate deterministically produces a partitioned TPC-H database at the
+// given scale factor for the execution engine. Layout follows the paper's
+// setup: NATION and REGION replicated to all nodes, LINEITEM and ORDERS
+// co-partitioned on the order key, the remaining tables partitioned on their
+// primary keys. Intended for small scale factors (tests/examples); the
+// cost-level experiments never materialize rows.
+func Generate(sf float64, parts int, seed int64) (*engine.Catalog, error) {
+	if sf <= 0 {
+		return nil, fmt.Errorf("tpch: scale factor must be positive, got %g", sf)
+	}
+	if parts <= 0 {
+		return nil, fmt.Errorf("tpch: need at least one partition, got %d", parts)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cat := engine.NewCatalog(parts)
+
+	scaled := func(base int) int {
+		n := int(float64(base) * sf)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	nSupplier := scaled(rowsSupplierPerSF)
+	nCustomer := scaled(rowsCustomerPerSF)
+	nOrders := scaled(rowsOrdersPerSF)
+	nPart := scaled(rowsPartPerSF)
+
+	// REGION (replicated).
+	regionSchema := engine.Schema{
+		{Name: "r_regionkey", Type: engine.TypeInt},
+		{Name: "r_name", Type: engine.TypeString},
+	}
+	regionRows := make([]engine.Row, rowsRegion)
+	for i := range regionRows {
+		regionRows[i] = engine.Row{int64(i), fmt.Sprintf("REGION#%d", i)}
+	}
+	region, err := engine.NewReplicatedTable("region", regionSchema, regionRows, parts)
+	if err != nil {
+		return nil, err
+	}
+
+	// NATION (replicated).
+	nationSchema := engine.Schema{
+		{Name: "n_nationkey", Type: engine.TypeInt},
+		{Name: "n_regionkey", Type: engine.TypeInt},
+		{Name: "n_name", Type: engine.TypeString},
+	}
+	nationRows := make([]engine.Row, rowsNation)
+	for i := range nationRows {
+		nationRows[i] = engine.Row{int64(i), int64(i % rowsRegion), fmt.Sprintf("NATION#%d", i)}
+	}
+	nation, err := engine.NewReplicatedTable("nation", nationSchema, nationRows, parts)
+	if err != nil {
+		return nil, err
+	}
+
+	// SUPPLIER partitioned on s_suppkey.
+	supplierSchema := engine.Schema{
+		{Name: "s_suppkey", Type: engine.TypeInt},
+		{Name: "s_nationkey", Type: engine.TypeInt},
+	}
+	supplierRows := make([]engine.Row, nSupplier)
+	for i := range supplierRows {
+		supplierRows[i] = engine.Row{int64(i), int64(rng.Intn(rowsNation))}
+	}
+	supplier, err := engine.NewTable("supplier", supplierSchema, supplierRows, parts, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// CUSTOMER partitioned on c_custkey.
+	customerSchema := engine.Schema{
+		{Name: "c_custkey", Type: engine.TypeInt},
+		{Name: "c_nationkey", Type: engine.TypeInt},
+		{Name: "c_mktsegment", Type: engine.TypeString},
+	}
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	customerRows := make([]engine.Row, nCustomer)
+	for i := range customerRows {
+		customerRows[i] = engine.Row{
+			int64(i), int64(rng.Intn(rowsNation)), segments[rng.Intn(len(segments))],
+		}
+	}
+	customer, err := engine.NewTable("customer", customerSchema, customerRows, parts, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// ORDERS and LINEITEM co-partitioned on the order key.
+	ordersSchema := engine.Schema{
+		{Name: "o_orderkey", Type: engine.TypeInt},
+		{Name: "o_custkey", Type: engine.TypeInt},
+		{Name: "o_orderdate", Type: engine.TypeInt},
+	}
+	lineitemSchema := engine.Schema{
+		{Name: "l_orderkey", Type: engine.TypeInt},
+		{Name: "l_suppkey", Type: engine.TypeInt},
+		{Name: "l_quantity", Type: engine.TypeFloat},
+		{Name: "l_extendedprice", Type: engine.TypeFloat},
+		{Name: "l_discount", Type: engine.TypeFloat},
+		{Name: "l_returnflag", Type: engine.TypeString},
+		{Name: "l_linestatus", Type: engine.TypeString},
+		{Name: "l_shipdate", Type: engine.TypeInt},
+	}
+	ordersRows := make([]engine.Row, nOrders)
+	var lineitemRows []engine.Row
+	flags := []string{"A", "N", "R"}
+	statuses := []string{"F", "O"}
+	for i := range ordersRows {
+		orderDate := int64(rng.Intn(dateRange))
+		ordersRows[i] = engine.Row{int64(i), int64(rng.Intn(nCustomer)), orderDate}
+		lines := 1 + rng.Intn(7)
+		for l := 0; l < lines; l++ {
+			price := 900.0 + rng.Float64()*104000.0
+			lineitemRows = append(lineitemRows, engine.Row{
+				int64(i),
+				int64(rng.Intn(nSupplier)),
+				1 + float64(rng.Intn(50)),
+				price,
+				float64(rng.Intn(11)) / 100.0,
+				flags[rng.Intn(len(flags))],
+				statuses[rng.Intn(len(statuses))],
+				orderDate + int64(rng.Intn(120)),
+			})
+		}
+	}
+	orders, err := engine.NewTable("orders", ordersSchema, ordersRows, parts, 0)
+	if err != nil {
+		return nil, err
+	}
+	lineitem, err := engine.NewTable("lineitem", lineitemSchema, lineitemRows, parts, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// PART partitioned on p_partkey; PARTSUPP on ps_partkey (RREF-style
+	// co-location with PART).
+	partSchema := engine.Schema{
+		{Name: "p_partkey", Type: engine.TypeInt},
+		{Name: "p_size", Type: engine.TypeInt},
+	}
+	partRows := make([]engine.Row, nPart)
+	for i := range partRows {
+		partRows[i] = engine.Row{int64(i), int64(1 + rng.Intn(50))}
+	}
+	part, err := engine.NewTable("part", partSchema, partRows, parts, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	partsuppSchema := engine.Schema{
+		{Name: "ps_partkey", Type: engine.TypeInt},
+		{Name: "ps_suppkey", Type: engine.TypeInt},
+		{Name: "ps_supplycost", Type: engine.TypeFloat},
+	}
+	partsuppRows := make([]engine.Row, 0, nPart*4)
+	for i := 0; i < nPart; i++ {
+		for j := 0; j < 4; j++ {
+			partsuppRows = append(partsuppRows, engine.Row{
+				int64(i), int64(rng.Intn(nSupplier)), 1 + rng.Float64()*1000,
+			})
+		}
+	}
+	partsupp, err := engine.NewTable("partsupp", partsuppSchema, partsuppRows, parts, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, t := range []*engine.Table{region, nation, supplier, customer, orders, lineitem, part, partsupp} {
+		if err := cat.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}

@@ -1,0 +1,186 @@
+package tpch
+
+import (
+	"fmt"
+
+	"ftpde/internal/engine"
+)
+
+// Engine-executable query trees for the real engine at small scale factors.
+// These exercise the same plan shapes as the cost-level plans; correctness
+// is validated against naive reference implementations in tests, including
+// under injected failures.
+
+// EngineQ1 builds TPC-H Q1 (pricing summary): filter LINEITEM on shipdate,
+// aggregate by (returnflag, linestatus).
+func EngineQ1(cat *engine.Catalog, shipdateMax int64) (engine.Operator, error) {
+	li, err := cat.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	s := li.Schema
+	scan := engine.NewScan("q1-scan-lineitem", li,
+		engine.Cmp{Op: engine.LE, L: engine.Col(s.MustCol("l_shipdate")), R: engine.Const{V: shipdateMax}},
+		nil)
+	agg := engine.NewHashAggregate("q1-agg", scan,
+		[]int{s.MustCol("l_returnflag"), s.MustCol("l_linestatus")},
+		[]engine.AggSpec{
+			{Kind: engine.AggSum, Col: s.MustCol("l_quantity")},
+			{Kind: engine.AggSum, Col: s.MustCol("l_extendedprice")},
+			{Kind: engine.AggAvg, Col: s.MustCol("l_extendedprice")},
+			{Kind: engine.AggCount},
+		},
+		true,
+		engine.Schema{
+			{Name: "returnflag", Type: engine.TypeString},
+			{Name: "linestatus", Type: engine.TypeString},
+			{Name: "sum_qty", Type: engine.TypeFloat},
+			{Name: "sum_price", Type: engine.TypeFloat},
+			{Name: "avg_price", Type: engine.TypeFloat},
+			{Name: "count", Type: engine.TypeInt},
+		})
+	return agg, nil
+}
+
+// EngineQ3 builds TPC-H Q3 (shipping priority, simplified): customers of a
+// market segment joined with their orders before a date and the orders'
+// lineitems, revenue aggregated per order, sorted descending.
+func EngineQ3(cat *engine.Catalog, segment string, dateMax int64, materializeJoins bool) (engine.Operator, error) {
+	cust, err := cat.Table("customer")
+	if err != nil {
+		return nil, err
+	}
+	ord, err := cat.Table("orders")
+	if err != nil {
+		return nil, err
+	}
+	li, err := cat.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	cs, os, ls := cust.Schema, ord.Schema, li.Schema
+
+	scanC := engine.NewScan("q3-scan-customer", cust,
+		engine.Cmp{Op: engine.EQ, L: engine.Col(cs.MustCol("c_mktsegment")), R: engine.Const{V: segment}},
+		[]int{cs.MustCol("c_custkey")})
+	scanO := engine.NewScan("q3-scan-orders", ord,
+		engine.Cmp{Op: engine.LT, L: engine.Col(os.MustCol("o_orderdate")), R: engine.Const{V: dateMax}},
+		nil)
+	// Probe orders against the (typically smaller) filtered customers.
+	// Output: o_orderkey, o_custkey, o_orderdate, c_custkey.
+	j1 := engine.NewHashJoin("q3-join-cust-orders", scanC, scanO, 0, os.MustCol("o_custkey"))
+	scanL := engine.NewScan("q3-scan-lineitem", li, nil,
+		[]int{ls.MustCol("l_orderkey"), ls.MustCol("l_extendedprice"), ls.MustCol("l_discount")})
+	// Probe lineitem against the matched orders. Output: l_orderkey, price,
+	// discount, o_orderkey, o_custkey, o_orderdate, c_custkey.
+	j2 := engine.NewHashJoin("q3-join-orders-lineitem", j1, scanL, 0, 0)
+	if materializeJoins {
+		j1.SetMaterialize(true)
+		j2.SetMaterialize(true)
+	}
+	// revenue = price * (1 - discount)
+	rev := engine.NewProject("q3-revenue", j2,
+		[]engine.Expr{
+			engine.Col(0),
+			engine.Arith{Op: engine.Mul, L: engine.Col(1),
+				R: engine.Arith{Op: engine.Sub, L: engine.Const{V: 1.0}, R: engine.Col(2)}},
+		},
+		engine.Schema{{Name: "orderkey", Type: engine.TypeInt}, {Name: "revenue", Type: engine.TypeFloat}})
+	ex := engine.NewExchange("q3-exchange-orderkey", rev, 0)
+	agg := engine.NewHashAggregate("q3-agg", ex, []int{0},
+		[]engine.AggSpec{{Kind: engine.AggSum, Col: 1}},
+		false,
+		engine.Schema{{Name: "orderkey", Type: engine.TypeInt}, {Name: "revenue", Type: engine.TypeFloat}})
+	sorted := engine.NewSort("q3-sort", agg, 1, true)
+	return sorted, nil
+}
+
+// EngineQ5 builds TPC-H Q5 (local supplier volume, simplified): the Figure 9
+// chain σ(REGION) ⨝ NATION ⨝ CUSTOMER ⨝ ORDERS ⨝ LINEITEM ⨝ SUPPLIER with
+// the c_nationkey = s_nationkey condition applied as a post-join filter,
+// aggregating revenue per nation.
+func EngineQ5(cat *engine.Catalog, regionKey int64, dateMin, dateMax int64, materialize map[string]bool) (engine.Operator, error) {
+	get := func(name string) *engine.Table {
+		t, err := cat.Table(name)
+		if err != nil {
+			panic(err)
+		}
+		return t
+	}
+	region, nation, cust := get("region"), get("nation"), get("customer")
+	ord, li, sup := get("orders"), get("lineitem"), get("supplier")
+
+	scanR := engine.NewScanOnce("q5-scan-region", region,
+		engine.Cmp{Op: engine.EQ, L: engine.Col(region.Schema.MustCol("r_regionkey")), R: engine.Const{V: regionKey}},
+		[]int{region.Schema.MustCol("r_regionkey")})
+	scanN := engine.NewScanOnce("q5-scan-nation", nation, nil, nil)
+	// j1: nation rows of the region. Probe nation (replicated) against the
+	// single region row. Output: n_nationkey, n_regionkey, n_name, r_regionkey.
+	j1 := engine.NewHashJoin("q5-join1", scanR, scanN, 0, nation.Schema.MustCol("n_regionkey"))
+
+	scanC := engine.NewScan("q5-scan-customer", cust, nil,
+		[]int{cust.Schema.MustCol("c_custkey"), cust.Schema.MustCol("c_nationkey")})
+	// j2: customers in the region. Probe customer against j1 on nationkey.
+	// Output: c_custkey, c_nationkey, n_nationkey, n_regionkey, n_name, r_regionkey.
+	j2 := engine.NewHashJoin("q5-join2", j1, scanC, 0, 1)
+
+	scanO := engine.NewScan("q5-scan-orders", ord,
+		engine.And{
+			engine.Cmp{Op: engine.GE, L: engine.Col(ord.Schema.MustCol("o_orderdate")), R: engine.Const{V: dateMin}},
+			engine.Cmp{Op: engine.LT, L: engine.Col(ord.Schema.MustCol("o_orderdate")), R: engine.Const{V: dateMax}},
+		},
+		[]int{ord.Schema.MustCol("o_orderkey"), ord.Schema.MustCol("o_custkey")})
+	// j3: orders of those customers in the date range. Probe orders against
+	// j2 on custkey. Output: o_orderkey, o_custkey, then j2's columns.
+	j3 := engine.NewHashJoin("q5-join3", j2, scanO, 0, 1)
+
+	scanL := engine.NewScan("q5-scan-lineitem", li, nil,
+		[]int{li.Schema.MustCol("l_orderkey"), li.Schema.MustCol("l_suppkey"),
+			li.Schema.MustCol("l_extendedprice"), li.Schema.MustCol("l_discount")})
+	// j4: lineitems of those orders. Probe lineitem against j3 on orderkey.
+	// Output: l_orderkey, l_suppkey, price, discount, then j3's columns.
+	j4 := engine.NewHashJoin("q5-join4", j3, scanL, 0, 0)
+
+	scanS := engine.NewScan("q5-scan-supplier", sup, nil, nil)
+	// j5: attach the supplier. Build suppliers, probe j4 on suppkey.
+	// Output: j4's columns, then s_suppkey, s_nationkey.
+	j5 := engine.NewHashJoin("q5-join5", scanS, j4, 0, 1)
+	j4Width := 4 + 2 + 6 // l-cols + o-cols + j2-cols
+	sNationCol := j4Width + 1
+	cNationCol := 4 + 2 + 1 // c_nationkey inside j2 block
+	local := engine.NewSelect("q5-local-supplier", j5,
+		engine.Cmp{Op: engine.EQ, L: engine.Col(sNationCol), R: engine.Col(cNationCol)})
+
+	nNameCol := 4 + 2 + 4 // n_name inside j2 block
+	rev := engine.NewProject("q5-revenue", local,
+		[]engine.Expr{
+			engine.Col(nNameCol),
+			engine.Arith{Op: engine.Mul, L: engine.Col(2),
+				R: engine.Arith{Op: engine.Sub, L: engine.Const{V: 1.0}, R: engine.Col(3)}},
+		},
+		engine.Schema{{Name: "nation", Type: engine.TypeString}, {Name: "revenue", Type: engine.TypeFloat}})
+	agg := engine.NewHashAggregate("q5-agg", rev, []int{0},
+		[]engine.AggSpec{{Kind: engine.AggSum, Col: 1}},
+		true,
+		engine.Schema{{Name: "nation", Type: engine.TypeString}, {Name: "revenue", Type: engine.TypeFloat}})
+
+	for name, m := range materialize {
+		if !m {
+			continue
+		}
+		found := false
+		for _, op := range []interface {
+			Name() string
+			SetMaterialize(bool)
+		}{j1, j2, j3, j4, j5} {
+			if op.Name() == name {
+				op.SetMaterialize(true)
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("tpch: unknown materialization target %q", name)
+		}
+	}
+	return agg, nil
+}

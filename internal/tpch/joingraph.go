@@ -1,0 +1,122 @@
+package tpch
+
+import (
+	"fmt"
+
+	"ftpde/internal/join"
+	"ftpde/internal/plan"
+	"ftpde/internal/stats"
+)
+
+// Q5JoinGraph returns the join graph of TPC-H query 5 as the paper's
+// enumeration experiment uses it: the chain REGION - NATION - CUSTOMER -
+// ORDERS - LINEITEM - SUPPLIER (relations carry their post-predicate
+// cardinalities), which yields exactly 1344 equivalent join orders without
+// cartesian products.
+func Q5JoinGraph(prm Params) (*join.Graph, error) {
+	prm = prm.withDefaults()
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	C := rowsCustomerPerSF * prm.SF
+	O := rowsOrdersPerSF * prm.SF
+	L := rowsLineitemPerSF * prm.SF
+	S := rowsSupplierPerSF * prm.SF
+
+	g := join.NewGraph()
+	r := g.AddRelation(join.Relation{Name: "σ(REGION)", Rows: 1})
+	n := g.AddRelation(join.Relation{Name: "NATION", Rows: rowsNation})
+	c := g.AddRelation(join.Relation{Name: "CUSTOMER", Rows: C})
+	o := g.AddRelation(join.Relation{Name: "σ(ORDERS)", Rows: 0.15 * O})
+	l := g.AddRelation(join.Relation{Name: "LINEITEM", Rows: L})
+	s := g.AddRelation(join.Relation{Name: "SUPPLIER", Rows: S})
+
+	// Selectivities reproduce the cardinalities of the Figure 9 plan:
+	// |σR ⨝ N| = 5, |... ⨝ C| = 0.2C, |... ⨝ σO| = 0.03O,
+	// |... ⨝ L| = 0.12O, |... ⨝ S| = 0.024O.
+	type e struct {
+		a, b int
+		sel  float64
+	}
+	for _, ed := range []e{
+		{r, n, 5.0 / rowsNation},
+		{n, c, 1.0 / rowsNation},
+		{c, o, 1.0 / C},
+		{o, l, 0.8 / O},
+		{l, s, 0.2 / S},
+	} {
+		if err := g.AddEdge(ed.a, ed.b, ed.sel); err != nil {
+			return nil, fmt.Errorf("tpch: q5 join graph: %w", err)
+		}
+	}
+	return g, nil
+}
+
+// q5Coster derives operator costs for enumerated Q5 join trees with the same
+// per-row constants as the hand-built Q5 plan, globally calibrated so the
+// canonical (Figure 9) join order hits the paper's baseline runtime.
+type q5Coster struct {
+	cp    stats.CostParams
+	scale float64
+}
+
+// ScanCosts implements join.Coster.
+func (qc q5Coster) ScanCosts(rel join.Relation) (float64, float64) {
+	tr, tm := qc.cp.OpCosts(rel.Rows, rel.Rows)
+	return tr * qc.scale, tm * qc.scale
+}
+
+// JoinCosts implements join.Coster.
+func (qc q5Coster) JoinCosts(leftCard, rightCard, outCard float64) (float64, float64) {
+	tr, tm := qc.cp.OpCosts(leftCard+rightCard+outCard, outCard)
+	return tr * qc.scale, tm * qc.scale
+}
+
+// Q5Coster returns a join.Coster calibrated for the given parameters.
+func Q5Coster(prm Params) (join.Coster, error) {
+	prm = prm.withDefaults()
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	cp := stats.CostParams{CPUPerRow: 1, WritePerRow: relativeWriteCost, Nodes: prm.Nodes}
+	// Calibrate against the canonical chain order's critical path.
+	g, err := Q5JoinGraph(prm)
+	if err != nil {
+		return nil, err
+	}
+	trees, err := g.TopK(1)
+	if err != nil {
+		return nil, err
+	}
+	raw := q5Coster{cp: cp, scale: 1}
+	p, _ := join.ToPlan(trees[0], g, raw)
+	crit := stats.CriticalPath(p)
+	if crit <= 0 {
+		return nil, fmt.Errorf("tpch: q5 coster calibration failed")
+	}
+	target := baselineQ5AtSF100 * prm.SF / 100
+	return q5Coster{cp: cp, scale: target / crit}, nil
+}
+
+// Q5PlanFromTree converts an enumerated Q5 join order into a fault-tolerance-
+// ready execution plan: scans bound non-materializable, joins free, and the
+// paper's aggregation operator stacked (bound) on top. The plan's free
+// operator count is always 5, so each join order contributes 2^5 = 32
+// materialization configurations — 43,008 fault-tolerant plans over all 1344
+// orders (paper Section 5.5).
+func Q5PlanFromTree(t *join.Tree, g *join.Graph, coster join.Coster) *plan.Plan {
+	p, root := join.ToPlan(t, g, coster)
+	for _, op := range p.Operators() {
+		if op.Kind == plan.KindScan {
+			op.Bound = true
+		}
+	}
+	aggWork := p.Op(root).Rows
+	tr, _ := coster.JoinCosts(aggWork, 0, 5)
+	agg := p.Add(plan.Operator{
+		Name: "Γ revenue group by nation", Kind: plan.KindAggregate,
+		RunCost: tr, MatCost: tr / 2, Bound: true, Rows: 5,
+	})
+	p.MustConnect(root, agg)
+	return p
+}

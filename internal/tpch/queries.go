@@ -1,0 +1,261 @@
+// Package tpch provides the TPC-H workload substrate of the paper's
+// evaluation: SF-parameterized execution plans (with calibrated cost
+// estimates) for the five evaluated queries Q1, Q3, Q5, Q1C and Q2C, the Q5
+// join graph used for join-order enumeration, and a deterministic data
+// generator plus executable query trees for the real execution engine.
+//
+// The paper measured tr(o)/tm(o) on a 10-node MySQL/XDB cluster writing
+// intermediates to shared iSCSI storage. Here the per-operator cost shares
+// are specified directly (relative units, uniformly rescaled to the paper's
+// baseline runtimes) and calibrated to the quantities the paper states:
+//   - Q5@SF100 baseline = 905.33 s,
+//   - Q5 join materialization costs = ~34% of the total runtime costs,
+//   - Q1C/Q2C materialization costs = 60-100% of the runtime costs, with a
+//     cheap aggregation checkpoint in the middle of the plan,
+//   - Q1 has no free operator.
+package tpch
+
+import (
+	"fmt"
+
+	"ftpde/internal/plan"
+	"ftpde/internal/stats"
+)
+
+// Params parameterizes plan generation.
+type Params struct {
+	// SF is the TPC-H scale factor (1 unit = ~1 GB of raw data).
+	SF float64
+	// Nodes is the cluster size used for partition-parallel cost estimates.
+	// Defaults to the paper's 10.
+	Nodes int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Nodes == 0 {
+		p.Nodes = 10
+	}
+	return p
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.SF <= 0 {
+		return fmt.Errorf("tpch: scale factor must be positive, got %g", p.SF)
+	}
+	if p.Nodes < 0 {
+		return fmt.Errorf("tpch: nodes must be non-negative, got %d", p.Nodes)
+	}
+	return nil
+}
+
+// Table cardinalities per scale factor (TPC-H specification).
+const (
+	rowsLineitemPerSF = 6_000_000
+	rowsOrdersPerSF   = 1_500_000
+	rowsCustomerPerSF = 150_000
+	rowsSupplierPerSF = 10_000
+	rowsPartPerSF     = 200_000
+	rowsPartsuppPerSF = 800_000
+	rowsNation        = 25
+	rowsRegion        = 5
+)
+
+// relativeWriteCost is WritePerRow/CPUPerRow used by the join-order coster:
+// how much more expensive writing one row to the shared fault-tolerant
+// storage medium is than processing it.
+const relativeWriteCost = 17.0
+
+// Baseline runtimes in seconds at SF = 100 (scaled linearly in SF). The Q5
+// value is stated in the paper; the others are chosen to sit in the "seconds
+// to multiple hours" mixed-workload band the paper targets.
+const (
+	baselineQ1AtSF100  = 180.0
+	baselineQ3AtSF100  = 450.0
+	baselineQ5AtSF100  = 905.33
+	baselineQ1CAtSF100 = 1500.0
+	baselineQ2CAtSF100 = 2000.0
+)
+
+// Query couples a plan with its workload metadata.
+type Query struct {
+	// Name is the TPC-H query identifier (Q1, Q3, Q5, Q1C, Q2C).
+	Name string
+	// Plan is the DAG-structured execution plan with calibrated costs. All
+	// operators start non-materialized; scans and sinks are bound.
+	Plan *plan.Plan
+	// Baseline is the failure-free critical-path runtime in seconds — the
+	// denominator of the paper's overhead metric.
+	Baseline float64
+}
+
+// queryBuilder accumulates operators with relative costs, then rescales them
+// uniformly so the plan's critical path matches the query's calibrated
+// baseline.
+type queryBuilder struct {
+	p *plan.Plan
+}
+
+func newBuilder() *queryBuilder { return &queryBuilder{p: plan.New()} }
+
+func (b *queryBuilder) add(name string, kind plan.Kind, tr, tm float64, rows float64, bound bool, inputs ...plan.OpID) plan.OpID {
+	id := b.p.Add(plan.Operator{
+		Name: name, Kind: kind,
+		RunCost: tr, MatCost: tm,
+		Bound: bound, Rows: rows,
+	})
+	for _, in := range inputs {
+		b.p.MustConnect(in, id)
+	}
+	return id
+}
+
+func (b *queryBuilder) finish(name string, baseline float64) (*Query, error) {
+	if err := b.p.Validate(); err != nil {
+		return nil, fmt.Errorf("tpch: %s: %w", name, err)
+	}
+	if err := stats.NormalizeBaseline(b.p, baseline); err != nil {
+		return nil, fmt.Errorf("tpch: %s: %w", name, err)
+	}
+	return &Query{Name: name, Plan: b.p, Baseline: baseline}, nil
+}
+
+// Q1 builds TPC-H query 1: a single scan of LINEITEM with an aggregation on
+// top — no joins and, as the paper notes, no free operator at all ("Q1 has
+// no free operator that can be selected for materialization").
+func Q1(prm Params) (*Query, error) {
+	prm = prm.withDefaults()
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	L := rowsLineitemPerSF * prm.SF
+	b := newBuilder()
+	scan := b.add("Scan σ(LINEITEM)", plan.KindScan, 130, 200, L, true)
+	b.add("Γ sum/avg group by returnflag,linestatus", plan.KindAggregate, 50, 0.01, 4, true, scan)
+	return b.finish("Q1", baselineQ1AtSF100*prm.SF/100)
+}
+
+// Q3 builds TPC-H query 3: the 3-way join CUSTOMER x ORDERS x LINEITEM with
+// local predicates, a revenue aggregation on top. The two join outputs are
+// free; their combined materialization cost is ~20% of the runtime costs
+// (paper: Q3/Q5 have "moderate total materialization costs, approx. 20-30%
+// of the runtime costs").
+func Q3(prm Params) (*Query, error) {
+	prm = prm.withDefaults()
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	C := rowsCustomerPerSF * prm.SF
+	O := rowsOrdersPerSF * prm.SF
+	L := rowsLineitemPerSF * prm.SF
+	b := newBuilder()
+	sc := b.add("Scan σ(CUSTOMER) mktsegment", plan.KindScan, 5, 30, 0.2*C, true)
+	so := b.add("Scan σ(ORDERS) orderdate", plan.KindScan, 25, 100, 0.48*O, true)
+	sl := b.add("Scan σ(LINEITEM) shipdate", plan.KindScan, 60, 400, 0.54*L, true)
+	j1 := b.add("⨝ customer-orders", plan.KindHashJoin, 120, 30, 0.04*O, false, sc, so)
+	j2 := b.add("⨝ orders-lineitem", plan.KindHashJoin, 210, 65, 0.02*L, false, j1, sl)
+	b.add("Γ revenue group by orderkey", plan.KindAggregate, 50, 0.1, 10, true, j2)
+	return b.finish("Q3", baselineQ3AtSF100*prm.SF/100)
+}
+
+// Q5 builds TPC-H query 5 exactly as drawn in the paper's Figure 9: the
+// left-deep chain σ(R) ⨝ N ⨝ C ⨝ σ(O) ⨝ L ⨝ S with an aggregation on top.
+// The five join outputs (numbered 1-5 in the figure) are the free operators,
+// so the optimizer enumerates 2^5 = 32 materialization configurations.
+// Materializing all five joins costs 34% of the total runtime costs (the
+// paper measures 34.13%); joins 2 and 3 have cheap outputs (the checkpoints
+// the cost-based scheme picks for long-running instances), join 4's output
+// (orders x lineitem) is the most expensive one.
+func Q5(prm Params) (*Query, error) {
+	prm = prm.withDefaults()
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	C := rowsCustomerPerSF * prm.SF
+	O := rowsOrdersPerSF * prm.SF
+	L := rowsLineitemPerSF * prm.SF
+	S := rowsSupplierPerSF * prm.SF
+	b := newBuilder()
+	sr := b.add("Scan σ(REGION)", plan.KindScan, 0.5, 0.01, 1, true)
+	sn := b.add("Scan NATION", plan.KindScan, 0.5, 0.01, rowsNation, true)
+	sc := b.add("Scan CUSTOMER", plan.KindScan, 10, 25, C, true)
+	so := b.add("Scan σ(ORDERS) orderdate", plan.KindScan, 30, 80, 0.15*O, true)
+	sl := b.add("Scan LINEITEM", plan.KindScan, 40, 500, L, true)
+	ss := b.add("Scan SUPPLIER", plan.KindScan, 5, 10, S, true)
+
+	j1 := b.add("⨝1 region-nation", plan.KindHashJoin, 10, 0.1, 5, false, sr, sn)
+	j2 := b.add("⨝2 nation-customer", plan.KindHashJoin, 170, 35, 0.2*C, false, j1, sc)
+	j3 := b.add("⨝3 customer-orders", plan.KindHashJoin, 190, 52, 0.03*O, false, j2, so)
+	j4 := b.add("⨝4 orders-lineitem", plan.KindHashJoin, 310, 209, 0.12*O, false, j3, sl)
+	j5 := b.add("⨝5 lineitem-supplier", plan.KindHashJoin, 155, 42, 0.024*O, false, j4, ss)
+	b.add("Γ revenue group by nation", plan.KindAggregate, 75, 0.1, 5, true, j5)
+	return b.finish("Q5", baselineQ5AtSF100*prm.SF/100)
+}
+
+// Q1C builds the paper's nested Q1 variant: Q1 as the inner query, its tiny
+// aggregate joined back against LINEITEM to count items priced above the
+// average. The mid-plan aggregation has near-zero materialization cost — the
+// checkpoint the cost-based scheme exploits — while the join's output is
+// huge (materialization costs 60-100% of the runtime costs under all-mat).
+func Q1C(prm Params) (*Query, error) {
+	prm = prm.withDefaults()
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	L := rowsLineitemPerSF * prm.SF
+	b := newBuilder()
+	s1 := b.add("Scan σ(LINEITEM) inner", plan.KindScan, 100, 350, 0.95*L, true)
+	agg1 := b.add("Γ avg(price) by status", plan.KindAggregate, 220, 0.01, 4, false, s1)
+	s2 := b.add("Scan LINEITEM outer", plan.KindScan, 100, 400, L, true)
+	j := b.add("⨝ price > avg", plan.KindHashJoin, 700, 780, 0.25*L, false, agg1, s2)
+	b.add("Γ count by status", plan.KindAggregate, 80, 0.01, 4, true, j)
+	return b.finish("Q1C", baselineQ1CAtSF100*prm.SF/100)
+}
+
+// Q2C builds the paper's DAG-structured Q2 variant: the inner aggregation
+// query (a 4-way join over PARTSUPP, SUPPLIER, NATION, REGION) is used as a
+// common table expression consumed by two outer queries with different
+// filter predicates on PART — a plan with two sinks sharing the CTE. The CTE
+// aggregation is the cheap mid-plan checkpoint.
+func Q2C(prm Params) (*Query, error) {
+	prm = prm.withDefaults()
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	PS := rowsPartsuppPerSF * prm.SF
+	S := rowsSupplierPerSF * prm.SF
+	P := rowsPartPerSF * prm.SF
+	b := newBuilder()
+
+	// Inner CTE: 4-way join + aggregation.
+	sps := b.add("Scan PARTSUPP", plan.KindScan, 80, 450, PS, true)
+	ss := b.add("Scan SUPPLIER", plan.KindScan, 10, 20, S, true)
+	sn := b.add("Scan NATION", plan.KindScan, 0.5, 0.01, rowsNation, true)
+	sr := b.add("Scan σ(REGION)", plan.KindScan, 0.5, 0.01, 1, true)
+	j1 := b.add("⨝ nation-region", plan.KindHashJoin, 8, 0.1, 5, false, sn, sr)
+	j2 := b.add("⨝ supplier-nation", plan.KindHashJoin, 60, 10, 0.2*S, false, j1, ss)
+	j3 := b.add("⨝ partsupp-supplier", plan.KindHashJoin, 380, 450, 0.1*PS, false, j2, sps)
+	cte := b.add("Γ min(supplycost) by part [CTE]", plan.KindCTE, 120, 14, 0.1*P, false, j3)
+
+	// Two outer queries with different PART predicates.
+	for i, sel := range []float64{0.01, 0.02} {
+		sp := b.add(fmt.Sprintf("Scan σ%d(PART)", i+1), plan.KindScan, 10, 15, sel*P, true)
+		j4 := b.add(fmt.Sprintf("⨝ part-cte (outer %d)", i+1), plan.KindHashJoin, 160, 150, sel*P, false, cte, sp)
+		j5 := b.add(fmt.Sprintf("⨝ supplier (outer %d)", i+1), plan.KindHashJoin, 120, 100, sel*P, false, j4, ss)
+		b.add(fmt.Sprintf("Γ/sort result %d", i+1), plan.KindSort, 40, 0.1, 100, true, j5)
+	}
+	return b.finish("Q2C", baselineQ2CAtSF100*prm.SF/100)
+}
+
+// Queries builds all five evaluated queries.
+func Queries(prm Params) ([]*Query, error) {
+	var out []*Query
+	for _, f := range []func(Params) (*Query, error){Q1, Q3, Q5, Q1C, Q2C} {
+		q, err := f(prm)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package tpch
+
+import (
+	"ftpde/internal/plan"
+)
+
+// Additional TPC-H queries beyond the five the paper evaluates; used by the
+// mixed-workload generator and available to library users. Baselines at
+// SF = 100 (seconds), scaled linearly like the main five.
+const (
+	baselineQ6AtSF100  = 120.0
+	baselineQ10AtSF100 = 600.0
+	baselineQ12AtSF100 = 300.0
+)
+
+// Q6 builds TPC-H query 6 (forecasting revenue change): a single filtered
+// scan of LINEITEM with a global aggregate — like Q1 it has no free
+// operator, making it a pure short-interactive workload item.
+func Q6(prm Params) (*Query, error) {
+	prm = prm.withDefaults()
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	L := rowsLineitemPerSF * prm.SF
+	b := newBuilder()
+	scan := b.add("Scan σ(LINEITEM) date,discount,qty", plan.KindScan, 100, 30, 0.02*L, true)
+	b.add("Γ sum(price*discount)", plan.KindAggregate, 20, 0.01, 1, true, scan)
+	return b.finish("Q6", baselineQ6AtSF100*prm.SF/100)
+}
+
+// Q10 builds TPC-H query 10 (returned item reporting): CUSTOMER x σ(ORDERS)
+// x σ(LINEITEM) x NATION, revenue per customer, top 20. Three joins and the
+// mid-plan aggregation are free (the aggregation is followed by the top-20
+// sort).
+func Q10(prm Params) (*Query, error) {
+	prm = prm.withDefaults()
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	C := rowsCustomerPerSF * prm.SF
+	O := rowsOrdersPerSF * prm.SF
+	L := rowsLineitemPerSF * prm.SF
+	b := newBuilder()
+	sc := b.add("Scan CUSTOMER", plan.KindScan, 15, 40, C, true)
+	so := b.add("Scan σ(ORDERS) quarter", plan.KindScan, 30, 30, 0.04*O, true)
+	sl := b.add("Scan σ(LINEITEM) returnflag", plan.KindScan, 50, 150, 0.25*L, true)
+	sn := b.add("Scan NATION", plan.KindScan, 0.5, 0.01, rowsNation, true)
+	j1 := b.add("⨝ orders-lineitem", plan.KindHashJoin, 120, 40, 0.06*O, false, so, sl)
+	j2 := b.add("⨝ customer-orders", plan.KindHashJoin, 150, 45, 0.06*O, false, sc, j1)
+	j3 := b.add("⨝ nation", plan.KindHashJoin, 60, 45, 0.06*O, false, sn, j2)
+	agg := b.add("Γ revenue by customer", plan.KindAggregate, 90, 12, 0.03*C, false, j3)
+	b.add("sort/limit 20", plan.KindSort, 30, 0.01, 20, true, agg)
+	return b.finish("Q10", baselineQ10AtSF100*prm.SF/100)
+}
+
+// Q12 builds TPC-H query 12 (shipping modes and order priority): ORDERS x
+// σ(LINEITEM), grouped by ship mode. One free join; the final aggregation is
+// the sink.
+func Q12(prm Params) (*Query, error) {
+	prm = prm.withDefaults()
+	if err := prm.Validate(); err != nil {
+		return nil, err
+	}
+	O := rowsOrdersPerSF * prm.SF
+	L := rowsLineitemPerSF * prm.SF
+	b := newBuilder()
+	so := b.add("Scan ORDERS", plan.KindScan, 40, 100, O, true)
+	sl := b.add("Scan σ(LINEITEM) shipmode,date", plan.KindScan, 70, 20, 0.01*L, true)
+	j := b.add("⨝ orders-lineitem", plan.KindHashJoin, 150, 25, 0.01*L, false, so, sl)
+	b.add("Γ counts by shipmode", plan.KindAggregate, 40, 0.01, 7, true, j)
+	return b.finish("Q12", baselineQ12AtSF100*prm.SF/100)
+}
+
+// ExtendedQueries returns the paper's five evaluated queries plus Q6, Q10
+// and Q12.
+func ExtendedQueries(prm Params) ([]*Query, error) {
+	out, err := Queries(prm)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range []func(Params) (*Query, error){Q6, Q10, Q12} {
+		q, err := f(prm)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package tpch
+
+import (
+	"math"
+	"testing"
+
+	"ftpde/internal/core"
+	"ftpde/internal/cost"
+	"ftpde/internal/stats"
+)
+
+func TestExtendedQueries(t *testing.T) {
+	qs, err := ExtendedQueries(Params{SF: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 8 {
+		t.Fatalf("want 8 queries, got %d", len(qs))
+	}
+	wantFree := map[string]int{"Q6": 0, "Q10": 4, "Q12": 1}
+	wantBaseline := map[string]float64{"Q6": 120, "Q10": 600, "Q12": 300}
+	for _, q := range qs[5:] {
+		if err := q.Plan.Validate(); err != nil {
+			t.Errorf("%s: %v", q.Name, err)
+		}
+		if got := len(q.Plan.FreeOperators()); got != wantFree[q.Name] {
+			t.Errorf("%s: free = %d, want %d", q.Name, got, wantFree[q.Name])
+		}
+		if math.Abs(q.Baseline-wantBaseline[q.Name]) > 1e-9 {
+			t.Errorf("%s: baseline = %g, want %g", q.Name, q.Baseline, wantBaseline[q.Name])
+		}
+		if got := stats.CriticalPath(q.Plan); math.Abs(got-q.Baseline) > 1e-6*q.Baseline {
+			t.Errorf("%s: critical path %g != baseline %g", q.Name, got, q.Baseline)
+		}
+	}
+}
+
+func TestExtendedQueriesOptimizable(t *testing.T) {
+	qs, err := ExtendedQueries(Params{SF: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cost.Model{MTBF: 3600, MTTR: 1, Percentile: 0.95, PipeConst: 1, Nodes: 10}
+	for _, q := range qs {
+		res, err := core.Optimize(q.Plan, core.Options{Model: m})
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if res.Runtime < q.Baseline-1e-6 {
+			t.Errorf("%s: optimized estimate %g below baseline %g", q.Name, res.Runtime, q.Baseline)
+		}
+	}
+}
+
+func TestQ10PicksCheapCheckpointUnderFailures(t *testing.T) {
+	q, err := Q10(Params{SF: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long-running Q10 under a low MTBF: the optimizer must checkpoint
+	// something.
+	m := cost.Model{MTBF: 3600, MTTR: 1, Percentile: 0.95, PipeConst: 1}
+	res, err := core.Optimize(q.Plan, core.Options{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Config.Materialized()) == 0 {
+		t.Error("Q10@SF1000 under hourly failures should materialize intermediates")
+	}
+}

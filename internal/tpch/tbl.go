@@ -1,0 +1,85 @@
+package tpch
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ftpde/internal/engine"
+)
+
+// tableSpec describes the on-disk layout of one TPC-H table.
+type tableSpec struct {
+	name       string
+	keyCol     int
+	replicated bool
+}
+
+var tblSpecs = []tableSpec{
+	{"region", -1, true},
+	{"nation", -1, true},
+	{"supplier", 0, false},
+	{"customer", 0, false},
+	{"orders", 0, false},
+	{"lineitem", 0, false}, // co-partitioned with orders on the order key
+	{"part", 0, false},
+	{"partsupp", 0, false},
+}
+
+// DumpTBL writes every table of the catalog as <dir>/<table>.tbl in dbgen's
+// format, so generated data can be inspected or exchanged with other tools.
+func DumpTBL(cat *engine.Catalog, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, spec := range tblSpecs {
+		t, err := cat.Table(spec.name)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, spec.name+".tbl"))
+		if err != nil {
+			return err
+		}
+		if err := engine.WriteTBL(t, f); err != nil {
+			f.Close()
+			return fmt.Errorf("tpch: dumping %s: %w", spec.name, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadTBL builds a catalog from <dir>/<table>.tbl files (e.g. produced by
+// DumpTBL or by an external dbgen with matching column subsets), restoring
+// the paper's partitioning layout: NATION/REGION replicated, everything else
+// hash-partitioned on its key, LINEITEM co-partitioned with ORDERS.
+func LoadTBL(dir string, parts int) (*engine.Catalog, error) {
+	// Schemas come from a reference generation (they are static).
+	ref, err := Generate(0.001, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	cat := engine.NewCatalog(parts)
+	for _, spec := range tblSpecs {
+		refTable, err := ref.Table(spec.name)
+		if err != nil {
+			return nil, err
+		}
+		f, err := os.Open(filepath.Join(dir, spec.name+".tbl"))
+		if err != nil {
+			return nil, fmt.Errorf("tpch: loading %s: %w", spec.name, err)
+		}
+		t, err := engine.ReadTBL(spec.name, refTable.Schema, f, parts, spec.keyCol, spec.replicated)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if err := cat.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}

@@ -1,0 +1,184 @@
+// Package workload generates the mixed analytical workloads that motivate
+// the paper: a blend of short interactive queries and long batch queries
+// ("queries with a strongly varying runtime ranging from seconds to multiple
+// hours as commonly found in real deployments"), and evaluates how much
+// wall-clock a fault-tolerance scheme costs over a whole workload.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ftpde/internal/cost"
+	"ftpde/internal/exec"
+	"ftpde/internal/failure"
+	"ftpde/internal/schemes"
+	"ftpde/internal/tpch"
+)
+
+// Class describes one query population of the mix.
+type Class struct {
+	// Name labels the class ("interactive", "batch", ...).
+	Name string
+	// Build constructs the query plan for a sampled scale factor.
+	Build func(tpch.Params) (*tpch.Query, error)
+	// SFMin/SFMax bound the uniformly sampled scale factor.
+	SFMin, SFMax float64
+	// Weight is the class's relative sampling probability.
+	Weight float64
+}
+
+// DefaultMix models the paper's motivating deployment: mostly short
+// interactive queries, some mid-size reporting, a few long batch jobs.
+func DefaultMix() []Class {
+	return []Class{
+		{Name: "interactive", Build: tpch.Q6, SFMin: 1, SFMax: 10, Weight: 0.25},
+		{Name: "interactive-scan", Build: tpch.Q1, SFMin: 1, SFMax: 10, Weight: 0.15},
+		{Name: "interactive-join", Build: tpch.Q3, SFMin: 1, SFMax: 20, Weight: 0.3},
+		{Name: "reporting", Build: tpch.Q5, SFMin: 50, SFMax: 200, Weight: 0.2},
+		{Name: "batch", Build: tpch.Q1C, SFMin: 500, SFMax: 2000, Weight: 0.1},
+	}
+}
+
+// Item is one generated query with its class label.
+type Item struct {
+	Class string
+	Query *tpch.Query
+}
+
+// Workload is a generated query sequence.
+type Workload struct {
+	Items []Item
+}
+
+// Generate samples n queries from the class mix, deterministically for a
+// fixed seed.
+func Generate(classes []Class, n, nodes int, seed int64) (*Workload, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: n must be positive, got %d", n)
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("workload: no classes")
+	}
+	totalW := 0.0
+	for _, c := range classes {
+		if c.Weight <= 0 {
+			return nil, fmt.Errorf("workload: class %s has non-positive weight", c.Name)
+		}
+		if c.SFMin <= 0 || c.SFMax < c.SFMin {
+			return nil, fmt.Errorf("workload: class %s has invalid SF range [%g,%g]", c.Name, c.SFMin, c.SFMax)
+		}
+		totalW += c.Weight
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{}
+	for i := 0; i < n; i++ {
+		pick := rng.Float64() * totalW
+		var cls Class
+		for _, c := range classes {
+			pick -= c.Weight
+			cls = c
+			if pick <= 0 {
+				break
+			}
+		}
+		sf := cls.SFMin + rng.Float64()*(cls.SFMax-cls.SFMin)
+		q, err := cls.Build(tpch.Params{SF: sf, Nodes: nodes})
+		if err != nil {
+			return nil, err
+		}
+		w.Items = append(w.Items, Item{Class: cls.Name, Query: q})
+	}
+	return w, nil
+}
+
+// GenerateStratified is Generate but guarantees at least one query of every
+// class: the first len(classes) items cover each class once (at the middle
+// of its SF range), the remainder are weighted samples.
+func GenerateStratified(classes []Class, n, nodes int, seed int64) (*Workload, error) {
+	if n < len(classes) {
+		return nil, fmt.Errorf("workload: n=%d smaller than class count %d", n, len(classes))
+	}
+	w := &Workload{}
+	for _, cls := range classes {
+		if cls.SFMin <= 0 || cls.SFMax < cls.SFMin {
+			return nil, fmt.Errorf("workload: class %s has invalid SF range [%g,%g]", cls.Name, cls.SFMin, cls.SFMax)
+		}
+		q, err := cls.Build(tpch.Params{SF: (cls.SFMin + cls.SFMax) / 2, Nodes: nodes})
+		if err != nil {
+			return nil, err
+		}
+		w.Items = append(w.Items, Item{Class: cls.Name, Query: q})
+	}
+	if n > len(classes) {
+		rest, err := Generate(classes, n-len(classes), nodes, seed)
+		if err != nil {
+			return nil, err
+		}
+		w.Items = append(w.Items, rest.Items...)
+	}
+	return w, nil
+}
+
+// TotalBaseline returns the workload's failure-free runtime (queries run
+// back to back).
+func (w *Workload) TotalBaseline() float64 {
+	s := 0.0
+	for _, it := range w.Items {
+		s += it.Query.Baseline
+	}
+	return s
+}
+
+// Result summarizes one scheme's cost over a workload.
+type Result struct {
+	// Total is the summed simulated runtime (mean over traces per query).
+	Total float64
+	// Aborted counts queries that could not finish under the scheme.
+	Aborted int
+	// Overhead is (Total - baseline) / baseline * 100, over the finished
+	// queries' baselines.
+	Overhead float64
+}
+
+// Evaluate runs every query of the workload under the scheme on the given
+// cluster, with tracesPerQuery fresh deterministic traces each.
+func Evaluate(w *Workload, k schemes.Kind, spec failure.Spec, tracesPerQuery int, seed int64) (*Result, error) {
+	if tracesPerQuery <= 0 {
+		return nil, fmt.Errorf("workload: tracesPerQuery must be positive")
+	}
+	m := cost.DefaultModel(spec)
+	res := &Result{}
+	finishedBaseline := 0.0
+	for qi, it := range w.Items {
+		q := it.Query
+		cfg, err := k.Configure(q.Plan, m)
+		if err != nil {
+			return nil, err
+		}
+		p := q.Plan.Clone()
+		if err := p.Apply(cfg); err != nil {
+			return nil, err
+		}
+		traces := failure.NewTraces(spec, 500*q.Baseline, seed+int64(qi)*101, tracesPerQuery)
+		mean, ok, err := exec.MeanRuntime(p, exec.Options{
+			Cluster: spec, Model: m, Recovery: k.Recovery(),
+		}, traces)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			res.Aborted++
+			continue
+		}
+		res.Total += mean
+		finishedBaseline += q.Baseline
+	}
+	if finishedBaseline > 0 {
+		res.Overhead = (res.Total - finishedBaseline) / finishedBaseline * 100
+	} else {
+		res.Overhead = math.Inf(1)
+	}
+	return res, nil
+}

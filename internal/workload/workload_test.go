@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"testing"
+
+	"ftpde/internal/failure"
+	"ftpde/internal/schemes"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(DefaultMix(), 20, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DefaultMix(), 20, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Items) != 20 || len(b.Items) != 20 {
+		t.Fatalf("wrong workload sizes: %d, %d", len(a.Items), len(b.Items))
+	}
+	for i := range a.Items {
+		if a.Items[i].Class != b.Items[i].Class ||
+			a.Items[i].Query.Baseline != b.Items[i].Query.Baseline {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+}
+
+func TestGenerateMixesClasses(t *testing.T) {
+	w, err := Generate(DefaultMix(), 60, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := map[string]int{}
+	for _, it := range w.Items {
+		classes[it.Class]++
+	}
+	if len(classes) < 3 {
+		t.Errorf("workload drew only %d classes: %v", len(classes), classes)
+	}
+	if w.TotalBaseline() <= 0 {
+		t.Error("empty total baseline")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(DefaultMix(), 0, 10, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Generate(nil, 5, 10, 1); err == nil {
+		t.Error("no classes accepted")
+	}
+	bad := DefaultMix()
+	bad[0].Weight = 0
+	if _, err := Generate(bad, 5, 10, 1); err == nil {
+		t.Error("zero weight accepted")
+	}
+	bad2 := DefaultMix()
+	bad2[0].SFMax = bad2[0].SFMin - 1
+	if _, err := Generate(bad2, 5, 10, 1); err == nil {
+		t.Error("inverted SF range accepted")
+	}
+}
+
+func TestEvaluateCostBasedBeatsStaticSchemes(t *testing.T) {
+	// On a flaky cluster, the cost-based scheme's total workload time must
+	// not exceed the best static scheme by more than noise.
+	w, err := Generate(DefaultMix(), 8, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := failure.Spec{Nodes: 10, MTBF: failure.OneHour, MTTR: 1}
+	totals := map[schemes.Kind]*Result{}
+	for _, k := range schemes.All() {
+		res, err := Evaluate(w, k, spec, 3, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totals[k] = res
+	}
+	cb := totals[schemes.CostBased]
+	if cb.Aborted > 0 {
+		t.Errorf("cost-based aborted %d queries", cb.Aborted)
+	}
+	for _, k := range []schemes.Kind{schemes.AllMat, schemes.NoMatLineage} {
+		other := totals[k]
+		if other.Aborted > 0 {
+			continue
+		}
+		if cb.Total > other.Total*1.15+1 {
+			t.Errorf("cost-based total %.0f worse than %s total %.0f", cb.Total, k, other.Total)
+		}
+	}
+	if cb.Overhead < 0 {
+		t.Errorf("negative overhead %g", cb.Overhead)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	w, err := Generate(DefaultMix(), 2, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := failure.Spec{Nodes: 10, MTBF: failure.OneDay, MTTR: 1}
+	if _, err := Evaluate(w, schemes.CostBased, spec, 0, 1); err == nil {
+		t.Error("tracesPerQuery=0 accepted")
+	}
+}
+
+func TestGenerateStratifiedCoversAllClasses(t *testing.T) {
+	mix := DefaultMix()
+	w, err := GenerateStratified(mix, 12, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Items) != 12 {
+		t.Fatalf("want 12 items, got %d", len(w.Items))
+	}
+	seen := map[string]bool{}
+	for _, it := range w.Items {
+		seen[it.Class] = true
+	}
+	for _, cls := range mix {
+		if !seen[cls.Name] {
+			t.Errorf("class %s missing from stratified workload", cls.Name)
+		}
+	}
+	if _, err := GenerateStratified(mix, 2, 10, 1); err == nil {
+		t.Error("n < class count accepted")
+	}
+}
