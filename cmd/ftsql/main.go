@@ -8,9 +8,11 @@
 //	ftsql -q "SELECT ... " -sf 0.01 -nodes 4
 //	ftsql -q "..." -fail "join-1/2/0,aggregate/0/0"    # op/partition/attempt
 //	ftsql -q "..." -explain -mtbf 3600                 # cost plan + FT choice
+//	ftsql -q "..." -runtime=pipelined -stats           # concurrent runtime + metrics
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +23,7 @@ import (
 	"ftpde/internal/cost"
 	"ftpde/internal/engine"
 	"ftpde/internal/failure"
+	"ftpde/internal/runtime"
 	"ftpde/internal/sql"
 	"ftpde/internal/stats"
 	"ftpde/internal/tpch"
@@ -38,6 +41,9 @@ func main() {
 		topK     = flag.Int("topk", 5, "join orders to enumerate for -explain (phase 1 of enumFTPlans)")
 		mtbf     = flag.Float64("mtbf", failure.OneHour, "per-node MTBF for -explain (seconds)")
 		maxRows  = flag.Int("rows", 20, "max result rows to print")
+		rt       = flag.String("runtime", "pipelined", "execution runtime: pipelined (concurrent stage DAG) or staged (sequential interpreter)")
+		batch    = flag.Int("batch", engine.DefaultBatchSize, "pipeline batch size in rows (pipelined runtime only)")
+		showStat = flag.Bool("stats", false, "print runtime metrics after execution (pipelined runtime only)")
 	)
 	flag.Parse()
 
@@ -123,8 +129,26 @@ func main() {
 		injector.Add(parts[0], part, attempt)
 	}
 
-	co := &engine.Coordinator{Nodes: *nodes, Injector: injector}
-	res, rep, err := co.Execute(pp.Root)
+	var (
+		res *engine.PartitionedResult
+		rep *engine.Report
+	)
+	switch *rt {
+	case "staged":
+		co := &engine.Coordinator{Nodes: *nodes, Injector: injector}
+		res, rep, err = co.Execute(pp.Root)
+	case "pipelined":
+		var r *runtime.Runtime
+		r, err = runtime.New(runtime.Config{Nodes: *nodes, Injector: injector, BatchSize: *batch})
+		if err == nil {
+			res, rep, err = r.Execute(context.Background(), pp.Root)
+		}
+		if err == nil && *showStat {
+			fmt.Fprintf(os.Stderr, "runtime metrics: %s\n\n", r.Metrics().Snapshot())
+		}
+	default:
+		err = fmt.Errorf("unknown -runtime %q (want pipelined or staged)", *rt)
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -75,35 +75,60 @@ func (d *DiskStore) path(op string, part int) string {
 	return filepath.Join(d.dir, fmt.Sprintf("%s.part%d.gob", safe, part))
 }
 
-// Put implements Store. Writes are atomic (temp file + rename) so a crash
-// mid-write never leaves a torn partition visible.
+// Put implements Store. Writes are crash-safe: the partition is encoded to a
+// temp file, fsynced, then atomically renamed into place, and the directory
+// is fsynced so the rename itself survives a crash. A kill at any point
+// leaves either the old partition (or nothing) visible — never a torn file.
 func (d *DiskStore) Put(op string, part int, rows []Row, parts int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.putLocked(op, part, rows); err != nil {
+		d.err = err
+	}
+}
+
+func (d *DiskStore) putLocked(op string, part int, rows []Row) error {
 	tmp, err := os.CreateTemp(d.dir, "put-*")
 	if err != nil {
-		d.err = err
-		return
+		return err
 	}
-	enc := gob.NewEncoder(tmp)
 	if rows == nil {
 		rows = []Row{}
 	}
-	if err := enc.Encode(rows); err != nil {
+	if err := gob.NewEncoder(tmp).Encode(rows); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		d.err = err
-		return
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		d.err = err
-		return
+		return err
 	}
 	if err := os.Rename(tmp.Name(), d.path(op, part)); err != nil {
 		os.Remove(tmp.Name())
-		d.err = err
+		return err
 	}
+	return syncDir(d.dir)
+}
+
+// syncDir fsyncs a directory so a preceding rename is durable. Some
+// platforms (notably Windows) reject opening directories; that is not a
+// torn-write hazard, so those errors are ignored.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil && !os.IsPermission(err) {
+		return err
+	}
+	return nil
 }
 
 // Get implements Store.

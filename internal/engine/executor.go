@@ -20,8 +20,11 @@ type NoFailures struct{}
 func (NoFailures) FailCompute(string, int, int) bool { return false }
 
 // ScriptedFailures injects failures at scripted (op, partition, attempt)
-// points — the engine-level analogue of the paper's failure traces.
+// points — the engine-level analogue of the paper's failure traces. It is
+// safe for concurrent use: partition workers read the script while tests
+// (or an interactive driver) extend it.
 type ScriptedFailures struct {
+	mu     sync.Mutex
 	script map[string]bool
 }
 
@@ -32,12 +35,16 @@ func NewScriptedFailures() *ScriptedFailures {
 
 // Add schedules a failure when op's partition is computed the given attempt.
 func (s *ScriptedFailures) Add(op string, part, attempt int) *ScriptedFailures {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.script[fmt.Sprintf("%s/%d/%d", op, part, attempt)] = true
 	return s
 }
 
 // FailCompute implements FailureInjector.
 func (s *ScriptedFailures) FailCompute(op string, part, attempt int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.script[fmt.Sprintf("%s/%d/%d", op, part, attempt)]
 }
 

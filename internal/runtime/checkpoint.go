@@ -1,0 +1,94 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"ftpde/internal/engine"
+)
+
+// checkpointReq is one partition to persist.
+type checkpointReq struct {
+	op    string
+	part  int
+	rows  []engine.Row
+	parts int
+}
+
+// checkpointWriter persists materialized partitions to the fault-tolerant
+// store on a dedicated goroutine, so checkpointing overlaps with downstream
+// computation instead of blocking the pipeline. flush() is the barrier:
+// recovery and query completion wait for all enqueued writes to land before
+// reading the store.
+type checkpointWriter struct {
+	store   engine.Store
+	metrics *Metrics
+	queue   chan checkpointReq
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending int
+	written map[string]bool
+	closed  bool
+}
+
+func newCheckpointWriter(store engine.Store, metrics *Metrics) *checkpointWriter {
+	w := &checkpointWriter{
+		store:   store,
+		metrics: metrics,
+		queue:   make(chan checkpointReq, 64),
+		written: make(map[string]bool),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	go w.loop()
+	return w
+}
+
+func (w *checkpointWriter) loop() {
+	for req := range w.queue {
+		w.store.Put(req.op, req.part, req.rows, req.parts)
+		w.metrics.CheckpointParts.Add(1)
+		w.metrics.CheckpointBytes.Add(approxRowBytes(req.rows))
+		w.mu.Lock()
+		w.pending--
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+}
+
+// enqueue schedules one partition write. It returns false when the partition
+// was already written (or enqueued) by this writer, so callers can keep
+// materialization counters exact across recovery re-commits.
+func (w *checkpointWriter) enqueue(op string, part int, rows []engine.Row, parts int) bool {
+	key := fmt.Sprintf("%s/%d", op, part)
+	w.mu.Lock()
+	if w.closed || w.written[key] {
+		w.mu.Unlock()
+		return false
+	}
+	w.written[key] = true
+	w.pending++
+	w.mu.Unlock()
+	w.queue <- checkpointReq{op: op, part: part, rows: rows, parts: parts}
+	return true
+}
+
+// flush blocks until every enqueued write has reached the store.
+func (w *checkpointWriter) flush() {
+	w.mu.Lock()
+	for w.pending > 0 {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// close flushes and stops the writer goroutine.
+func (w *checkpointWriter) close() {
+	w.flush()
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		close(w.queue)
+	}
+	w.mu.Unlock()
+}

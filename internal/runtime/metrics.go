@@ -1,0 +1,122 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftpde/internal/engine"
+)
+
+// Metrics is the runtime's counter set, safe for concurrent use. One Metrics
+// value can be shared across queries to accumulate, or allocated per query
+// for isolated measurement; the experiments layer reads Snapshot.
+type Metrics struct {
+	// Batches counts vectorized batches processed by pipeline operators
+	// (source emissions and chained transforms).
+	Batches atomic.Int64
+	// Rows counts rows produced at stage sinks (committed partitions).
+	Rows atomic.Int64
+	// CheckpointParts counts partitions handed to the async checkpoint
+	// writer; CheckpointBytes approximates their serialized size.
+	CheckpointParts atomic.Int64
+	CheckpointBytes atomic.Int64
+	// Failures counts injected node failures observed by workers.
+	Failures atomic.Int64
+	// Recoveries counts stage partitions recomputed by fine-grained
+	// recovery (the runtime analogue of lineage recomputation).
+	Recoveries atomic.Int64
+	// Restarts counts coarse-grained whole-query restarts.
+	Restarts atomic.Int64
+
+	mu        sync.Mutex
+	stageWall map[string]time.Duration
+}
+
+// addStageWall accumulates wall time for one stage (keyed by the stage's
+// terminal operator name).
+func (m *Metrics) addStageWall(stage string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stageWall == nil {
+		m.stageWall = make(map[string]time.Duration)
+	}
+	m.stageWall[stage] += d
+}
+
+// StageWall returns a copy of the per-stage wall-time table.
+func (m *Metrics) StageWall() map[string]time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]time.Duration, len(m.stageWall))
+	for k, v := range m.stageWall {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot is a plain-value copy of the counters for reporting.
+type Snapshot struct {
+	Batches         int64                    `json:"batches"`
+	Rows            int64                    `json:"rows"`
+	CheckpointParts int64                    `json:"checkpoint_parts"`
+	CheckpointBytes int64                    `json:"checkpoint_bytes"`
+	Failures        int64                    `json:"failures"`
+	Recoveries      int64                    `json:"recoveries"`
+	Restarts        int64                    `json:"restarts"`
+	StageWall       map[string]time.Duration `json:"stage_wall_ns"`
+}
+
+// Snapshot returns a consistent-enough copy of all counters.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Batches:         m.Batches.Load(),
+		Rows:            m.Rows.Load(),
+		CheckpointParts: m.CheckpointParts.Load(),
+		CheckpointBytes: m.CheckpointBytes.Load(),
+		Failures:        m.Failures.Load(),
+		Recoveries:      m.Recoveries.Load(),
+		Restarts:        m.Restarts.Load(),
+		StageWall:       m.StageWall(),
+	}
+}
+
+// String renders the snapshot compactly for CLI output.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "batches=%d rows=%d ckpt_parts=%d ckpt_bytes=%d failures=%d recoveries=%d restarts=%d",
+		s.Batches, s.Rows, s.CheckpointParts, s.CheckpointBytes, s.Failures, s.Recoveries, s.Restarts)
+	if len(s.StageWall) > 0 {
+		names := make([]string, 0, len(s.StageWall))
+		for n := range s.StageWall {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString("\nstage wall time:")
+		for _, n := range names {
+			fmt.Fprintf(&b, "\n  %-40s %s", n, s.StageWall[n])
+		}
+	}
+	return b.String()
+}
+
+// approxRowBytes estimates the serialized size of a partition for the
+// checkpoint-bytes counter (cheaper than re-encoding with gob).
+func approxRowBytes(rows []engine.Row) int64 {
+	var n int64
+	for _, r := range rows {
+		n += 8 // slice header / framing
+		for _, v := range r {
+			switch x := v.(type) {
+			case string:
+				n += int64(len(x)) + 2
+			default:
+				n += 8
+			}
+		}
+	}
+	return n
+}

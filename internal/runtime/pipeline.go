@@ -1,0 +1,203 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"ftpde/internal/engine"
+)
+
+// nodeFailure reports an injected node failure while computing op's
+// partition — the runtime analogue of engine.restartFailure.
+type nodeFailure struct {
+	op   string
+	part int
+}
+
+func (e *nodeFailure) Error() string {
+	return fmt.Sprintf("runtime: node %d failed while computing %s", e.part, e.op)
+}
+
+func asNodeFailure(err error) (*nodeFailure, bool) {
+	var nf *nodeFailure
+	if errors.As(err, &nf) {
+		return nf, true
+	}
+	return nil, false
+}
+
+// maxAttemptsPerPartition bounds retries of one (operator, partition) pair,
+// matching the staged engine's limit.
+const maxAttemptsPerPartition = 1000
+
+// attempts tracks per-(operator, partition) attempt numbers across the whole
+// query (including coarse restarts), so scripted failure traces advance.
+type attempts struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func newAttempts() *attempts { return &attempts{m: make(map[string]int)} }
+
+// take returns the current attempt number for (op, part) and advances it.
+func (a *attempts) take(op string, part int) int {
+	key := fmt.Sprintf("%s/%d", op, part)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := a.m[key]
+	a.m[key] = n + 1
+	return n
+}
+
+// runPipeline executes one partition of a stage as a chain of goroutines
+// connected by buffered channels of row batches: the source computes its
+// output and streams it batch-at-a-time; every chained operator transforms
+// batches concurrently; the calling goroutine is the sink. An injected
+// failure kills the worker mid-stream by cancelling the partition context,
+// which tears down the whole chain.
+func (rn *run) runPipeline(ctx context.Context, s *stage, part int, inputs []*engine.PartitionedResult) ([]engine.Row, error) {
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	nops := len(s.ops)
+	errCh := make(chan error, nops)
+	ch := make(chan []engine.Row, rn.cfg.ChannelDepth)
+	go func() { errCh <- rn.runSource(pctx, cancel, s, part, inputs, ch) }()
+	in := ch
+	for i, proc := range s.procs {
+		out := make(chan []engine.Row, rn.cfg.ChannelDepth)
+		go func(op engine.Operator, proc engine.BatchProcessor, in <-chan []engine.Row, out chan<- []engine.Row) {
+			errCh <- rn.runChainOp(pctx, cancel, op, proc, part, in, out)
+		}(s.ops[i+1], proc, in, out)
+		in = out
+	}
+
+	var rows []engine.Row
+	for open := true; open; {
+		select {
+		case b, ok := <-in:
+			if !ok {
+				open = false
+				break
+			}
+			rows = append(rows, b...)
+		case <-pctx.Done():
+			open = false
+		}
+	}
+
+	// The first non-cancellation error wins; node failures outrank the
+	// cancellations they caused.
+	var firstErr error
+	var firstFailure *nodeFailure
+	for i := 0; i < nops; i++ {
+		err := <-errCh
+		if err == nil || errors.Is(err, context.Canceled) {
+			continue
+		}
+		if nf, ok := asNodeFailure(err); ok {
+			if firstFailure == nil {
+				firstFailure = nf
+			}
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if firstFailure != nil {
+		return nil, firstFailure
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// runSource computes the stage's source operator for one partition and
+// streams the result in batches. When the failure injector fires for this
+// attempt, the worker emits its first batch and then dies mid-stream.
+func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *stage, part int, inputs []*engine.PartitionedResult, out chan<- []engine.Row) error {
+	op := s.source()
+	n := rn.attempts.take(op.Name(), part)
+	if n > maxAttemptsPerPartition {
+		cancel()
+		return fmt.Errorf("runtime: partition %d of %s exceeded %d attempts", part, op.Name(), maxAttemptsPerPartition)
+	}
+	fail := rn.cfg.Injector.FailCompute(op.Name(), part, n)
+	rows, err := op.Compute(part, inputs)
+	if err != nil {
+		cancel()
+		return err
+	}
+	for i, b := range engine.Batches(rows, rn.cfg.BatchSize) {
+		if fail && i >= 1 {
+			cancel()
+			return &nodeFailure{op: op.Name(), part: part}
+		}
+		rn.metrics.Batches.Add(1)
+		select {
+		case out <- b:
+		case <-pctx.Done():
+			return pctx.Err()
+		}
+	}
+	if fail {
+		cancel()
+		return &nodeFailure{op: op.Name(), part: part}
+	}
+	close(out)
+	return nil
+}
+
+// runChainOp transforms batches for one pipelined operator. A scripted
+// failure kills the worker after its first processed batch (or at stream
+// end when the stream is shorter), cancelling the partition context.
+func (rn *run) runChainOp(pctx context.Context, cancel context.CancelFunc, op engine.Operator, proc engine.BatchProcessor, part int, in <-chan []engine.Row, out chan<- []engine.Row) error {
+	n := rn.attempts.take(op.Name(), part)
+	if n > maxAttemptsPerPartition {
+		cancel()
+		return fmt.Errorf("runtime: partition %d of %s exceeded %d attempts", part, op.Name(), maxAttemptsPerPartition)
+	}
+	fail := rn.cfg.Injector.FailCompute(op.Name(), part, n)
+	processed := 0
+	for {
+		select {
+		case b, ok := <-in:
+			if !ok {
+				if fail {
+					cancel()
+					return &nodeFailure{op: op.Name(), part: part}
+				}
+				close(out)
+				return nil
+			}
+			if fail && processed >= 1 {
+				cancel()
+				return &nodeFailure{op: op.Name(), part: part}
+			}
+			res, err := proc.ProcessBatch(part, b)
+			if err != nil {
+				cancel()
+				return err
+			}
+			processed++
+			rn.metrics.Batches.Add(1)
+			if len(res) == 0 {
+				continue
+			}
+			select {
+			case out <- res:
+			case <-pctx.Done():
+				return pctx.Err()
+			}
+		case <-pctx.Done():
+			return pctx.Err()
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package runtime
+
+import (
+	"context"
+)
+
+// recoverFine handles an injected node failure under fine-grained recovery:
+// the volatile (non-checkpointed) lineage of the failing stage on the failed
+// node is lost, so it is re-ensured from the last materialized inputs and
+// the failed partition is re-run. Nested failures during recovery loop until
+// the partition lands or the per-partition attempt bound trips. Recoveries
+// are serialized, mirroring the staged engine's sequential recovery.
+func (rn *run) recoverFine(ctx context.Context, s *stage, part int, nf *nodeFailure) error {
+	rn.recoveryMu.Lock()
+	defer rn.recoveryMu.Unlock()
+	for {
+		rn.mu.Lock()
+		rn.report.Failures++
+		rn.mu.Unlock()
+		rn.metrics.Failures.Add(1)
+		rn.dropLineageOnNode(s, nf.part)
+
+		err := rn.ensurePartition(ctx, s, part)
+		if err == nil {
+			return nil
+		}
+		if next, ok := asNodeFailure(err); ok {
+			nf = next
+			continue
+		}
+		return err
+	}
+}
+
+// ensurePartition recursively (re)computes one stage partition: restore from
+// a checkpoint when possible, otherwise recover the inputs first and re-run
+// the pipeline — the lineage walk of fine-grained recovery.
+func (rn *run) ensurePartition(ctx context.Context, s *stage, part int) error {
+	if rn.isDone(s, part) {
+		return nil
+	}
+	if err := rn.ensureStageInputs(ctx, s, part); err != nil {
+		return err
+	}
+	return rn.computePartition(ctx, s, part, true)
+}
+
+// ensureStageInputs recovers the input partitions a stage partition reads:
+// wide sources need every partition of every input stage, narrow sources
+// need the matching partition, scans need nothing.
+func (rn *run) ensureStageInputs(ctx context.Context, s *stage, part int) error {
+	switch s.kind {
+	case srcScan:
+		return nil
+	case srcWide:
+		for _, d := range s.deps {
+			for q := 0; q < rn.cfg.Nodes; q++ {
+				if err := rn.ensurePartition(ctx, d, q); err != nil {
+					return err
+				}
+			}
+		}
+	case srcNarrow:
+		for _, d := range s.deps {
+			if err := rn.ensurePartition(ctx, d, part); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// dropLineageOnNode models the loss of the failed node's in-memory state:
+// every volatile (non-checkpointed) partition the failing stage's lineage
+// hosted on that node is discarded and must be recomputed. Checkpointed
+// stages survive in the fault-tolerant store.
+func (rn *run) dropLineageOnNode(s *stage, node int) {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	for _, a := range s.ancestors {
+		if a.checkpoint {
+			continue
+		}
+		if rn.done[a][node] {
+			res := rn.results[a]
+			res.Parts[node] = nil
+			res.Lost[node] = true
+			rn.done[a][node] = false
+		}
+	}
+}

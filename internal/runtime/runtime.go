@@ -1,0 +1,388 @@
+// Package runtime is the concurrent pipelined execution runtime: it runs a
+// collapsed fault-tolerant plan as a DAG of stages. Each stage executes
+// partition-parallel on a bounded worker pool, rows flow between pipelined
+// operators through buffered channels in vectorized batches, and
+// materialization points are blocking barriers whose output is checkpointed
+// asynchronously to an engine.Store by a dedicated writer goroutine.
+// Failures are injected live — a worker dies mid-batch via context
+// cancellation — and a recovery manager either re-runs only the affected
+// partitions from the last materialized inputs (schemes.FineGrained) or
+// restarts the whole query (schemes.CoarseRestart).
+//
+// The package is the pipelined sibling of the staged interpreter in
+// internal/engine: both execute the same engine.Operator DAGs against the
+// same stores and failure injectors and produce identical results, which the
+// equivalence tests assert on the TPC-H example queries.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	goruntime "runtime"
+	"sync"
+	"time"
+
+	"ftpde/internal/engine"
+	"ftpde/internal/schemes"
+)
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Nodes is the cluster size (= partition count of every intermediate).
+	Nodes int
+	// BatchSize is the vector width of pipeline batches
+	// (default engine.DefaultBatchSize).
+	BatchSize int
+	// ChannelDepth is the buffering of inter-operator channels (default 2).
+	ChannelDepth int
+	// MaxWorkers bounds concurrently executing stage-partition workers
+	// (default GOMAXPROCS).
+	MaxWorkers int
+	// Injector provides live failure decisions; nil means no failures.
+	Injector engine.FailureInjector
+	// Recovery selects fine-grained partition recovery (default) or
+	// coarse-grained whole-query restarts.
+	Recovery schemes.Recovery
+	// MaxRestarts bounds coarse recovery (0 = 100, as in the paper).
+	MaxRestarts int
+	// Store is the fault-tolerant checkpoint medium; nil allocates a fresh
+	// in-memory MatStore.
+	Store engine.Store
+	// Metrics receives runtime counters; nil allocates a private set.
+	Metrics *Metrics
+}
+
+// Runtime executes operator DAGs with the pipelined concurrent runtime.
+type Runtime struct {
+	cfg Config
+}
+
+// New validates the configuration and fills defaults.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("runtime: config needs at least one node")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = engine.DefaultBatchSize
+	}
+	if cfg.ChannelDepth <= 0 {
+		cfg.ChannelDepth = 2
+	}
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = goruntime.GOMAXPROCS(0)
+	}
+	if cfg.Injector == nil {
+		cfg.Injector = engine.NoFailures{}
+	}
+	if cfg.Store == nil {
+		cfg.Store = engine.NewMatStore()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &Metrics{}
+	}
+	if cfg.MaxRestarts == 0 {
+		cfg.MaxRestarts = 100
+	}
+	return &Runtime{cfg: cfg}, nil
+}
+
+// Metrics returns the runtime's counter set.
+func (r *Runtime) Metrics() *Metrics { return r.cfg.Metrics }
+
+// Execute runs the query rooted at root and returns its partitioned result
+// along with an execution report. The report type is shared with the staged
+// engine so recovery tests and tooling port across runtimes.
+func (r *Runtime) Execute(ctx context.Context, root engine.Operator) (*engine.PartitionedResult, *engine.Report, error) {
+	plan, err := buildStages(root, r.cfg.Nodes)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &engine.Report{}
+	attempts := newAttempts()
+	writer := newCheckpointWriter(r.cfg.Store, r.cfg.Metrics)
+	defer writer.close()
+
+	for {
+		rn := &run{
+			cfg:      r.cfg,
+			plan:     plan,
+			attempts: attempts,
+			report:   report,
+			metrics:  r.cfg.Metrics,
+			writer:   writer,
+			sem:      make(chan struct{}, r.cfg.MaxWorkers),
+			results:  make(map[*stage]*engine.PartitionedResult, len(plan.stages)),
+			done:     make(map[*stage][]bool, len(plan.stages)),
+		}
+		for _, s := range plan.stages {
+			rn.results[s] = &engine.PartitionedResult{
+				Schema: s.terminal().OutSchema(),
+				Parts:  make([][]engine.Row, r.cfg.Nodes),
+				Lost:   make([]bool, r.cfg.Nodes),
+			}
+			rn.done[s] = make([]bool, r.cfg.Nodes)
+		}
+		res, err := rn.execute(ctx)
+		if err == nil {
+			writer.flush()
+			return res, report, nil
+		}
+		if _, ok := asNodeFailure(err); ok && r.cfg.Recovery == schemes.CoarseRestart {
+			report.Failures++
+			report.Restarts++
+			r.cfg.Metrics.Failures.Add(1)
+			r.cfg.Metrics.Restarts.Add(1)
+			if report.Restarts > r.cfg.MaxRestarts {
+				report.Aborted = true
+				return nil, report, fmt.Errorf("runtime: query aborted after %d restarts", report.Restarts-1)
+			}
+			continue // restart from scratch; checkpoints and attempts persist
+		}
+		return nil, report, err
+	}
+}
+
+// run is the state of one query attempt (coarse restarts create a fresh run
+// over the same attempts counter and checkpoint store).
+type run struct {
+	cfg      Config
+	plan     *stagePlan
+	attempts *attempts
+	report   *engine.Report
+	metrics  *Metrics
+	writer   *checkpointWriter
+	sem      chan struct{} // bounded worker pool
+
+	mu      sync.Mutex // guards results, done and report
+	results map[*stage]*engine.PartitionedResult
+	done    map[*stage][]bool
+
+	// recoveryMu serializes fine-grained recoveries: drops of volatile
+	// lineage and the recomputation that follows happen one failure at a
+	// time, like the staged engine's sequential recovery.
+	recoveryMu sync.Mutex
+}
+
+// execute schedules the stage DAG: every stage gets a goroutine that waits
+// for its producer stages, then fans its partitions out to the worker pool.
+func (rn *run) execute(ctx context.Context) (*engine.PartitionedResult, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	doneOf := make(map[*stage]chan struct{}, len(rn.plan.stages))
+	for _, s := range rn.plan.stages {
+		doneOf[s] = make(chan struct{})
+	}
+	var firstErr error
+	var once sync.Once
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	var wg sync.WaitGroup
+	for _, s := range rn.plan.stages {
+		wg.Add(1)
+		go func(s *stage) {
+			defer wg.Done()
+			for _, d := range s.deps {
+				select {
+				case <-doneOf[d]:
+				case <-ctx.Done():
+					return
+				}
+			}
+			if err := rn.runStage(ctx, s); err != nil {
+				fail(err)
+				return
+			}
+			close(doneOf[s])
+		}(s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rn.results[rn.plan.root], nil
+}
+
+// runStage executes every partition of a stage on the bounded worker pool
+// and records the stage's wall time.
+func (rn *run) runStage(ctx context.Context, s *stage) error {
+	start := time.Now()
+	defer func() { rn.metrics.addStageWall(s.name(), time.Since(start)) }()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for part := 0; part < rn.cfg.Nodes; part++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			select {
+			case rn.sem <- struct{}{}:
+				defer func() { <-rn.sem }()
+			case <-ctx.Done():
+				return
+			}
+			if err := rn.runStagePartition(ctx, s, part); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(part)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// runStagePartition is one worker: it computes a stage partition and, under
+// fine-grained recovery, handles any injected failure locally by re-running
+// the affected lineage from the last materialized inputs. Under coarse
+// recovery the failure propagates and aborts the run.
+func (rn *run) runStagePartition(ctx context.Context, s *stage, part int) error {
+	err := rn.computePartition(ctx, s, part, false)
+	if err == nil {
+		return nil
+	}
+	nf, ok := asNodeFailure(err)
+	if !ok || rn.cfg.Recovery == schemes.CoarseRestart {
+		return err
+	}
+	return rn.recoverFine(ctx, s, part, nf)
+}
+
+// computePartition produces one stage partition: restore it from a
+// checkpoint when available, otherwise pipeline it from the stage inputs.
+// recovery marks calls made while recovering lost lineage (the caller holds
+// recoveryMu and has already ensured the inputs).
+func (rn *run) computePartition(ctx context.Context, s *stage, part int, recovery bool) error {
+	if rn.isDone(s, part) {
+		return nil
+	}
+	if s.checkpoint {
+		rn.writer.flush()
+		if rows, ok := rn.cfg.Store.Get(s.name(), part); ok {
+			rn.commit(s, part, rows, true)
+			return nil
+		}
+	}
+	var inputs []*engine.PartitionedResult
+	if recovery {
+		inputs = rn.snapshotInputs(s)
+	} else {
+		// A concurrent recovery may have dropped volatile input partitions;
+		// wait for it and re-ensure before reading.
+		for {
+			var ready bool
+			inputs, ready = rn.snapshotInputsReady(s, part)
+			if ready {
+				break
+			}
+			rn.recoveryMu.Lock()
+			err := rn.ensureStageInputs(ctx, s, part)
+			rn.recoveryMu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+	}
+	rows, err := rn.runPipeline(ctx, s, part, inputs)
+	if err != nil {
+		return err
+	}
+	rn.commit(s, part, rows, false)
+	if recovery {
+		rn.mu.Lock()
+		rn.report.RecomputedPartitions++
+		rn.mu.Unlock()
+		rn.metrics.Recoveries.Add(1)
+	}
+	return nil
+}
+
+func (rn *run) isDone(s *stage, part int) bool {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	return rn.done[s][part]
+}
+
+// commit records a computed partition and, for materialization points,
+// hands it to the asynchronous checkpoint writer.
+func (rn *run) commit(s *stage, part int, rows []engine.Row, fromStore bool) {
+	rn.mu.Lock()
+	if rn.done[s][part] {
+		rn.mu.Unlock()
+		return
+	}
+	res := rn.results[s]
+	res.Parts[part] = rows
+	res.Lost[part] = false
+	rn.done[s][part] = true
+	rn.mu.Unlock()
+	if !fromStore {
+		rn.metrics.Rows.Add(int64(len(rows)))
+	}
+	if s.checkpoint && !fromStore {
+		if rn.writer.enqueue(s.name(), part, rows, rn.cfg.Nodes) {
+			rn.mu.Lock()
+			rn.report.MaterializedPartitions++
+			rn.mu.Unlock()
+		}
+	}
+}
+
+// snapshotInputs copies the input results' partition tables under the lock,
+// so pipeline workers never race with recovery mutating the originals.
+func (rn *run) snapshotInputs(s *stage) []*engine.PartitionedResult {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	return rn.snapshotInputsLocked(s)
+}
+
+// snapshotInputsReady additionally verifies that every input partition this
+// stage partition reads is present (a concurrent recovery may have dropped
+// some); ready=false means the caller must re-ensure the inputs.
+func (rn *run) snapshotInputsReady(s *stage, part int) ([]*engine.PartitionedResult, bool) {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	for _, d := range s.deps {
+		switch s.kind {
+		case srcWide:
+			for q := 0; q < rn.cfg.Nodes; q++ {
+				if !rn.done[d][q] {
+					return nil, false
+				}
+			}
+		case srcNarrow:
+			if !rn.done[d][part] {
+				return nil, false
+			}
+		}
+	}
+	return rn.snapshotInputsLocked(s), true
+}
+
+func (rn *run) snapshotInputsLocked(s *stage) []*engine.PartitionedResult {
+	ins := s.source().Inputs()
+	out := make([]*engine.PartitionedResult, len(ins))
+	for i, in := range ins {
+		res := rn.results[rn.plan.byOp[in]]
+		out[i] = &engine.PartitionedResult{
+			Schema: res.Schema,
+			Parts:  append([][]engine.Row(nil), res.Parts...),
+			Lost:   append([]bool(nil), res.Lost...),
+		}
+	}
+	return out
+}

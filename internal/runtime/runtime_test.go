@@ -1,0 +1,280 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+
+	"ftpde/internal/engine"
+	"ftpde/internal/schemes"
+)
+
+// testPipeline builds scan -> select -> join(dim) -> global agg over a small
+// fact table (the same shape as the staged engine's recovery tests), with
+// the join optionally materialized.
+func testPipeline(t *testing.T, parts int, matJoin bool) engine.Operator {
+	t.Helper()
+	factRows := make([]engine.Row, 100)
+	for i := range factRows {
+		factRows[i] = engine.Row{int64(i % 10), float64(i)}
+	}
+	schema := engine.Schema{{Name: "k", Type: engine.TypeInt}, {Name: "v", Type: engine.TypeFloat}}
+	fact, err := engine.NewTable("fact", schema, factRows, parts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim, err := engine.NewTable("dim",
+		engine.Schema{{Name: "id", Type: engine.TypeInt}, {Name: "w", Type: engine.TypeFloat}},
+		[]engine.Row{{int64(0), 2.0}, {int64(1), 3.0}, {int64(2), 4.0}}, parts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scan := engine.NewScan("scan", fact, nil, nil)
+	sel := engine.NewSelect("sel", scan, engine.Cmp{Op: engine.LT, L: engine.Col(0), R: engine.Const{V: int64(5)}})
+	build := engine.NewScan("dimscan", dim, nil, nil)
+	join := engine.NewHashJoin("join", build, sel, 0, 0)
+	if matJoin {
+		join.SetMaterialize(true)
+	}
+	return engine.NewHashAggregate("agg", join, nil,
+		[]engine.AggSpec{{Kind: engine.AggSum, Col: 1}, {Kind: engine.AggCount}},
+		true, engine.Schema{{Name: "sum"}, {Name: "cnt"}})
+}
+
+func runQuery(t *testing.T, root engine.Operator, cfg Config) (float64, int64, *engine.Report) {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := r.Execute(context.Background(), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.AllRows()
+	if len(rows) != 1 {
+		t.Fatalf("expected a single aggregate row, got %d", len(rows))
+	}
+	return rows[0][0].(float64), rows[0][1].(int64), rep
+}
+
+func TestPipelinedMatchesStagedClean(t *testing.T) {
+	// Ground truth from the staged engine.
+	co := &engine.Coordinator{Nodes: 4}
+	sres, _, err := co.Execute(testPipeline(t, 4, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := sres.AllRows()[0][0].(float64)
+	wantCnt := sres.AllRows()[0][1].(int64)
+
+	for _, batch := range []int{1, 3, 256} {
+		sum, cnt, rep := runQuery(t, testPipeline(t, 4, false), Config{Nodes: 4, BatchSize: batch})
+		if sum != wantSum || cnt != wantCnt {
+			t.Errorf("batch=%d: pipelined (%g,%d) != staged (%g,%d)", batch, sum, cnt, wantSum, wantCnt)
+		}
+		if rep.Failures != 0 {
+			t.Errorf("batch=%d: clean run reported failures", batch)
+		}
+	}
+}
+
+func TestRecoveryProducesSameResult(t *testing.T) {
+	wantSum, wantCnt, cleanRep := runQuery(t, testPipeline(t, 4, false), Config{Nodes: 4})
+	if cleanRep.Failures != 0 {
+		t.Fatal("clean run reported failures")
+	}
+
+	inj := engine.NewScriptedFailures().Add("join", 2, 0)
+	sum, cnt, rep := runQuery(t, testPipeline(t, 4, false), Config{Nodes: 4, Injector: inj})
+	if sum != wantSum || cnt != wantCnt {
+		t.Errorf("failed run result (%g,%d) != clean (%g,%d)", sum, cnt, wantSum, wantCnt)
+	}
+	if rep.Failures != 1 {
+		t.Errorf("failures = %d, want 1", rep.Failures)
+	}
+	if rep.RecomputedPartitions == 0 {
+		t.Error("no lineage recomputation recorded")
+	}
+}
+
+func TestMaterializationLimitsRecomputation(t *testing.T) {
+	injA := engine.NewScriptedFailures().Add("agg", 0, 0)
+	sumA, cntA, repA := runQuery(t, testPipeline(t, 4, true), Config{Nodes: 4, Injector: injA})
+
+	injB := engine.NewScriptedFailures().Add("agg", 0, 0)
+	sumB, cntB, repB := runQuery(t, testPipeline(t, 4, false), Config{Nodes: 4, Injector: injB})
+
+	if sumA != sumB || cntA != cntB {
+		t.Errorf("materialized vs volatile results differ: (%g,%d) vs (%g,%d)", sumA, cntA, sumB, cntB)
+	}
+	// agg is wide: without materialization, the lost node's join/sel/scan
+	// lineage must be recomputed; with the join checkpointed only agg re-runs.
+	if repA.RecomputedPartitions >= repB.RecomputedPartitions {
+		t.Errorf("materialization did not reduce recomputation: %d >= %d",
+			repA.RecomputedPartitions, repB.RecomputedPartitions)
+	}
+	if repA.MaterializedPartitions == 0 {
+		t.Error("no partitions materialized despite flag")
+	}
+}
+
+func TestRepeatedFailuresSamePartition(t *testing.T) {
+	inj := engine.NewScriptedFailures().
+		Add("join", 1, 0).
+		Add("join", 1, 1).
+		Add("join", 1, 2)
+	sum, cnt, rep := runQuery(t, testPipeline(t, 4, false), Config{Nodes: 4, Injector: inj})
+	wantSum, wantCnt, _ := runQuery(t, testPipeline(t, 4, false), Config{Nodes: 4})
+	if sum != wantSum || cnt != wantCnt {
+		t.Error("result corrupted by repeated failures")
+	}
+	if rep.Failures != 3 {
+		t.Errorf("failures = %d, want 3", rep.Failures)
+	}
+}
+
+func TestFailureDuringRecoveryOfUpstream(t *testing.T) {
+	// Fail the agg first; during its recovery the re-run of the lost join
+	// partition fails too.
+	inj := engine.NewScriptedFailures().
+		Add("agg", 0, 0).
+		Add("join", 0, 1)
+	sum, cnt, rep := runQuery(t, testPipeline(t, 4, false), Config{Nodes: 4, Injector: inj})
+	wantSum, wantCnt, _ := runQuery(t, testPipeline(t, 4, false), Config{Nodes: 4})
+	if sum != wantSum || cnt != wantCnt {
+		t.Error("nested-failure result incorrect")
+	}
+	if rep.Failures < 2 {
+		t.Errorf("failures = %d, want >= 2", rep.Failures)
+	}
+}
+
+func TestFailureInChainedOperator(t *testing.T) {
+	// "sel" is a chained pipeline operator (mid-stage, not a source): a
+	// scripted failure there must kill the whole stage partition mid-stream
+	// and recover it.
+	inj := engine.NewScriptedFailures().Add("sel", 1, 0)
+	sum, cnt, rep := runQuery(t, testPipeline(t, 4, false),
+		Config{Nodes: 4, Injector: inj, BatchSize: 4})
+	wantSum, wantCnt, _ := runQuery(t, testPipeline(t, 4, false), Config{Nodes: 4})
+	if sum != wantSum || cnt != wantCnt {
+		t.Error("chained-operator failure corrupted the result")
+	}
+	if rep.Failures != 1 {
+		t.Errorf("failures = %d, want 1", rep.Failures)
+	}
+}
+
+func TestCoarseRestartRecovery(t *testing.T) {
+	inj := engine.NewScriptedFailures().Add("join", 2, 0)
+	sum, cnt, rep := runQuery(t, testPipeline(t, 4, false),
+		Config{Nodes: 4, Injector: inj, Recovery: schemes.CoarseRestart})
+	wantSum, wantCnt, _ := runQuery(t, testPipeline(t, 4, false), Config{Nodes: 4})
+	if sum != wantSum || cnt != wantCnt {
+		t.Error("coarse restart produced wrong result")
+	}
+	if rep.Restarts != 1 {
+		t.Errorf("restarts = %d, want 1", rep.Restarts)
+	}
+}
+
+func TestCoarseRestartAborts(t *testing.T) {
+	inj := engine.NewScriptedFailures()
+	for attempt := 0; attempt < 50; attempt++ {
+		inj.Add("join", 0, attempt) // fail every attempt: query can never finish
+	}
+	r, err := New(Config{Nodes: 2, Injector: inj, Recovery: schemes.CoarseRestart, MaxRestarts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := r.Execute(context.Background(), testPipeline(t, 2, false))
+	if err == nil {
+		t.Fatal("expected abort error")
+	}
+	if !rep.Aborted {
+		t.Error("report not marked aborted")
+	}
+	if rep.Restarts != 6 {
+		t.Errorf("restarts = %d, want 6 (MaxRestarts+1)", rep.Restarts)
+	}
+}
+
+func TestDiskStoreResume(t *testing.T) {
+	// First run materializes the join to disk; a second runtime over the
+	// same directory restores it instead of recomputing.
+	dir := t.TempDir()
+	store, err := engine.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum, wantCnt, rep := runQuery(t, testPipeline(t, 4, true), Config{Nodes: 4, Store: store})
+	if rep.MaterializedPartitions == 0 {
+		t.Fatal("nothing checkpointed to disk")
+	}
+	if err := store.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := engine.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum2, cnt2, rep2 := runQuery(t, testPipeline(t, 4, true), Config{Nodes: 4, Store: store2})
+	if sum2 != wantSum || cnt2 != wantCnt {
+		t.Error("resumed run produced a different result")
+	}
+	if rep2.MaterializedPartitions != 0 {
+		t.Errorf("resumed run re-materialized %d partitions, want 0 (served from disk)", rep2.MaterializedPartitions)
+	}
+}
+
+func TestMetricsCounters(t *testing.T) {
+	m := &Metrics{}
+	inj := engine.NewScriptedFailures().Add("join", 1, 0)
+	_, _, rep := runQuery(t, testPipeline(t, 4, true),
+		Config{Nodes: 4, Injector: inj, Metrics: m, BatchSize: 8})
+	snap := m.Snapshot()
+	if snap.Batches == 0 || snap.Rows == 0 {
+		t.Errorf("no batch/row flow recorded: %+v", snap)
+	}
+	if snap.Failures != int64(rep.Failures) {
+		t.Errorf("metrics failures %d != report %d", snap.Failures, rep.Failures)
+	}
+	if snap.CheckpointParts == 0 || snap.CheckpointBytes == 0 {
+		t.Errorf("checkpoint counters empty: %+v", snap)
+	}
+	if snap.Recoveries == 0 {
+		t.Error("no recoveries counted")
+	}
+	if len(snap.StageWall) == 0 {
+		t.Error("no per-stage wall time recorded")
+	}
+	if snap.String() == "" {
+		t.Error("empty snapshot rendering")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := New(Config{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Execute(ctx, testPipeline(t, 4, false)); err == nil {
+		t.Fatal("expected error from cancelled context")
+	}
+}
+
+func TestBoundedWorkerPool(t *testing.T) {
+	// MaxWorkers=1 must still complete (no deadlock between the pool and
+	// pipeline goroutines or recovery).
+	inj := engine.NewScriptedFailures().Add("join", 0, 0)
+	sum, cnt, _ := runQuery(t, testPipeline(t, 4, false),
+		Config{Nodes: 4, MaxWorkers: 1, Injector: inj})
+	wantSum, wantCnt, _ := runQuery(t, testPipeline(t, 4, false), Config{Nodes: 4})
+	if sum != wantSum || cnt != wantCnt {
+		t.Error("single-worker run produced wrong result")
+	}
+}

@@ -1,0 +1,177 @@
+package runtime
+
+import (
+	"fmt"
+
+	"ftpde/internal/engine"
+)
+
+// sourceKind classifies how a stage's source operator reads its inputs, which
+// determines both scheduling (what must exist before the stage can run) and
+// fine-grained recovery (what must be re-ensured after a node failure).
+type sourceKind int
+
+const (
+	// srcScan reads base tables only; it has no stage dependencies.
+	srcScan sourceKind = iota
+	// srcWide reads every partition of every input stage (exchange, joins,
+	// global aggregation, sort).
+	srcWide
+	// srcNarrow reads partition p of each input stage to produce output
+	// partition p (a narrow operator cut off its producer by a
+	// materialization point or a shared sub-plan).
+	srcNarrow
+)
+
+// stage is one node of the runtime's execution DAG: a source operator
+// followed by a chain of streamable narrow operators. Within a stage, rows
+// flow between operators through buffered channels in vectorized batches;
+// stage boundaries are barriers where the full partitioned result is
+// buffered (and, for materialization points, checkpointed asynchronously).
+type stage struct {
+	id   int
+	kind sourceKind
+	// ops is the pipeline chain; ops[0] is the source, the rest are
+	// streamable narrow operators executed behind BatchAdapters.
+	ops   []engine.Operator
+	procs []engine.BatchProcessor // batch adapters for ops[1:]
+	// deps are the producer stages of the source's inputs, in input order.
+	deps []*stage
+	// ancestors is the transitive dependency closure including the stage
+	// itself — the lineage dropped on a node failure.
+	ancestors []*stage
+	// checkpoint marks a materialization point: the terminal operator's
+	// output is written to the fault-tolerant store.
+	checkpoint bool
+}
+
+func (s *stage) source() engine.Operator   { return s.ops[0] }
+func (s *stage) terminal() engine.Operator { return s.ops[len(s.ops)-1] }
+
+// name identifies the stage by its terminal operator — the same key the
+// staged engine materializes under, so checkpoints written by one runtime
+// are restorable by the other.
+func (s *stage) name() string { return s.terminal().Name() }
+
+// stagePlan is a compiled stage DAG for one query.
+type stagePlan struct {
+	stages []*stage // topological order, producers first
+	root   *stage
+	byOp   map[engine.Operator]*stage
+}
+
+// buildStages cuts the operator DAG into pipelined stages. An operator joins
+// its input's stage when it can stream batch-at-a-time from it: single
+// input, narrow, row-local (engine.Streamable), the input is not a
+// materialization point, and the input has no other consumer. Everything
+// else — scans, wide operators, consumers of materialized or shared
+// outputs — starts a new stage.
+func buildStages(root engine.Operator, nodes int) (*stagePlan, error) {
+	if root == nil {
+		return nil, fmt.Errorf("runtime: nil plan root")
+	}
+	order, consumers, err := topoSort(root)
+	if err != nil {
+		return nil, err
+	}
+	plan := &stagePlan{byOp: make(map[engine.Operator]*stage, len(order))}
+	for _, op := range order {
+		ins := op.Inputs()
+		if len(ins) == 1 && engine.Streamable(op) {
+			in := ins[0]
+			if !in.Materialize() && consumers[in] == 1 {
+				s := plan.byOp[in]
+				if s.terminal() == in { // input is still a chain tail
+					proc, err := engine.NewBatchAdapter(op, nodes)
+					if err != nil {
+						return nil, err
+					}
+					s.ops = append(s.ops, op)
+					s.procs = append(s.procs, proc)
+					s.checkpoint = op.Materialize()
+					plan.byOp[op] = s
+					continue
+				}
+			}
+		}
+		s := &stage{id: len(plan.stages), ops: []engine.Operator{op}, checkpoint: op.Materialize()}
+		switch {
+		case len(ins) == 0:
+			s.kind = srcScan
+		case op.Wide():
+			s.kind = srcWide
+		default:
+			s.kind = srcNarrow
+		}
+		seen := make(map[*stage]bool)
+		for _, in := range ins {
+			d := plan.byOp[in]
+			if d.terminal() != in {
+				return nil, fmt.Errorf("runtime: stage input %s is not a stage boundary", in.Name())
+			}
+			if !seen[d] {
+				seen[d] = true
+				s.deps = append(s.deps, d)
+			}
+		}
+		plan.stages = append(plan.stages, s)
+		plan.byOp[op] = s
+	}
+	plan.root = plan.byOp[root]
+	for _, s := range plan.stages {
+		s.ancestors = collectAncestors(s)
+	}
+	return plan, nil
+}
+
+// collectAncestors returns s plus its transitive dependencies.
+func collectAncestors(s *stage) []*stage {
+	seen := make(map[*stage]bool)
+	var out []*stage
+	var visit func(*stage)
+	visit = func(x *stage) {
+		if seen[x] {
+			return
+		}
+		seen[x] = true
+		out = append(out, x)
+		for _, d := range x.deps {
+			visit(d)
+		}
+	}
+	visit(s)
+	return out
+}
+
+// topoSort orders the operator DAG producers-first, counts consumers per
+// operator (deduplicating shared sub-plans by identity), and rejects
+// duplicate operator names, which would collide in the checkpoint store.
+func topoSort(root engine.Operator) ([]engine.Operator, map[engine.Operator]int, error) {
+	var order []engine.Operator
+	consumers := make(map[engine.Operator]int)
+	seen := make(map[engine.Operator]bool)
+	names := make(map[string]bool)
+	var visit func(op engine.Operator) error
+	visit = func(op engine.Operator) error {
+		if seen[op] {
+			return nil
+		}
+		seen[op] = true
+		for _, in := range op.Inputs() {
+			consumers[in]++
+			if err := visit(in); err != nil {
+				return err
+			}
+		}
+		if names[op.Name()] {
+			return fmt.Errorf("runtime: duplicate operator name %q in query", op.Name())
+		}
+		names[op.Name()] = true
+		order = append(order, op)
+		return nil
+	}
+	if err := visit(root); err != nil {
+		return nil, nil, err
+	}
+	return order, consumers, nil
+}

@@ -1,0 +1,164 @@
+package runtime
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"ftpde/internal/engine"
+	"ftpde/internal/tpch"
+)
+
+// The acceptance bar for the pipelined runtime: byte-identical results to
+// the staged engine on the TPC-H example queries, both clean and under
+// scripted failure traces with fine-grained recovery.
+
+const (
+	eqSF    = 0.002
+	eqNodes = 4
+	eqSeed  = 7
+)
+
+type queryBuilder func(t *testing.T, cat *engine.Catalog) engine.Operator
+
+func tpchQueries() map[string]queryBuilder {
+	return map[string]queryBuilder{
+		"q1": func(t *testing.T, cat *engine.Catalog) engine.Operator {
+			q, err := tpch.EngineQ1(cat, 2500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return q
+		},
+		"q3": func(t *testing.T, cat *engine.Catalog) engine.Operator {
+			q, err := tpch.EngineQ3(cat, "BUILDING", 1200, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return q
+		},
+		"q5": func(t *testing.T, cat *engine.Catalog) engine.Operator {
+			q, err := tpch.EngineQ5(cat, 1, 0, 2400, map[string]bool{"q5-join3": true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return q
+		},
+	}
+}
+
+func stagedRows(t *testing.T, cat *engine.Catalog, build queryBuilder, inj engine.FailureInjector) []engine.Row {
+	t.Helper()
+	co := &engine.Coordinator{Nodes: eqNodes, Injector: inj}
+	res, _, err := co.Execute(build(t, cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.AllRows()
+}
+
+func pipelinedRows(t *testing.T, cat *engine.Catalog, build queryBuilder, cfg Config) ([]engine.Row, *engine.Report) {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, rep, err := r.Execute(context.Background(), build(t, cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.AllRows(), rep
+}
+
+func TestTPCHPipelinedMatchesStaged(t *testing.T) {
+	cat, err := tpch.Generate(eqSF, eqNodes, eqSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, build := range tpchQueries() {
+		t.Run(name, func(t *testing.T) {
+			want := stagedRows(t, cat, build, nil)
+			if len(want) == 0 {
+				t.Fatal("staged engine produced no rows; test data too small")
+			}
+			for _, batch := range []int{7, 256} {
+				got, rep := pipelinedRows(t, cat, build, Config{Nodes: eqNodes, BatchSize: batch})
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("batch=%d: pipelined result differs from staged (%d vs %d rows)",
+						batch, len(got), len(want))
+				}
+				if rep.Failures != 0 {
+					t.Errorf("batch=%d: clean run reported failures", batch)
+				}
+			}
+		})
+	}
+}
+
+func TestTPCHPipelinedRecoveryMatchesStaged(t *testing.T) {
+	cat, err := tpch.Generate(eqSF, eqNodes, eqSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One scripted trace per query, hitting a mid-plan operator so recovery
+	// has real lineage to walk.
+	scripts := map[string]func() *engine.ScriptedFailures{
+		"q1": func() *engine.ScriptedFailures {
+			return engine.NewScriptedFailures().Add("q1-agg", 0, 0)
+		},
+		"q3": func() *engine.ScriptedFailures {
+			return engine.NewScriptedFailures().
+				Add("q3-join-orders-lineitem", 1, 0).
+				Add("q3-agg", 2, 0)
+		},
+		"q5": func() *engine.ScriptedFailures {
+			return engine.NewScriptedFailures().
+				Add("q5-join4", 3, 0).
+				Add("q5-agg", 0, 0)
+		},
+	}
+	for name, build := range tpchQueries() {
+		t.Run(name, func(t *testing.T) {
+			want := stagedRows(t, cat, build, nil)
+			got, rep := pipelinedRows(t, cat, build,
+				Config{Nodes: eqNodes, Injector: scripts[name](), BatchSize: 16})
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("recovered pipelined result differs from staged (%d vs %d rows)",
+					len(got), len(want))
+			}
+			if rep.Failures == 0 {
+				t.Error("scripted failures did not fire")
+			}
+			if rep.RecomputedPartitions == 0 {
+				t.Error("fine-grained recovery recomputed nothing")
+			}
+		})
+	}
+}
+
+func TestTPCHSharedStoreAcrossRuntimes(t *testing.T) {
+	// Checkpoints written by the pipelined runtime are keyed by operator
+	// name, so the staged engine can resume from them (and vice versa).
+	cat, err := tpch.Generate(eqSF, eqNodes, eqSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := tpchQueries()["q3"]
+	store := engine.NewMatStore()
+	want, _ := pipelinedRows(t, cat, build, Config{Nodes: eqNodes, Store: store})
+	if store.Len() == 0 {
+		t.Fatal("pipelined runtime materialized nothing")
+	}
+
+	co := &engine.Coordinator{Nodes: eqNodes, Store: store}
+	res, rep, err := co.Execute(build(t, cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.AllRows(), want) {
+		t.Error("staged engine resumed from pipelined checkpoints with different result")
+	}
+	if rep.MaterializedPartitions != 0 {
+		t.Errorf("staged engine re-materialized %d partitions, want 0 (restored)", rep.MaterializedPartitions)
+	}
+}

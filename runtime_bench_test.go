@@ -1,0 +1,231 @@
+// Throughput benchmarks comparing the concurrent pipelined runtime
+// (internal/runtime) against the staged sequential interpreter
+// (internal/engine) on the same operator DAGs, plus a JSON emitter that
+// records the comparison in BENCH_runtime.json so the perf trajectory is
+// tracked across PRs.
+//
+// Run with:
+//
+//	go test -bench=Runtime -benchmem
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	goruntime "runtime"
+	"testing"
+	"time"
+
+	"ftpde/internal/engine"
+	"ftpde/internal/runtime"
+	"ftpde/internal/tpch"
+)
+
+// multiBranchPlan builds a multi-stage DAG with `branches` independent
+// scan -> select -> project -> global-agg chains whose one-row outputs are
+// combined by a chain of cheap joins. The staged engine runs the branches
+// strictly one operator at a time; the pipelined runtime overlaps them, so
+// with GOMAXPROCS >= branches it wins even when each operator is itself
+// partition-parallel.
+func multiBranchPlan(rowsPerBranch, branches, parts int) (engine.Operator, error) {
+	schema := engine.Schema{{Name: "k", Type: engine.TypeInt}, {Name: "v", Type: engine.TypeFloat}}
+	heavy := func(c engine.Expr) engine.Expr {
+		// A few rounds of arithmetic per row stands in for a real UDF.
+		e := c
+		for i := 0; i < 8; i++ {
+			e = engine.Arith{Op: engine.Add,
+				L: engine.Arith{Op: engine.Mul, L: e, R: engine.Const{V: 1.0000001}},
+				R: engine.Const{V: 0.5}}
+		}
+		return e
+	}
+	var root engine.Operator
+	for b := 0; b < branches; b++ {
+		rows := make([]engine.Row, rowsPerBranch)
+		for i := range rows {
+			rows[i] = engine.Row{int64(i), float64((i*7 + b) % 1000)}
+		}
+		tb, err := engine.NewTable(fmt.Sprintf("t%d", b), schema, rows, parts, 0)
+		if err != nil {
+			return nil, err
+		}
+		scan := engine.NewScan(fmt.Sprintf("scan-%d", b), tb, nil, nil)
+		sel := engine.NewSelect(fmt.Sprintf("sel-%d", b), scan,
+			engine.Cmp{Op: engine.LT, L: engine.Col(1), R: engine.Const{V: 900.0}})
+		proj := engine.NewProject(fmt.Sprintf("proj-%d", b), sel,
+			[]engine.Expr{engine.Const{V: int64(1)}, heavy(engine.Col(1))},
+			engine.Schema{{Name: "one", Type: engine.TypeInt}, {Name: "u", Type: engine.TypeFloat}})
+		agg := engine.NewHashAggregate(fmt.Sprintf("agg-%d", b), proj, []int{0},
+			[]engine.AggSpec{{Kind: engine.AggSum, Col: 1}}, true,
+			engine.Schema{{Name: "one", Type: engine.TypeInt}, {Name: "sum", Type: engine.TypeFloat}})
+		if root == nil {
+			root = agg
+		} else {
+			root = engine.NewHashJoin(fmt.Sprintf("combine-%d", b), agg, root, 0, 0)
+		}
+	}
+	return root, nil
+}
+
+const (
+	benchBranchRows = 60000
+	benchBranches   = 4
+	benchParts      = 2 // fewer partitions than cores: stage overlap is the win
+)
+
+func runStagedOnce(b testing.TB, root engine.Operator) {
+	co := &engine.Coordinator{Nodes: benchParts}
+	res, _, err := co.Execute(root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res.AllRows()) == 0 {
+		b.Fatal("empty result")
+	}
+}
+
+func runPipelinedOnce(b testing.TB, root engine.Operator, m *runtime.Metrics) {
+	r, err := runtime.New(runtime.Config{Nodes: benchParts, Metrics: m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, _, err := r.Execute(context.Background(), root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res.AllRows()) == 0 {
+		b.Fatal("empty result")
+	}
+}
+
+func BenchmarkRuntimeStagedMultiBranch(b *testing.B) {
+	root, err := multiBranchPlan(benchBranchRows, benchBranches, benchParts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runStagedOnce(b, root)
+	}
+}
+
+func BenchmarkRuntimePipelinedMultiBranch(b *testing.B) {
+	root, err := multiBranchPlan(benchBranchRows, benchBranches, benchParts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runPipelinedOnce(b, root, nil)
+	}
+}
+
+// TPC-H Q3 end to end on the pipelined runtime, with and without an
+// injected failure — the pipelined counterpart of BenchmarkEngineQ3.
+func benchPipelinedQ3(b *testing.B, withFailure bool) {
+	cat, err := tpch.Generate(0.002, 4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, err := tpch.EngineQ3(cat, "BUILDING", 1200, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var inj engine.FailureInjector = engine.NoFailures{}
+		if withFailure {
+			inj = engine.NewScriptedFailures().Add("q3-join-orders-lineitem", 1, 0)
+		}
+		r, err := runtime.New(runtime.Config{Nodes: 4, Injector: inj})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, _, err := r.Execute(context.Background(), q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.AllRows()) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkRuntimePipelinedQ3(b *testing.B)         { benchPipelinedQ3(b, false) }
+func BenchmarkRuntimePipelinedQ3Recovery(b *testing.B) { benchPipelinedQ3(b, true) }
+
+// benchRecord is one measurement in BENCH_runtime.json.
+type benchRecord struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+type benchReport struct {
+	GOMAXPROCS    int              `json:"gomaxprocs"`
+	Branches      int              `json:"branches"`
+	RowsPerBranch int              `json:"rows_per_branch"`
+	Partitions    int              `json:"partitions"`
+	Runs          []benchRecord    `json:"runs"`
+	Speedup       float64          `json:"pipelined_speedup"`
+	Metrics       runtime.Snapshot `json:"pipelined_metrics"`
+}
+
+// TestWriteRuntimeBenchJSON measures staged vs pipelined on the multi-branch
+// plan and writes BENCH_runtime.json so the perf trajectory is tracked
+// across PRs. Timing noise is recorded, not asserted on.
+func TestWriteRuntimeBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping bench JSON emission in -short mode")
+	}
+	root, err := multiBranchPlan(benchBranchRows, benchBranches, benchParts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm both paths once, then take the best of three.
+	runStagedOnce(t, root)
+	runPipelinedOnce(t, root, nil)
+	best := func(f func()) float64 {
+		bestD := time.Duration(1 << 62)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD.Seconds()
+	}
+	staged := best(func() { runStagedOnce(t, root) })
+	m := &runtime.Metrics{}
+	pipelined := best(func() { runPipelinedOnce(t, root, m) })
+
+	report := benchReport{
+		GOMAXPROCS:    goruntime.GOMAXPROCS(0),
+		Branches:      benchBranches,
+		RowsPerBranch: benchBranchRows,
+		Partitions:    benchParts,
+		Runs: []benchRecord{
+			{Name: "staged", WallSeconds: staged},
+			{Name: "pipelined", WallSeconds: pipelined},
+		},
+		Speedup: staged / pipelined,
+		Metrics: m.Snapshot(),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_runtime.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("staged=%.3fs pipelined=%.3fs speedup=%.2fx (GOMAXPROCS=%d)",
+		staged, pipelined, report.Speedup, report.GOMAXPROCS)
+	if report.GOMAXPROCS >= 4 && report.Speedup < 1 {
+		t.Logf("warning: pipelined slower than staged on this machine/run")
+	}
+}
