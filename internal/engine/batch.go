@@ -1,90 +1,25 @@
 package engine
 
-import (
-	"fmt"
-)
-
 // DefaultBatchSize is the vector width used by the pipelined runtime when
 // none is configured.
 const DefaultBatchSize = 256
 
-// BatchProcessor is the batch-at-a-time face of a pipelined operator: it
-// transforms one input batch into one output batch for a given partition.
-// A processor sees every batch of its partition in order and must be
-// stateless across batches (filters, projections and other row-local
-// narrow operators qualify; wide or stateful operators do not).
-type BatchProcessor interface {
-	ProcessBatch(part int, batch []Row) ([]Row, error)
-}
-
-// Streamable reports whether op can run batch-at-a-time behind a
-// BatchAdapter: a single-input, narrow, row-local operator. Wide operators
-// (exchange, joins, global aggregation, sort) and partition-wise aggregation
-// hold cross-row state and must compute whole partitions.
+// Streamable reports whether op can run batch-at-a-time inside a pipelined
+// stage: a single-input, narrow operator with a batch kernel. Select and
+// Project are row-local; partition-wise (non-global) HashAggregate is
+// stateful but still narrow — its kernel accumulates across the partition's
+// batches and emits at end of stream. Wide operators (exchange, joins,
+// global aggregation, sort, limit) read whole partitions and cut stages.
 func Streamable(op Operator) bool {
 	if op.Wide() || len(op.Inputs()) != 1 {
 		return false
 	}
-	switch op.(type) {
+	switch o := op.(type) {
 	case *Select, *Project:
 		return true
+	case *HashAggregate:
+		return !o.global
 	default:
 		return false
 	}
-}
-
-// BatchAdapter adapts a streamable Operator to the BatchProcessor interface
-// by presenting each batch as a single-partition input. It is the bridge
-// between the engine's partition-at-a-time Compute contract and the
-// pipelined runtime's channel-of-batches execution.
-type BatchAdapter struct {
-	op    Operator
-	parts int
-}
-
-// NewBatchAdapter wraps op for batch-at-a-time execution over a cluster of
-// `parts` partitions. It rejects operators whose Compute reads more than the
-// current batch (wide or multi-input operators).
-func NewBatchAdapter(op Operator, parts int) (*BatchAdapter, error) {
-	if parts <= 0 {
-		return nil, fmt.Errorf("engine: batch adapter for %s needs at least one partition", op.Name())
-	}
-	if !Streamable(op) {
-		return nil, fmt.Errorf("engine: operator %s is not streamable (wide or multi-input)", op.Name())
-	}
-	return &BatchAdapter{op: op, parts: parts}, nil
-}
-
-// Op returns the wrapped operator.
-func (a *BatchAdapter) Op() Operator { return a.op }
-
-// ProcessBatch implements BatchProcessor: it runs the wrapped operator's
-// Compute over a synthetic single-batch input partition.
-func (a *BatchAdapter) ProcessBatch(part int, batch []Row) ([]Row, error) {
-	if part < 0 || part >= a.parts {
-		return nil, fmt.Errorf("engine: batch adapter for %s: partition %d out of range", a.op.Name(), part)
-	}
-	in := &PartitionedResult{Schema: a.op.Inputs()[0].OutSchema(), Parts: make([][]Row, a.parts), Lost: make([]bool, a.parts)}
-	in.Parts[part] = batch
-	return a.op.Compute(part, []*PartitionedResult{in})
-}
-
-// Batches cuts rows into batches of at most size rows, preserving order.
-// The returned batches alias the input slice (no copying).
-func Batches(rows []Row, size int) [][]Row {
-	if size <= 0 {
-		size = DefaultBatchSize
-	}
-	if len(rows) == 0 {
-		return nil
-	}
-	out := make([][]Row, 0, (len(rows)+size-1)/size)
-	for start := 0; start < len(rows); start += size {
-		end := start + size
-		if end > len(rows) {
-			end = len(rows)
-		}
-		out = append(out, rows[start:end])
-	}
-	return out
 }

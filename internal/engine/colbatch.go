@@ -1,0 +1,249 @@
+package engine
+
+import (
+	"fmt"
+)
+
+// Vector is one typed column of a Batch: exactly one of the payload slices is
+// populated, matching Type. Keeping values in typed slices instead of []Value
+// avoids the per-cell interface boxing of the row representation.
+type Vector struct {
+	Type    ColType
+	Ints    []int64
+	Floats  []float64
+	Strings []string
+}
+
+// Len returns the number of values in the vector.
+func (v *Vector) Len() int {
+	switch v.Type {
+	case TypeInt:
+		return len(v.Ints)
+	case TypeFloat:
+		return len(v.Floats)
+	default:
+		return len(v.Strings)
+	}
+}
+
+// Value boxes the i-th element (used only at row-oriented package edges).
+func (v *Vector) Value(i int) Value {
+	switch v.Type {
+	case TypeInt:
+		return v.Ints[i]
+	case TypeFloat:
+		return v.Floats[i]
+	default:
+		return v.Strings[i]
+	}
+}
+
+// appendValue strictly appends a boxed value of the vector's type; int64,
+// float64 and string only — anything else (including plain int) keeps the
+// data on the row fallback path so values round-trip bit-identically.
+func (v *Vector) appendValue(val Value) bool {
+	switch v.Type {
+	case TypeInt:
+		x, ok := val.(int64)
+		if !ok {
+			return false
+		}
+		v.Ints = append(v.Ints, x)
+	case TypeFloat:
+		x, ok := val.(float64)
+		if !ok {
+			return false
+		}
+		v.Floats = append(v.Floats, x)
+	default:
+		x, ok := val.(string)
+		if !ok {
+			return false
+		}
+		v.Strings = append(v.Strings, x)
+	}
+	return true
+}
+
+// gather builds a dense copy of the vector at the given positions.
+func (v *Vector) gather(sel []int32) Vector {
+	out := Vector{Type: v.Type}
+	switch v.Type {
+	case TypeInt:
+		out.Ints = make([]int64, len(sel))
+		for i, p := range sel {
+			out.Ints[i] = v.Ints[p]
+		}
+	case TypeFloat:
+		out.Floats = make([]float64, len(sel))
+		for i, p := range sel {
+			out.Floats[i] = v.Floats[p]
+		}
+	default:
+		out.Strings = make([]string, len(sel))
+		for i, p := range sel {
+			out.Strings[i] = v.Strings[p]
+		}
+	}
+	return out
+}
+
+// slice returns the [lo,hi) window sharing the underlying arrays.
+func (v *Vector) slice(lo, hi int) Vector {
+	out := Vector{Type: v.Type}
+	switch v.Type {
+	case TypeInt:
+		out.Ints = v.Ints[lo:hi]
+	case TypeFloat:
+		out.Floats = v.Floats[lo:hi]
+	default:
+		out.Strings = v.Strings[lo:hi]
+	}
+	return out
+}
+
+// Batch is the native unit of execution: a set of typed column vectors plus
+// an optional selection vector. Sel holds the physical row positions that are
+// logically present (nil means all rows), so filters narrow a batch without
+// copying column data.
+//
+// A batch can also wrap plain rows (raw != nil) as a fallback when data is
+// not strictly typed — e.g. a column whose values mix int and int64. Raw
+// batches flow through the same kernels on an interpreted path, so results
+// are identical either way.
+type Batch struct {
+	Schema Schema
+	Cols   []Vector
+	Sel    []int32
+	nrows  int   // physical row count of Cols
+	raw    []Row // fallback representation; when set, Cols is unused
+}
+
+// NewBatchFromCols builds a columnar batch, validating column lengths.
+func NewBatchFromCols(schema Schema, cols []Vector) (*Batch, error) {
+	if len(cols) != len(schema) {
+		return nil, fmt.Errorf("engine: batch has %d columns, schema %d", len(cols), len(schema))
+	}
+	n := 0
+	for i := range cols {
+		if cols[i].Type != schema[i].Type {
+			return nil, fmt.Errorf("engine: batch column %d is %s, schema says %s", i, cols[i].Type, schema[i].Type)
+		}
+		if i == 0 {
+			n = cols[i].Len()
+		} else if cols[i].Len() != n {
+			return nil, fmt.Errorf("engine: batch column %d has %d values, column 0 has %d", i, cols[i].Len(), n)
+		}
+	}
+	return &Batch{Schema: schema, Cols: cols, nrows: n}, nil
+}
+
+// RowsToBatch strictly converts rows to a columnar batch: every value must be
+// an int64, float64 or string matching the declared column type. It fails on
+// anything else (nil, plain int, width mismatch), in which case callers fall
+// back to a raw batch so semantics never change.
+func RowsToBatch(schema Schema, rows []Row) (*Batch, error) {
+	cols := make([]Vector, len(schema))
+	for i, c := range schema {
+		cols[i].Type = c.Type
+		switch c.Type {
+		case TypeInt:
+			cols[i].Ints = make([]int64, 0, len(rows))
+		case TypeFloat:
+			cols[i].Floats = make([]float64, 0, len(rows))
+		default:
+			cols[i].Strings = make([]string, 0, len(rows))
+		}
+	}
+	for ri, r := range rows {
+		if len(r) != len(schema) {
+			return nil, fmt.Errorf("engine: row %d has %d values, schema %d", ri, len(r), len(schema))
+		}
+		for ci := range schema {
+			if !cols[ci].appendValue(r[ci]) {
+				return nil, fmt.Errorf("engine: row %d column %d: %T does not match %s", ri, ci, r[ci], schema[ci].Type)
+			}
+		}
+	}
+	return &Batch{Schema: schema, Cols: cols, nrows: len(rows)}, nil
+}
+
+// RawBatch wraps rows without conversion (the fallback representation).
+func RawBatch(schema Schema, rows []Row) *Batch {
+	return &Batch{Schema: schema, raw: rows, nrows: len(rows)}
+}
+
+// rowsOrBatch converts strictly when possible and falls back to raw.
+func rowsOrBatch(schema Schema, rows []Row) *Batch {
+	if b, err := RowsToBatch(schema, rows); err == nil {
+		return b
+	}
+	return RawBatch(schema, rows)
+}
+
+// IsRaw reports whether the batch is on the row fallback path.
+func (b *Batch) IsRaw() bool { return b.raw != nil }
+
+// Len returns the logical (selected) row count.
+func (b *Batch) Len() int {
+	if b.raw != nil {
+		return len(b.raw)
+	}
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.nrows
+}
+
+// AppendRows materializes the logical rows as boxed engine rows, appending to
+// dst. This is the row bridge at package edges (stage sinks, staged Compute).
+func (b *Batch) AppendRows(dst []Row) []Row {
+	if b.raw != nil {
+		return append(dst, b.raw...)
+	}
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		p := i
+		if b.Sel != nil {
+			p = int(b.Sel[i])
+		}
+		r := make(Row, len(b.Cols))
+		for ci := range b.Cols {
+			r[ci] = b.Cols[ci].Value(p)
+		}
+		dst = append(dst, r)
+	}
+	return dst
+}
+
+// ToRows materializes the logical rows (nil when empty, matching the
+// row-oriented operators' convention).
+func (b *Batch) ToRows() []Row { return b.AppendRows(nil) }
+
+// Slice returns the logical window [lo,hi) sharing column storage.
+func (b *Batch) Slice(lo, hi int) *Batch {
+	if b.raw != nil {
+		return RawBatch(b.Schema, b.raw[lo:hi])
+	}
+	if b.Sel != nil {
+		return &Batch{Schema: b.Schema, Cols: b.Cols, Sel: b.Sel[lo:hi], nrows: b.nrows}
+	}
+	cols := make([]Vector, len(b.Cols))
+	for i := range b.Cols {
+		cols[i] = b.Cols[i].slice(lo, hi)
+	}
+	return &Batch{Schema: b.Schema, Cols: cols, nrows: hi - lo}
+}
+
+// Project returns a batch exposing only the given columns (nil keeps all),
+// sharing column storage and the selection vector.
+func (b *Batch) Project(cols []int, schema Schema) *Batch {
+	if cols == nil {
+		return b
+	}
+	out := make([]Vector, len(cols))
+	for i, c := range cols {
+		out[i] = b.Cols[c]
+	}
+	return &Batch{Schema: schema, Cols: out, Sel: b.Sel, nrows: b.nrows}
+}

@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Column-block format: the serialized form of a materialized partition.
+// Values are stored column-major as length-prefixed typed vectors, so
+// checkpoints of typed intermediates are far denser than the row-by-row gob
+// encoding (no per-value type tags, varint integers, raw float bits):
+//
+//	"FTCB" | version(1) | ncols uvarint | nrows uvarint |
+//	  per column: type(1) |
+//	    TypeInt:    nrows signed varints
+//	    TypeFloat:  nrows fixed little-endian float64 bits
+//	    TypeString: nrows of (uvarint length | bytes)
+//
+// Partitions whose rows are not strictly typed (mixed concrete types in a
+// column, ragged widths, non-scalar values) fall back to gob behind the
+// "FTGB" magic; files with neither magic are legacy whole-file gob streams.
+const (
+	colBlockMagic   = "FTCB"
+	gobBlockMagic   = "FTGB"
+	colBlockVersion = 1
+)
+
+// inferColumnTypes derives per-column concrete types from the rows; ok is
+// false when the rows are not strictly typed (the gob fallback handles them).
+func inferColumnTypes(rows []Row) ([]ColType, bool) {
+	if len(rows) == 0 {
+		return nil, true
+	}
+	width := len(rows[0])
+	types := make([]ColType, width)
+	for c := 0; c < width; c++ {
+		switch rows[0][c].(type) {
+		case int64:
+			types[c] = TypeInt
+		case float64:
+			types[c] = TypeFloat
+		case string:
+			types[c] = TypeString
+		default:
+			return nil, false
+		}
+	}
+	for _, r := range rows {
+		if len(r) != width {
+			return nil, false
+		}
+		for c, v := range r {
+			switch types[c] {
+			case TypeInt:
+				if _, ok := v.(int64); !ok {
+					return nil, false
+				}
+			case TypeFloat:
+				if _, ok := v.(float64); !ok {
+					return nil, false
+				}
+			default:
+				if _, ok := v.(string); !ok {
+					return nil, false
+				}
+			}
+		}
+	}
+	return types, true
+}
+
+func uvarintLen(x uint64) int64 {
+	n := int64(1)
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+func varintLen(x int64) int64 {
+	return uvarintLen(uint64(x)<<1 ^ uint64(x>>63))
+}
+
+// ColumnBlockSize returns the exact encoded size of rows in the column-block
+// format, without building the encoding; ok is false when the rows would
+// take the gob fallback. The runtime uses it for its checkpoint-bytes
+// metric.
+func ColumnBlockSize(rows []Row) (int64, bool) {
+	types, ok := inferColumnTypes(rows)
+	if !ok {
+		return 0, false
+	}
+	n := int64(len(colBlockMagic)) + 1
+	n += uvarintLen(uint64(len(types))) + uvarintLen(uint64(len(rows)))
+	for c, t := range types {
+		n++ // type byte
+		switch t {
+		case TypeInt:
+			for _, r := range rows {
+				n += varintLen(r[c].(int64))
+			}
+		case TypeFloat:
+			n += int64(8 * len(rows))
+		default:
+			for _, r := range rows {
+				s := r[c].(string)
+				n += uvarintLen(uint64(len(s))) + int64(len(s))
+			}
+		}
+	}
+	return n, true
+}
+
+// EncodeColumnBlock serializes rows in the column-block format; ok is false
+// when the rows are not strictly typed and the caller must fall back to gob.
+func EncodeColumnBlock(rows []Row) ([]byte, bool) {
+	types, ok := inferColumnTypes(rows)
+	if !ok {
+		return nil, false
+	}
+	size, _ := ColumnBlockSize(rows)
+	buf := make([]byte, 0, size)
+	buf = append(buf, colBlockMagic...)
+	buf = append(buf, colBlockVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(types)))
+	buf = binary.AppendUvarint(buf, uint64(len(rows)))
+	var scratch [8]byte
+	for c, t := range types {
+		buf = append(buf, byte(t))
+		switch t {
+		case TypeInt:
+			for _, r := range rows {
+				buf = binary.AppendVarint(buf, r[c].(int64))
+			}
+		case TypeFloat:
+			for _, r := range rows {
+				binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(r[c].(float64)))
+				buf = append(buf, scratch[:]...)
+			}
+		default:
+			for _, r := range rows {
+				s := r[c].(string)
+				buf = binary.AppendUvarint(buf, uint64(len(s)))
+				buf = append(buf, s...)
+			}
+		}
+	}
+	return buf, true
+}
+
+// DecodeColumnBlock parses a column block (after its 4-byte magic has been
+// consumed) and materializes the rows. Returns nil rows for an empty block.
+func DecodeColumnBlock(r io.Reader) ([]Row, error) {
+	br, ok := r.(io.ByteReader)
+	if !ok {
+		br = &byteReader{r: r}
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("engine: column block: %w", err)
+	}
+	if version != colBlockVersion {
+		return nil, fmt.Errorf("engine: column block version %d unsupported", version)
+	}
+	ncols, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("engine: column block: %w", err)
+	}
+	nrows, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("engine: column block: %w", err)
+	}
+	if ncols > 1<<20 || nrows > 1<<40 {
+		return nil, fmt.Errorf("engine: column block header implausible (%d cols, %d rows)", ncols, nrows)
+	}
+	rows := make([]Row, nrows)
+	for i := range rows {
+		rows[i] = make(Row, ncols)
+	}
+	var scratch [8]byte
+	for c := uint64(0); c < ncols; c++ {
+		tb, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("engine: column block: %w", err)
+		}
+		switch ColType(tb) {
+		case TypeInt:
+			for i := uint64(0); i < nrows; i++ {
+				v, err := binary.ReadVarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("engine: column block: %w", err)
+				}
+				rows[i][c] = v
+			}
+		case TypeFloat:
+			for i := uint64(0); i < nrows; i++ {
+				if err := readFull(br, scratch[:]); err != nil {
+					return nil, fmt.Errorf("engine: column block: %w", err)
+				}
+				rows[i][c] = math.Float64frombits(binary.LittleEndian.Uint64(scratch[:]))
+			}
+		case TypeString:
+			for i := uint64(0); i < nrows; i++ {
+				ln, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("engine: column block: %w", err)
+				}
+				if ln > 1<<30 {
+					return nil, fmt.Errorf("engine: column block string length %d implausible", ln)
+				}
+				b := make([]byte, ln)
+				if err := readFull(br, b); err != nil {
+					return nil, fmt.Errorf("engine: column block: %w", err)
+				}
+				rows[i][c] = string(b)
+			}
+		default:
+			return nil, fmt.Errorf("engine: column block has unknown column type %d", tb)
+		}
+	}
+	if nrows == 0 {
+		return nil, nil
+	}
+	return rows, nil
+}
+
+// byteReader adapts an io.Reader that lacks ReadByte.
+type byteReader struct {
+	r   io.Reader
+	buf [1]byte
+}
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.buf[:]); err != nil {
+		return 0, err
+	}
+	return b.buf[0], nil
+}
+
+func (b *byteReader) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func readFull(br io.ByteReader, p []byte) error {
+	if r, ok := br.(io.Reader); ok {
+		_, err := io.ReadFull(r, p)
+		return err
+	}
+	for i := range p {
+		c, err := br.ReadByte()
+		if err != nil {
+			return err
+		}
+		p[i] = c
+	}
+	return nil
+}
+
+// DecodeBlockFile decodes a stored partition from data, dispatching on the
+// leading magic: column block, gob fallback, or legacy whole-file gob.
+func DecodeBlockFile(data []byte) ([]Row, error) {
+	if len(data) >= 4 && string(data[:4]) == colBlockMagic {
+		return DecodeColumnBlock(bytes.NewReader(data[4:]))
+	}
+	rest := data
+	if len(data) >= 4 && string(data[:4]) == gobBlockMagic {
+		rest = data[4:]
+	}
+	var rows []Row
+	if err := gobDecodeRows(rest, &rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestColumnBlockRoundTrip(t *testing.T) {
+	rows := []Row{
+		{int64(-1), 2.5, "x"},
+		{int64(1 << 40), math.Inf(-1), ""},
+		{int64(0), -0.0, "héllo|world"},
+	}
+	buf, ok := EncodeColumnBlock(rows)
+	if !ok {
+		t.Fatal("strictly typed rows refused column-block encoding")
+	}
+	if size, ok := ColumnBlockSize(rows); !ok || size != int64(len(buf)) {
+		t.Fatalf("ColumnBlockSize = %d ok=%v, encoded %d bytes", size, ok, len(buf))
+	}
+	got, err := DecodeBlockFile(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rows) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, rows)
+	}
+}
+
+func TestColumnBlockNaNBits(t *testing.T) {
+	rows := []Row{{math.NaN()}}
+	buf, ok := EncodeColumnBlock(rows)
+	if !ok {
+		t.Fatal("float rows refused encoding")
+	}
+	got, err := DecodeBlockFile(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got[0][0].(float64)) {
+		t.Fatalf("NaN not preserved: %v", got[0][0])
+	}
+}
+
+func TestColumnBlockEmpty(t *testing.T) {
+	buf, ok := EncodeColumnBlock(nil)
+	if !ok {
+		t.Fatal("empty rows refused encoding")
+	}
+	got, err := DecodeBlockFile(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("want no rows, got %v", got)
+	}
+}
+
+func TestColumnBlockRejectsUntypedRows(t *testing.T) {
+	cases := [][]Row{
+		{{int64(1)}, {2.5}},           // mixed concrete types in a column
+		{{int(7)}},                    // plain int has no vector type
+		{{int64(1), "a"}, {int64(2)}}, // ragged widths
+		{{nil}},                       // nil value
+	}
+	for i, rows := range cases {
+		if _, ok := EncodeColumnBlock(rows); ok {
+			t.Errorf("case %d: untyped rows accepted by column-block encoding", i)
+		}
+		if _, ok := ColumnBlockSize(rows); ok {
+			t.Errorf("case %d: untyped rows got a column-block size", i)
+		}
+	}
+}
+
+func TestDiskStoreGobFallbackRoundTrip(t *testing.T) {
+	// A column mixing int64 and float64 across rows cannot be a typed
+	// vector; the store must fall back to gob and still round-trip exactly.
+	d, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []Row{{int64(1)}, {2.5}}
+	d.Put("mixed", 0, rows, 1)
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get("mixed", 0)
+	if !ok || !reflect.DeepEqual(got, rows) {
+		t.Fatalf("gob fallback round trip: ok=%v got=%v", ok, got)
+	}
+}
+
+func TestDiskStoreReadsLegacyPlainGobFiles(t *testing.T) {
+	// Files written before the columnar refactor are whole-file gob streams
+	// with no magic; Get must still decode them.
+	dir := t.TempDir()
+	d, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []Row{{int64(3), "legacy"}}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "old.part0.gob"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get("old", 0)
+	if !ok || !reflect.DeepEqual(got, rows) {
+		t.Fatalf("legacy gob file: ok=%v got=%v", ok, got)
+	}
+}
+
+func TestDiskStoreGCsOrphanedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Put("op", 0, []Row{{int64(1)}}, 1)
+
+	// Plant an orphan as a crash mid-Put would leave it: a "put-*" temp file
+	// that never got renamed into place.
+	orphan := filepath.Join(dir, "put-123456")
+	if err := os.WriteFile(orphan, []byte("torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store over the directory removes the orphan but keeps data.
+	d2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("orphaned temp file not garbage-collected (stat err: %v)", err)
+	}
+	if rows, ok := d2.Get("op", 0); !ok || len(rows) != 1 {
+		t.Error("orphan GC damaged committed partitions")
+	}
+}

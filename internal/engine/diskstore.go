@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -36,7 +38,8 @@ func init() {
 	gob.Register("")
 }
 
-// DiskStore persists materialized partitions as gob files under a directory.
+// DiskStore persists materialized partitions as column-block files under a
+// directory (gob fallback for partitions that are not strictly typed).
 // Unlike MatStore it survives engine restarts, so a re-submitted query can
 // resume from previously materialized intermediates.
 type DiskStore struct {
@@ -47,10 +50,20 @@ type DiskStore struct {
 	err error
 }
 
-// NewDiskStore creates (or reuses) the directory.
+// NewDiskStore creates (or reuses) the directory and garbage-collects
+// orphaned "put-*" temp files left behind by a crash in the middle of a Put
+// (the atomic tmp+rename protocol never exposes them as partitions, but the
+// files themselves would otherwise accumulate forever).
 func NewDiskStore(dir string) (*DiskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("engine: disk store: %w", err)
+	}
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasPrefix(e.Name(), "put-") {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
 	}
 	return &DiskStore{dir: dir}, nil
 }
@@ -92,10 +105,7 @@ func (d *DiskStore) putLocked(op string, part int, rows []Row) error {
 	if err != nil {
 		return err
 	}
-	if rows == nil {
-		rows = []Row{}
-	}
-	if err := gob.NewEncoder(tmp).Encode(rows); err != nil {
+	if err := writeBlockFile(tmp, rows); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -131,15 +141,36 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// Get implements Store.
+// writeBlockFile serializes one partition to w: the column-block format when
+// the rows are strictly typed, a magic-prefixed gob stream otherwise.
+func writeBlockFile(w io.Writer, rows []Row) error {
+	if buf, ok := EncodeColumnBlock(rows); ok {
+		_, err := w.Write(buf)
+		return err
+	}
+	if _, err := io.WriteString(w, gobBlockMagic); err != nil {
+		return err
+	}
+	if rows == nil {
+		rows = []Row{}
+	}
+	return gob.NewEncoder(w).Encode(rows)
+}
+
+// gobDecodeRows decodes a gob-encoded row slice from data.
+func gobDecodeRows(data []byte, rows *[]Row) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(rows)
+}
+
+// Get implements Store. It reads the column-block format, the gob fallback,
+// and legacy plain-gob files written before the columnar refactor.
 func (d *DiskStore) Get(op string, part int) ([]Row, bool) {
-	f, err := os.Open(d.path(op, part))
+	data, err := os.ReadFile(d.path(op, part))
 	if err != nil {
 		return nil, false
 	}
-	defer f.Close()
-	var rows []Row
-	if err := gob.NewDecoder(f).Decode(&rows); err != nil {
+	rows, err := DecodeBlockFile(data)
+	if err != nil {
 		return nil, false
 	}
 	return rows, true

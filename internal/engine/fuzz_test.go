@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+// exprGen deterministically derives a schema, rows, and an expression tree
+// from fuzz bytes, so the fuzzer explores the joint space of expression
+// shapes and data.
+type exprGen struct {
+	data []byte
+	pos  int
+}
+
+func (g *exprGen) byte() byte {
+	if g.pos >= len(g.data) {
+		return 0
+	}
+	b := g.data[g.pos]
+	g.pos++
+	return b
+}
+
+func (g *exprGen) schema() Schema {
+	ncols := 1 + int(g.byte())%3
+	s := make(Schema, ncols)
+	for i := range s {
+		s[i] = Column{Name: string(rune('a' + i)), Type: ColType(g.byte() % 3)}
+	}
+	return s
+}
+
+func (g *exprGen) value(t ColType) Value {
+	switch t {
+	case TypeInt:
+		return int64(g.byte()) - 16 // small ints, including 0 and negatives
+	case TypeFloat:
+		// Divide so zero divisors and NaN-free small floats both occur.
+		return float64(int64(g.byte())-8) / 4
+	default:
+		return []string{"", "a", "bb", "Z|"}[g.byte()%4]
+	}
+}
+
+func (g *exprGen) rows(s Schema) []Row {
+	n := int(g.byte()) % 5
+	rows := make([]Row, 0, n)
+	for i := 0; i < n; i++ {
+		r := make(Row, len(s))
+		for c := range s {
+			r[c] = g.value(s[c].Type)
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+func (g *exprGen) expr(s Schema, depth int) Expr {
+	kind := g.byte()
+	if depth <= 0 {
+		kind %= 2 // leaves only
+	}
+	switch kind % 6 {
+	case 0:
+		return Col(int(g.byte()) % (len(s) + 1)) // may be out of range
+	case 1:
+		return Const{V: g.value(ColType(g.byte() % 3))}
+	case 2, 3:
+		return Cmp{Op: CmpOp(g.byte() % 6), L: g.expr(s, depth-1), R: g.expr(s, depth-1)}
+	case 4:
+		n := int(g.byte()) % 3
+		conj := make(And, 0, n)
+		for i := 0; i < n; i++ {
+			conj = append(conj, g.expr(s, depth-1))
+		}
+		return conj
+	default:
+		return Arith{Op: ArithOp(g.byte() % 4), L: g.expr(s, depth-1), R: g.expr(s, depth-1)}
+	}
+}
+
+func sameValue(a, b Value) bool {
+	if af, ok := a.(float64); ok {
+		bf, ok := b.(float64)
+		return ok && (af == bf || (math.IsNaN(af) && math.IsNaN(bf)))
+	}
+	return a == b
+}
+
+// FuzzCompiledExpr differentially fuzzes the compiled batch evaluator against
+// the interpreted per-row evaluator: on every generated (schema, rows,
+// expression) triple where the expression compiles, both must agree on error
+// presence and, when error-free, on every produced value.
+func FuzzCompiledExpr(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 3, 0, 1, 2, 3, 4})
+	f.Add([]byte{2, 1, 0, 4, 10, 20, 30, 40, 2, 5, 0, 1, 1, 7})
+	f.Add([]byte("compare-and-arith\x05\x03\x00\xff\x80"))
+	f.Add([]byte{1, 2, 2, 200, 201, 202, 4, 2, 2, 3, 0, 0, 5, 1, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := &exprGen{data: data}
+		schema := g.schema()
+		rows := g.rows(schema)
+		e := g.expr(schema, 3)
+
+		// Interpreted reference: per-row values, first error wins.
+		var want []Value
+		var wantErr error
+		for _, r := range rows {
+			v, err := e.Eval(r)
+			if err != nil {
+				wantErr = err
+				break
+			}
+			want = append(want, v)
+		}
+
+		ce, err := Compile(e, schema)
+		if err != nil {
+			// Expressions the compiler rejects run interpreted; nothing to
+			// compare, the reference evaluation above already exercised them.
+			return
+		}
+		b, err := RowsToBatch(schema, rows)
+		if err != nil {
+			t.Fatalf("generated rows are not strictly typed: %v", err)
+		}
+		vec, cerr := ce.eval(b, nil)
+		if wantErr != nil {
+			if cerr == nil {
+				t.Fatalf("interpreted failed (%v) but compiled succeeded\nexpr=%#v rows=%v", wantErr, e, rows)
+			}
+			return
+		}
+		if cerr != nil {
+			t.Fatalf("compiled failed (%v) but interpreted succeeded\nexpr=%#v rows=%v", cerr, e, rows)
+		}
+		for i := range rows {
+			if got := vec.Value(i); !sameValue(got, want[i]) {
+				t.Fatalf("row %d: compiled=%v interpreted=%v\nexpr=%#v rows=%v", i, got, want[i], e, rows)
+			}
+		}
+	})
+}

@@ -1,0 +1,335 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// BatchKernel is the batch-at-a-time implementation of a narrow operator.
+// Process consumes one input batch and returns the output produced so far
+// (nil when the kernel buffers, e.g. aggregation); Flush emits whatever state
+// remains at end of stream. A kernel instance serves exactly one partition
+// stream — stateful kernels are created fresh per attempt.
+//
+// Kernels are the single implementation of each narrow operator: the staged
+// Coordinator reaches them through the row↔batch bridge in kernelRows, the
+// pipelined runtime feeds them batches straight off its channels.
+type BatchKernel interface {
+	Process(b *Batch) (*Batch, error)
+	Flush() (*Batch, error)
+}
+
+// NewOperatorKernel returns a fresh kernel for op, or false when the operator
+// has no batch kernel (wide or multi-input operators compute whole
+// partitions).
+func NewOperatorKernel(op Operator) (BatchKernel, bool) {
+	switch o := op.(type) {
+	case *Select:
+		return &filterKernel{op: o}, true
+	case *Project:
+		return &projectKernel{op: o}, true
+	case *HashAggregate:
+		return newAggKernel(o), true
+	case *Limit:
+		return &limitKernel{remaining: o.n}, true
+	default:
+		return nil, false
+	}
+}
+
+// kernelRows is the row↔batch bridge for the staged Compute contract: it
+// feeds each input partition through the kernel as one batch (strictly
+// columnar when the rows allow, raw otherwise) and materializes the output
+// back to rows (nil when empty).
+func kernelRows(k BatchKernel, inSchema Schema, parts ...[]Row) ([]Row, error) {
+	var out []Row
+	for _, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		ob, err := k.Process(rowsOrBatch(inSchema, p))
+		if err != nil {
+			return nil, err
+		}
+		if ob != nil {
+			out = ob.AppendRows(out)
+		}
+	}
+	fb, err := k.Flush()
+	if err != nil {
+		return nil, err
+	}
+	if fb != nil {
+		out = fb.AppendRows(out)
+	}
+	return out, nil
+}
+
+// rawRows exposes the batch's logical rows for interpreted fallback paths.
+func (b *Batch) rawRows() []Row {
+	if b.raw != nil {
+		return b.raw
+	}
+	return b.ToRows()
+}
+
+// filterKernel applies a Select predicate. On columnar batches the compiled
+// predicate narrows the selection vector without touching column data; raw
+// batches (or uncompilable predicates) run the interpreted row loop.
+type filterKernel struct {
+	op *Select
+}
+
+func (k *filterKernel) Process(b *Batch) (*Batch, error) {
+	if !b.IsRaw() && k.op.cpred != nil {
+		sel, err := k.op.cpred.Filter(b)
+		if err != nil {
+			return nil, err
+		}
+		return &Batch{Schema: b.Schema, Cols: b.Cols, Sel: sel, nrows: b.nrows}, nil
+	}
+	var out []Row
+	for _, r := range b.rawRows() {
+		ok, err := truthy(k.op.pred, r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return RawBatch(k.op.schema, out), nil
+}
+
+func (k *filterKernel) Flush() (*Batch, error) { return nil, nil }
+
+// projectKernel evaluates Project expressions. Compiled expressions produce
+// output vectors directly; otherwise the interpreted per-row loop runs.
+type projectKernel struct {
+	op *Project
+}
+
+func (k *projectKernel) Process(b *Batch) (*Batch, error) {
+	if !b.IsRaw() && k.op.cexprs != nil {
+		cols := make([]Vector, len(k.op.cexprs))
+		for i, ce := range k.op.cexprs {
+			v, err := ce.eval(b, b.Sel)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = v
+		}
+		return &Batch{Schema: k.op.schema, Cols: cols, nrows: b.Len()}, nil
+	}
+	in := b.rawRows()
+	out := make([]Row, 0, len(in))
+	for _, r := range in {
+		nr := make(Row, len(k.op.exprs))
+		for i, e := range k.op.exprs {
+			v, err := e.Eval(r)
+			if err != nil {
+				return nil, err
+			}
+			nr[i] = v
+		}
+		out = append(out, nr)
+	}
+	return RawBatch(k.op.schema, out), nil
+}
+
+func (k *projectKernel) Flush() (*Batch, error) { return nil, nil }
+
+// aggKernel is the stateful grouping kernel behind HashAggregate: it
+// accumulates group state across batches and emits the sorted result at
+// Flush. Columnar batches accumulate through typed column access; raw
+// batches run the boxed row loop with identical semantics (group signatures
+// render values the same way on both paths).
+type aggKernel struct {
+	op     *HashAggregate
+	groups map[string]*aggState
+	order  []string
+	sig    []byte // reused per-row signature buffer
+}
+
+func newAggKernel(op *HashAggregate) *aggKernel {
+	return &aggKernel{op: op, groups: make(map[string]*aggState)}
+}
+
+// appendSigValue renders one group-key value exactly like the interpreted
+// fmt.Sprintf("%v|", v) does for the three vector types.
+func appendSigValue(dst []byte, v *Vector, p int) []byte {
+	switch v.Type {
+	case TypeInt:
+		dst = strconv.AppendInt(dst, v.Ints[p], 10)
+	case TypeFloat:
+		dst = strconv.AppendFloat(dst, v.Floats[p], 'g', -1, 64)
+	default:
+		dst = append(dst, v.Strings[p]...)
+	}
+	return append(dst, '|')
+}
+
+func (k *aggKernel) Process(b *Batch) (*Batch, error) {
+	if b.Len() == 0 {
+		return nil, nil
+	}
+	if b.IsRaw() {
+		for _, r := range b.raw {
+			if err := k.accumulateRow(r); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+	a := k.op
+	width := len(b.Cols)
+	for _, g := range a.groupCols {
+		if g >= width {
+			return nil, fmt.Errorf("engine: aggregate %s group column %d out of range", a.name, g)
+		}
+	}
+	for _, spec := range a.aggs {
+		if spec.Kind == AggCount {
+			continue
+		}
+		if spec.Col >= width {
+			return nil, fmt.Errorf("engine: aggregate %s column %d out of range", a.name, spec.Col)
+		}
+		if (spec.Kind == AggSum || spec.Kind == AggAvg) && b.Cols[spec.Col].Type == TypeString {
+			return nil, fmt.Errorf("engine: aggregate %s over non-numeric string", a.name)
+		}
+	}
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		p := i
+		if b.Sel != nil {
+			p = int(b.Sel[i])
+		}
+		k.sig = k.sig[:0]
+		for _, g := range a.groupCols {
+			k.sig = appendSigValue(k.sig, &b.Cols[g], p)
+		}
+		st, ok := k.groups[string(k.sig)]
+		if !ok {
+			key := make(Row, len(a.groupCols))
+			for gi, g := range a.groupCols {
+				key[gi] = b.Cols[g].Value(p)
+			}
+			st = newAggState(key, len(a.aggs))
+			sig := string(k.sig)
+			k.groups[sig] = st
+			k.order = append(k.order, sig)
+		}
+		for si, spec := range a.aggs {
+			if spec.Kind == AggCount {
+				st.counts[si]++
+				continue
+			}
+			vec := &b.Cols[spec.Col]
+			if vec.Type != TypeString {
+				st.sums[si] += numAt(vec, p)
+			}
+			st.counts[si]++
+			if spec.Kind == AggMin || spec.Kind == AggMax {
+				st.updateMinMax(si, vec.Value(p))
+			}
+		}
+	}
+	return nil, nil
+}
+
+// accumulateRow folds one boxed row into the group state — the interpreted
+// path, with the exact semantics of the pre-columnar HashAggregate loop.
+func (k *aggKernel) accumulateRow(r Row) error {
+	a := k.op
+	key := make(Row, len(a.groupCols))
+	sig := ""
+	for i, g := range a.groupCols {
+		if g >= len(r) {
+			return fmt.Errorf("engine: aggregate %s group column %d out of range", a.name, g)
+		}
+		key[i] = r[g]
+		sig += fmt.Sprintf("%v|", r[g])
+	}
+	st, ok := k.groups[sig]
+	if !ok {
+		st = newAggState(key, len(a.aggs))
+		k.groups[sig] = st
+		k.order = append(k.order, sig)
+	}
+	for i, spec := range a.aggs {
+		if spec.Kind == AggCount {
+			st.counts[i]++
+			continue
+		}
+		if spec.Col >= len(r) {
+			return fmt.Errorf("engine: aggregate %s column %d out of range", a.name, spec.Col)
+		}
+		v := r[spec.Col]
+		f, okf := toFloat(v)
+		if !okf && (spec.Kind == AggSum || spec.Kind == AggAvg) {
+			return fmt.Errorf("engine: aggregate %s over non-numeric %T", a.name, v)
+		}
+		st.sums[i] += f
+		st.counts[i]++
+		st.updateMinMax(i, v)
+	}
+	return nil
+}
+
+func (k *aggKernel) Flush() (*Batch, error) {
+	sort.Strings(k.order)
+	out := make([]Row, 0, len(k.order))
+	for _, sig := range k.order {
+		st := k.groups[sig]
+		r := append(Row{}, st.key...)
+		for i, spec := range k.op.aggs {
+			switch spec.Kind {
+			case AggSum:
+				r = append(r, st.sums[i])
+			case AggCount:
+				r = append(r, st.counts[i])
+			case AggAvg:
+				if st.counts[i] == 0 {
+					r = append(r, 0.0)
+				} else {
+					r = append(r, st.sums[i]/float64(st.counts[i]))
+				}
+			case AggMin:
+				r = append(r, st.mins[i])
+			case AggMax:
+				r = append(r, st.maxs[i])
+			default:
+				return nil, fmt.Errorf("engine: unknown aggregate kind %d", int(spec.Kind))
+			}
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return rowsOrBatch(k.op.schema, out), nil
+}
+
+// limitKernel passes through the first remaining rows of the stream — a
+// zero-copy slice of each batch until the budget runs out.
+type limitKernel struct {
+	remaining int
+}
+
+func (k *limitKernel) Process(b *Batch) (*Batch, error) {
+	if k.remaining <= 0 {
+		return nil, nil
+	}
+	n := b.Len()
+	if n <= k.remaining {
+		k.remaining -= n
+		return b, nil
+	}
+	out := b.Slice(0, k.remaining)
+	k.remaining = 0
+	return out, nil
+}
+
+func (k *limitKernel) Flush() (*Batch, error) { return nil, nil }

@@ -76,18 +76,27 @@ type Scan struct {
 	base
 	table   *Table
 	filter  Expr // optional
+	cpred   *CompiledPredicate
 	project []int
 	once    bool
 }
 
 // NewScan creates a scan over the named table. project selects column
 // indexes (nil keeps all); filter drops rows when non-truthy (nil keeps all).
+// The filter is compiled against the table schema at construction; scans over
+// columnar partitions evaluate it without boxing rows.
 func NewScan(name string, t *Table, filter Expr, project []int) *Scan {
 	schema := t.Schema
 	if project != nil {
 		schema = projectSchema(t.Schema, project)
 	}
-	return &Scan{base: base{name: name, schema: schema}, table: t, filter: filter, project: project}
+	s := &Scan{base: base{name: name, schema: schema}, table: t, filter: filter, project: project}
+	if filter != nil {
+		if cp, err := CompilePredicate(filter, t.Schema); err == nil {
+			s.cpred = cp
+		}
+	}
+	return s
 }
 
 // NewScanOnce creates a scan over a replicated table that emits each row
@@ -103,13 +112,41 @@ func NewScanOnce(name string, t *Table, filter Expr, project []int) *Scan {
 // Wide implements Operator.
 func (s *Scan) Wide() bool { return false }
 
-// Compute implements Operator.
+// Compiled reports whether the scan's filter evaluates through a compiled
+// predicate (true when there is no filter: nothing runs interpreted).
+func (s *Scan) Compiled() bool { return s.filter == nil || s.cpred != nil }
+
+// Compute implements Operator (the row face of ComputeBatch).
 func (s *Scan) Compute(part int, _ []*PartitionedResult) ([]Row, error) {
+	b, err := s.ComputeBatch(part)
+	if err != nil || b == nil {
+		return nil, err
+	}
+	return b.ToRows(), nil
+}
+
+// ComputeBatch produces one partition natively as a batch. Columnar table
+// partitions flow through the compiled predicate (a selection-vector filter,
+// no row boxing) and a zero-copy column projection; tables without a columnar
+// representation — or filters that did not compile — run the interpreted row
+// loop and return a raw batch.
+func (s *Scan) ComputeBatch(part int) (*Batch, error) {
 	if part < 0 || part >= len(s.table.Parts) {
 		return nil, fmt.Errorf("engine: scan %s partition %d out of range", s.name, part)
 	}
 	if s.once && part != 0 {
 		return nil, nil
+	}
+	if cb := s.table.colPart(part); cb != nil && (s.filter == nil || s.cpred != nil) {
+		b := cb
+		if s.cpred != nil {
+			sel, err := s.cpred.Filter(b)
+			if err != nil {
+				return nil, err
+			}
+			b = &Batch{Schema: b.Schema, Cols: b.Cols, Sel: sel, nrows: b.nrows}
+		}
+		return b.Project(s.project, s.schema), nil
 	}
 	var out []Row
 	for _, r := range s.table.Parts[part] {
@@ -124,68 +161,81 @@ func (s *Scan) Compute(part int, _ []*PartitionedResult) ([]Row, error) {
 		}
 		out = append(out, projectRow(r, s.project))
 	}
-	return out, nil
+	return RawBatch(s.schema, out), nil
 }
 
 // Select filters rows partition-wise.
 type Select struct {
 	base
-	pred Expr
+	pred  Expr
+	cpred *CompiledPredicate
 }
 
-// NewSelect creates a filter operator.
+// NewSelect creates a filter operator. The predicate is compiled against the
+// input schema at construction; predicates the compiler cannot handle keep
+// the interpreted path.
 func NewSelect(name string, in Operator, pred Expr) *Select {
-	return &Select{base: base{name: name, inputs: []Operator{in}, schema: in.OutSchema()}, pred: pred}
+	s := &Select{base: base{name: name, inputs: []Operator{in}, schema: in.OutSchema()}, pred: pred}
+	if pred != nil {
+		if cp, err := CompilePredicate(pred, in.OutSchema()); err == nil {
+			s.cpred = cp
+		}
+	}
+	return s
 }
 
 // Wide implements Operator.
 func (s *Select) Wide() bool { return false }
 
-// Compute implements Operator.
+// Compiled reports whether the predicate evaluates through its compiled form.
+func (s *Select) Compiled() bool { return s.cpred != nil }
+
+// Compute implements Operator via the shared filter kernel.
 func (s *Select) Compute(part int, inputs []*PartitionedResult) ([]Row, error) {
-	var out []Row
-	for _, r := range inputs[0].Parts[part] {
-		ok, err := truthy(s.pred, r)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out = append(out, r)
-		}
-	}
-	return out, nil
+	k := &filterKernel{op: s}
+	return kernelRows(k, s.inputs[0].OutSchema(), inputs[0].Parts[part])
 }
 
 // Project evaluates expressions partition-wise.
 type Project struct {
 	base
-	exprs []Expr
+	exprs  []Expr
+	cexprs []*CompiledExpr
 }
 
-// NewProject creates a projection; outSchema names the produced columns.
+// NewProject creates a projection; outSchema names the produced columns. The
+// expressions are compiled against the input schema at construction; the
+// compiled forms are used only when every expression compiles and its static
+// result type matches the declared output column type (otherwise the
+// interpreted path keeps the exact dynamic value types).
 func NewProject(name string, in Operator, exprs []Expr, outSchema Schema) *Project {
-	return &Project{base: base{name: name, inputs: []Operator{in}, schema: outSchema}, exprs: exprs}
+	p := &Project{base: base{name: name, inputs: []Operator{in}, schema: outSchema}, exprs: exprs}
+	if len(exprs) == len(outSchema) {
+		cexprs := make([]*CompiledExpr, len(exprs))
+		for i, e := range exprs {
+			ce, err := Compile(e, in.OutSchema())
+			if err != nil || ce.Type != outSchema[i].Type {
+				cexprs = nil
+				break
+			}
+			cexprs[i] = ce
+		}
+		p.cexprs = cexprs
+	}
+	return p
 }
 
 // Wide implements Operator.
 func (p *Project) Wide() bool { return false }
 
-// Compute implements Operator.
+// Compiled reports whether every projection expression evaluates through its
+// compiled form.
+func (p *Project) Compiled() bool { return p.cexprs != nil }
+
+// Compute implements Operator via the shared projection kernel.
 func (p *Project) Compute(part int, inputs []*PartitionedResult) ([]Row, error) {
-	in := inputs[0].Parts[part]
-	out := make([]Row, 0, len(in))
-	for _, r := range in {
-		nr := make(Row, len(p.exprs))
-		for i, e := range p.exprs {
-			v, err := e.Eval(r)
-			if err != nil {
-				return nil, err
-			}
-			nr[i] = v
-		}
-		out = append(out, nr)
-	}
-	return out, nil
+	k := &projectKernel{op: p}
+	return kernelRows(k, p.inputs[0].OutSchema(), inputs[0].Parts[part])
 }
 
 // Exchange hash-repartitions its input on a key column — the engine's
@@ -320,6 +370,8 @@ func NewHashAggregate(name string, in Operator, groupCols []int, aggs []AggSpec,
 // Wide implements Operator.
 func (a *HashAggregate) Wide() bool { return a.global }
 
+// aggState is the accumulator of one group, shared by the columnar and
+// interpreted paths of the aggregation kernel.
 type aggState struct {
 	key    Row
 	sums   []float64
@@ -328,7 +380,36 @@ type aggState struct {
 	maxs   []Value
 }
 
-// Compute implements Operator.
+func newAggState(key Row, naggs int) *aggState {
+	return &aggState{
+		key:    key,
+		sums:   make([]float64, naggs),
+		counts: make([]int64, naggs),
+		mins:   make([]Value, naggs),
+		maxs:   make([]Value, naggs),
+	}
+}
+
+// updateMinMax folds v into the min/max accumulators of aggregate i
+// (comparison errors leave the accumulators unchanged, as the interpreted
+// loop always did).
+func (st *aggState) updateMinMax(i int, v Value) {
+	if st.mins[i] == nil {
+		st.mins[i] = v
+		st.maxs[i] = v
+		return
+	}
+	if c, err := compareValues(v, st.mins[i]); err == nil && c < 0 {
+		st.mins[i] = v
+	}
+	if c, err := compareValues(v, st.maxs[i]); err == nil && c > 0 {
+		st.maxs[i] = v
+	}
+}
+
+// Compute implements Operator via the shared aggregation kernel: global
+// aggregation gathers every input partition into partition 0, partition-wise
+// aggregation folds just its own partition.
 func (a *HashAggregate) Compute(part int, inputs []*PartitionedResult) ([]Row, error) {
 	var src [][]Row
 	if a.global {
@@ -339,88 +420,7 @@ func (a *HashAggregate) Compute(part int, inputs []*PartitionedResult) ([]Row, e
 	} else {
 		src = [][]Row{inputs[0].Parts[part]}
 	}
-	groups := make(map[string]*aggState)
-	var order []string
-	for _, p := range src {
-		for _, r := range p {
-			key := make(Row, len(a.groupCols))
-			sig := ""
-			for i, g := range a.groupCols {
-				if g >= len(r) {
-					return nil, fmt.Errorf("engine: aggregate %s group column %d out of range", a.name, g)
-				}
-				key[i] = r[g]
-				sig += fmt.Sprintf("%v|", r[g])
-			}
-			st, ok := groups[sig]
-			if !ok {
-				st = &aggState{
-					key:    key,
-					sums:   make([]float64, len(a.aggs)),
-					counts: make([]int64, len(a.aggs)),
-					mins:   make([]Value, len(a.aggs)),
-					maxs:   make([]Value, len(a.aggs)),
-				}
-				groups[sig] = st
-				order = append(order, sig)
-			}
-			for i, spec := range a.aggs {
-				if spec.Kind == AggCount {
-					st.counts[i]++
-					continue
-				}
-				if spec.Col >= len(r) {
-					return nil, fmt.Errorf("engine: aggregate %s column %d out of range", a.name, spec.Col)
-				}
-				v := r[spec.Col]
-				f, ok := toFloat(v)
-				if !ok && (spec.Kind == AggSum || spec.Kind == AggAvg) {
-					return nil, fmt.Errorf("engine: aggregate %s over non-numeric %T", a.name, v)
-				}
-				st.sums[i] += f
-				st.counts[i]++
-				if st.mins[i] == nil {
-					st.mins[i] = v
-					st.maxs[i] = v
-				} else {
-					if c, err := compareValues(v, st.mins[i]); err == nil && c < 0 {
-						st.mins[i] = v
-					}
-					if c, err := compareValues(v, st.maxs[i]); err == nil && c > 0 {
-						st.maxs[i] = v
-					}
-				}
-			}
-		}
-	}
-	sort.Strings(order)
-	out := make([]Row, 0, len(order))
-	for _, sig := range order {
-		st := groups[sig]
-		r := append(Row{}, st.key...)
-		for i, spec := range a.aggs {
-			switch spec.Kind {
-			case AggSum:
-				r = append(r, st.sums[i])
-			case AggCount:
-				r = append(r, st.counts[i])
-			case AggAvg:
-				if st.counts[i] == 0 {
-					r = append(r, 0.0)
-				} else {
-					r = append(r, st.sums[i]/float64(st.counts[i]))
-				}
-			case AggMin:
-				r = append(r, st.mins[i])
-			case AggMax:
-				r = append(r, st.maxs[i])
-			default:
-				return nil, fmt.Errorf("engine: unknown aggregate kind %d", int(spec.Kind))
-			}
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return kernelRows(newAggKernel(a), a.inputs[0].OutSchema(), src...)
 }
 
 // Sort orders rows globally by a column (gathers into partition 0).

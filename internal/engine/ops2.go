@@ -17,7 +17,8 @@ func NewLimit(name string, in Operator, n int) *Limit {
 // Wide implements Operator.
 func (l *Limit) Wide() bool { return true }
 
-// Compute implements Operator.
+// Compute implements Operator via the shared limit kernel, gathering into
+// partition 0.
 func (l *Limit) Compute(part int, inputs []*PartitionedResult) ([]Row, error) {
 	if l.n < 0 {
 		return nil, fmt.Errorf("engine: limit %s has negative n", l.name)
@@ -25,16 +26,7 @@ func (l *Limit) Compute(part int, inputs []*PartitionedResult) ([]Row, error) {
 	if part != 0 {
 		return nil, nil
 	}
-	var out []Row
-	for _, p := range inputs[0].Parts {
-		for _, r := range p {
-			if len(out) == l.n {
-				return out, nil
-			}
-			out = append(out, r)
-		}
-	}
-	return out, nil
+	return kernelRows(&limitKernel{remaining: l.n}, l.inputs[0].OutSchema(), inputs[0].Parts...)
 }
 
 // UnionAll concatenates two inputs partition-wise. Schemas must have the

@@ -10,10 +10,39 @@ type Table struct {
 	Name   string
 	Schema Schema
 	Parts  [][]Row
+	// ColParts is the columnar twin of Parts: one typed batch per partition
+	// holding the same rows in the same order, or nil when the table's
+	// values are not strictly typed. Scans execute against ColParts when
+	// present; Parts remains the row-oriented view for adapters and tests.
+	ColParts []*Batch
 	// Replicated marks tables whose every partition holds a full copy (the
 	// paper replicates NATION and REGION); scans over them must read a
 	// single partition to avoid duplicating rows.
 	Replicated bool
+}
+
+// colPart returns the columnar form of partition p, or nil.
+func (t *Table) colPart(p int) *Batch {
+	if t.ColParts == nil || p >= len(t.ColParts) {
+		return nil
+	}
+	return t.ColParts[p]
+}
+
+// buildColParts derives the columnar twin of t.Parts; partitions whose rows
+// are not strictly typed stay row-only.
+func (t *Table) buildColParts() {
+	cps := make([]*Batch, len(t.Parts))
+	any := false
+	for p, rows := range t.Parts {
+		if b, err := RowsToBatch(t.Schema, rows); err == nil {
+			cps[p] = b
+			any = true
+		}
+	}
+	if any {
+		t.ColParts = cps
+	}
 }
 
 // NewTable partitions rows across `parts` partitions by hashing the key
@@ -38,6 +67,7 @@ func NewTable(name string, schema Schema, rows []Row, parts int, keyCol int) (*T
 		}
 		t.Parts[p] = append(t.Parts[p], r)
 	}
+	t.buildColParts()
 	return t, nil
 }
 
@@ -52,6 +82,84 @@ func NewReplicatedTable(name string, schema Schema, rows []Row, parts int) (*Tab
 		cp := make([]Row, len(rows))
 		copy(cp, rows)
 		t.Parts[p] = cp
+	}
+	t.buildColParts()
+	return t, nil
+}
+
+// NewTableFromColumns builds a table directly from typed column vectors,
+// hash-partitioning column-wise on keyCol (round-robin when keyCol < 0)
+// without boxing any value. The placement matches NewTable exactly; the
+// row-oriented Parts view is derived from the columnar partitions as the
+// compatibility adapter.
+func NewTableFromColumns(name string, schema Schema, cols []Vector, parts int, keyCol int) (*Table, error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("engine: table %s needs at least one partition", name)
+	}
+	src, err := NewBatchFromCols(schema, cols)
+	if err != nil {
+		return nil, fmt.Errorf("engine: table %s: %v", name, err)
+	}
+	if keyCol >= len(schema) {
+		return nil, fmt.Errorf("engine: table %s key column %d out of range", name, keyCol)
+	}
+	n := src.Len()
+	partCols := make([][]Vector, parts)
+	for p := 0; p < parts; p++ {
+		partCols[p] = make([]Vector, len(schema))
+		for c := range schema {
+			partCols[p][c].Type = schema[c].Type
+		}
+	}
+	for i := 0; i < n; i++ {
+		var p int
+		if keyCol >= 0 {
+			p = int(hashVectorAt(&src.Cols[keyCol], i) % uint64(parts))
+		} else {
+			p = i % parts
+		}
+		for c := range schema {
+			v := &src.Cols[c]
+			dst := &partCols[p][c]
+			switch v.Type {
+			case TypeInt:
+				dst.Ints = append(dst.Ints, v.Ints[i])
+			case TypeFloat:
+				dst.Floats = append(dst.Floats, v.Floats[i])
+			default:
+				dst.Strings = append(dst.Strings, v.Strings[i])
+			}
+		}
+	}
+	t := &Table{Name: name, Schema: schema, Parts: make([][]Row, parts), ColParts: make([]*Batch, parts)}
+	for p := 0; p < parts; p++ {
+		b, err := NewBatchFromCols(schema, partCols[p])
+		if err != nil {
+			return nil, fmt.Errorf("engine: table %s: %v", name, err)
+		}
+		t.ColParts[p] = b
+		t.Parts[p] = b.ToRows()
+	}
+	return t, nil
+}
+
+// NewReplicatedTableFromColumns builds a replicated table from typed column
+// vectors: every partition shares one columnar batch.
+func NewReplicatedTableFromColumns(name string, schema Schema, cols []Vector, parts int) (*Table, error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("engine: table %s needs at least one partition", name)
+	}
+	b, err := NewBatchFromCols(schema, cols)
+	if err != nil {
+		return nil, fmt.Errorf("engine: table %s: %v", name, err)
+	}
+	rows := b.ToRows()
+	t := &Table{Name: name, Schema: schema, Parts: make([][]Row, parts), ColParts: make([]*Batch, parts), Replicated: true}
+	for p := 0; p < parts; p++ {
+		cp := make([]Row, len(rows))
+		copy(cp, rows)
+		t.Parts[p] = cp
+		t.ColParts[p] = b
 	}
 	return t, nil
 }

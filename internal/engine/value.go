@@ -125,34 +125,60 @@ func compareValues(a, b Value) (int, error) {
 	}
 }
 
-// hashValue produces a stable hash for repartitioning.
-func hashValue(v Value) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(b byte) {
-		h ^= uint64(b)
-		h *= prime64
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashInt64 is FNV-1a over the little-endian bytes of x.
+func hashInt64(x int64) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(x >> (8 * i)))
+		h *= fnvPrime64
 	}
+	return h
+}
+
+// hashString is FNV-1a over the bytes of s.
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// hashValue produces a stable hash for repartitioning. The typed helpers
+// above are the ground truth; columnar partitioning uses them directly so
+// row and column paths place every value identically.
+func hashValue(v Value) uint64 {
 	switch x := v.(type) {
 	case int64:
-		for i := 0; i < 8; i++ {
-			mix(byte(x >> (8 * i)))
-		}
+		return hashInt64(x)
 	case int:
-		return hashValue(int64(x))
+		return hashInt64(int64(x))
 	case float64:
 		// Hash the decimal representation to keep 1.0 == 1 semantics out of
 		// scope; partitioning keys are integers in practice.
-		return hashValue(fmt.Sprintf("%g", x))
+		return hashString(fmt.Sprintf("%g", x))
 	case string:
-		for i := 0; i < len(x); i++ {
-			mix(x[i])
-		}
+		return hashString(x)
 	default:
-		return hashValue(fmt.Sprintf("%v", x))
+		return hashString(fmt.Sprintf("%v", x))
 	}
-	return h
+}
+
+// hashVectorAt hashes element i of a typed column, matching hashValue on the
+// boxed equivalent.
+func hashVectorAt(v *Vector, i int) uint64 {
+	switch v.Type {
+	case TypeInt:
+		return hashInt64(v.Ints[i])
+	case TypeFloat:
+		return hashString(fmt.Sprintf("%g", v.Floats[i]))
+	default:
+		return hashString(v.Strings[i])
+	}
 }

@@ -48,7 +48,13 @@ func (w *checkpointWriter) loop() {
 	for req := range w.queue {
 		w.store.Put(req.op, req.part, req.rows, req.parts)
 		w.metrics.CheckpointParts.Add(1)
-		w.metrics.CheckpointBytes.Add(approxRowBytes(req.rows))
+		if n, ok := engine.ColumnBlockSize(req.rows); ok {
+			// Typed partitions land on disk in the column-block format;
+			// report its exact serialized size.
+			w.metrics.CheckpointBytes.Add(n)
+		} else {
+			w.metrics.CheckpointBytes.Add(approxRowBytes(req.rows))
+		}
 		w.mu.Lock()
 		w.pending--
 		w.cond.Broadcast()

@@ -52,25 +52,25 @@ func (a *attempts) take(op string, part int) int {
 }
 
 // runPipeline executes one partition of a stage as a chain of goroutines
-// connected by buffered channels of row batches: the source computes its
-// output and streams it batch-at-a-time; every chained operator transforms
-// batches concurrently; the calling goroutine is the sink. An injected
-// failure kills the worker mid-stream by cancelling the partition context,
-// which tears down the whole chain.
+// connected by buffered channels of typed columnar batches: the source
+// computes its output and streams it batch-at-a-time; every chained operator
+// transforms batches concurrently through a fresh kernel; the calling
+// goroutine is the sink. An injected failure kills the worker mid-stream by
+// cancelling the partition context, which tears down the whole chain.
 func (rn *run) runPipeline(ctx context.Context, s *stage, part int, inputs []*engine.PartitionedResult) ([]engine.Row, error) {
 	pctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	nops := len(s.ops)
 	errCh := make(chan error, nops)
-	ch := make(chan []engine.Row, rn.cfg.ChannelDepth)
+	ch := make(chan *engine.Batch, rn.cfg.ChannelDepth)
 	go func() { errCh <- rn.runSource(pctx, cancel, s, part, inputs, ch) }()
 	in := ch
-	for i, proc := range s.procs {
-		out := make(chan []engine.Row, rn.cfg.ChannelDepth)
-		go func(op engine.Operator, proc engine.BatchProcessor, in <-chan []engine.Row, out chan<- []engine.Row) {
-			errCh <- rn.runChainOp(pctx, cancel, op, proc, part, in, out)
-		}(s.ops[i+1], proc, in, out)
+	for i := 1; i < len(s.ops); i++ {
+		out := make(chan *engine.Batch, rn.cfg.ChannelDepth)
+		go func(op engine.Operator, in <-chan *engine.Batch, out chan<- *engine.Batch) {
+			errCh <- rn.runChainOp(pctx, cancel, op, part, in, out)
+		}(s.ops[i], in, out)
 		in = out
 	}
 
@@ -82,7 +82,7 @@ func (rn *run) runPipeline(ctx context.Context, s *stage, part int, inputs []*en
 				open = false
 				break
 			}
-			rows = append(rows, b...)
+			rows = b.AppendRows(rows)
 		case <-pctx.Done():
 			open = false
 		}
@@ -119,10 +119,31 @@ func (rn *run) runPipeline(ctx context.Context, s *stage, part int, inputs []*en
 	return rows, nil
 }
 
+// sourceBatch computes the source operator's output for one partition as a
+// single batch. Scans produce columnar batches natively; other sources
+// compute rows and convert — strictly columnar when the stage has chained
+// kernels to feed, a zero-cost raw wrapper when the sink is next.
+func (rn *run) sourceBatch(s *stage, part int, inputs []*engine.PartitionedResult) (*engine.Batch, error) {
+	op := s.source()
+	if sc, ok := op.(*engine.Scan); ok {
+		return sc.ComputeBatch(part)
+	}
+	rows, err := op.Compute(part, inputs)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.ops) > 1 {
+		if cb, cerr := engine.RowsToBatch(op.OutSchema(), rows); cerr == nil {
+			return cb, nil
+		}
+	}
+	return engine.RawBatch(op.OutSchema(), rows), nil
+}
+
 // runSource computes the stage's source operator for one partition and
 // streams the result in batches. When the failure injector fires for this
 // attempt, the worker emits its first batch and then dies mid-stream.
-func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *stage, part int, inputs []*engine.PartitionedResult, out chan<- []engine.Row) error {
+func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *stage, part int, inputs []*engine.PartitionedResult, out chan<- *engine.Batch) error {
 	op := s.source()
 	n := rn.attempts.take(op.Name(), part)
 	if n > maxAttemptsPerPartition {
@@ -130,19 +151,28 @@ func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *sta
 		return fmt.Errorf("runtime: partition %d of %s exceeded %d attempts", part, op.Name(), maxAttemptsPerPartition)
 	}
 	fail := rn.cfg.Injector.FailCompute(op.Name(), part, n)
-	rows, err := op.Compute(part, inputs)
+	b, err := rn.sourceBatch(s, part, inputs)
 	if err != nil {
 		cancel()
 		return err
 	}
-	for i, b := range engine.Batches(rows, rn.cfg.BatchSize) {
+	total := 0
+	if b != nil {
+		total = b.Len()
+	}
+	size := rn.cfg.BatchSize
+	for start, i := 0, 0; start < total; start, i = start+size, i+1 {
 		if fail && i >= 1 {
 			cancel()
 			return &nodeFailure{op: op.Name(), part: part}
 		}
+		end := start + size
+		if end > total {
+			end = total
+		}
 		rn.metrics.Batches.Add(1)
 		select {
-		case out <- b:
+		case out <- b.Slice(start, end):
 		case <-pctx.Done():
 			return pctx.Err()
 		}
@@ -155,24 +185,43 @@ func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *sta
 	return nil
 }
 
-// runChainOp transforms batches for one pipelined operator. A scripted
-// failure kills the worker after its first processed batch (or at stream
-// end when the stream is shorter), cancelling the partition context.
-func (rn *run) runChainOp(pctx context.Context, cancel context.CancelFunc, op engine.Operator, proc engine.BatchProcessor, part int, in <-chan []engine.Row, out chan<- []engine.Row) error {
+// runChainOp transforms batches for one pipelined operator through a fresh
+// kernel instance (stateful kernels like partition-wise aggregation flush
+// their state at end of stream). A scripted failure kills the worker after
+// its first processed batch (or at stream end when the stream is shorter),
+// cancelling the partition context.
+func (rn *run) runChainOp(pctx context.Context, cancel context.CancelFunc, op engine.Operator, part int, in <-chan *engine.Batch, out chan<- *engine.Batch) error {
 	n := rn.attempts.take(op.Name(), part)
 	if n > maxAttemptsPerPartition {
 		cancel()
 		return fmt.Errorf("runtime: partition %d of %s exceeded %d attempts", part, op.Name(), maxAttemptsPerPartition)
 	}
+	kern, ok := engine.NewOperatorKernel(op)
+	if !ok {
+		cancel()
+		return fmt.Errorf("runtime: operator %s has no batch kernel", op.Name())
+	}
 	fail := rn.cfg.Injector.FailCompute(op.Name(), part, n)
 	processed := 0
 	for {
 		select {
-		case b, ok := <-in:
-			if !ok {
+		case b, chOpen := <-in:
+			if !chOpen {
 				if fail {
 					cancel()
 					return &nodeFailure{op: op.Name(), part: part}
+				}
+				fb, err := kern.Flush()
+				if err != nil {
+					cancel()
+					return err
+				}
+				if fb != nil && fb.Len() > 0 {
+					select {
+					case out <- fb:
+					case <-pctx.Done():
+						return pctx.Err()
+					}
 				}
 				close(out)
 				return nil
@@ -181,14 +230,14 @@ func (rn *run) runChainOp(pctx context.Context, cancel context.CancelFunc, op en
 				cancel()
 				return &nodeFailure{op: op.Name(), part: part}
 			}
-			res, err := proc.ProcessBatch(part, b)
+			res, err := kern.Process(b)
 			if err != nil {
 				cancel()
 				return err
 			}
 			processed++
 			rn.metrics.Batches.Add(1)
-			if len(res) == 0 {
+			if res == nil || res.Len() == 0 {
 				continue
 			}
 			select {

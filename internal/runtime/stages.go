@@ -24,17 +24,17 @@ const (
 )
 
 // stage is one node of the runtime's execution DAG: a source operator
-// followed by a chain of streamable narrow operators. Within a stage, rows
-// flow between operators through buffered channels in vectorized batches;
+// followed by a chain of streamable narrow operators. Within a stage,
+// typed columnar batches flow between operators through buffered channels;
 // stage boundaries are barriers where the full partitioned result is
 // buffered (and, for materialization points, checkpointed asynchronously).
 type stage struct {
 	id   int
 	kind sourceKind
 	// ops is the pipeline chain; ops[0] is the source, the rest are
-	// streamable narrow operators executed behind BatchAdapters.
-	ops   []engine.Operator
-	procs []engine.BatchProcessor // batch adapters for ops[1:]
+	// streamable narrow operators executed through fresh batch kernels
+	// (engine.NewOperatorKernel) per attempt.
+	ops []engine.Operator
 	// deps are the producer stages of the source's inputs, in input order.
 	deps []*stage
 	// ancestors is the transitive dependency closure including the stage
@@ -82,12 +82,10 @@ func buildStages(root engine.Operator, nodes int) (*stagePlan, error) {
 			if !in.Materialize() && consumers[in] == 1 {
 				s := plan.byOp[in]
 				if s.terminal() == in { // input is still a chain tail
-					proc, err := engine.NewBatchAdapter(op, nodes)
-					if err != nil {
-						return nil, err
+					if _, ok := engine.NewOperatorKernel(op); !ok {
+						return nil, fmt.Errorf("runtime: streamable operator %s has no batch kernel", op.Name())
 					}
 					s.ops = append(s.ops, op)
-					s.procs = append(s.procs, proc)
 					s.checkpoint = op.Materialize()
 					plan.byOp[op] = s
 					continue

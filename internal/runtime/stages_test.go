@@ -34,8 +34,8 @@ func TestBuildStagesChainsNarrowOps(t *testing.T) {
 		t.Fatalf("got %d stages, want 1 (fully pipelined chain)", len(plan.stages))
 	}
 	s := plan.stages[0]
-	if s.kind != srcScan || len(s.ops) != 3 || len(s.procs) != 2 {
-		t.Errorf("stage shape wrong: kind=%d ops=%d procs=%d", s.kind, len(s.ops), len(s.procs))
+	if s.kind != srcScan || len(s.ops) != 3 {
+		t.Errorf("stage shape wrong: kind=%d ops=%d", s.kind, len(s.ops))
 	}
 	if s.name() != "proj" {
 		t.Errorf("stage named %q, want terminal op name", s.name())
@@ -59,9 +59,11 @@ func TestBuildStagesCutsAtMaterializationAndWide(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// [scan,sel] | [proj] | [ex] | [agg]
-	if len(plan.stages) != 4 {
-		t.Fatalf("got %d stages, want 4", len(plan.stages))
+	// [scan,sel] | [proj] | [ex,agg]: the materialization point and the wide
+	// exchange are barriers, but the partition-wise agg — stateful yet
+	// streamable through its kernel — chains onto the exchange stage.
+	if len(plan.stages) != 3 {
+		t.Fatalf("got %d stages, want 3", len(plan.stages))
 	}
 	if !plan.stages[0].checkpoint || plan.stages[0].name() != "sel" {
 		t.Errorf("materialized sel should terminate a checkpoint stage, got %q ckpt=%v",
@@ -70,14 +72,14 @@ func TestBuildStagesCutsAtMaterializationAndWide(t *testing.T) {
 	if plan.stages[1].kind != srcNarrow {
 		t.Errorf("proj after a materialization point should be a narrow source, got %d", plan.stages[1].kind)
 	}
-	if plan.stages[2].kind != srcWide {
-		t.Errorf("exchange should be a wide source, got %d", plan.stages[2].kind)
+	if plan.stages[2].kind != srcWide || len(plan.stages[2].ops) != 2 {
+		t.Errorf("partition-wise agg should chain onto the exchange stage, got kind=%d ops=%d",
+			plan.stages[2].kind, len(plan.stages[2].ops))
 	}
-	// agg is partition-wise (narrow) but stateful: not chained onto ex.
-	if plan.stages[3].kind != srcNarrow || len(plan.stages[3].ops) != 1 {
-		t.Errorf("partition-wise agg should be its own narrow stage")
+	if plan.stages[2].name() != "agg" {
+		t.Errorf("chained stage named %q, want terminal op name agg", plan.stages[2].name())
 	}
-	if plan.root != plan.stages[3] {
+	if plan.root != plan.stages[2] {
 		t.Error("root stage mismatch")
 	}
 }

@@ -44,6 +44,20 @@ func tpchQueries() map[string]queryBuilder {
 			}
 			return q
 		},
+		"q1c": func(t *testing.T, cat *engine.Catalog) engine.Operator {
+			q, err := tpch.EngineQ1C(cat, 2500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return q
+		},
+		"q2c": func(t *testing.T, cat *engine.Catalog) engine.Operator {
+			q, err := tpch.EngineQ2C(cat, 25, 250.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return q
+		},
 	}
 }
 
@@ -115,6 +129,16 @@ func TestTPCHPipelinedRecoveryMatchesStaged(t *testing.T) {
 			return engine.NewScriptedFailures().
 				Add("q5-join4", 3, 0).
 				Add("q5-agg", 0, 0)
+		},
+		"q1c": func() *engine.ScriptedFailures {
+			return engine.NewScriptedFailures().
+				Add("q1c-join", 1, 0).
+				Add("q1c-agg", 0, 0)
+		},
+		"q2c": func() *engine.ScriptedFailures {
+			return engine.NewScriptedFailures().
+				Add("q2c-mincost", 1, 0).
+				Add("q2c-join-part", 2, 0)
 		},
 	}
 	for name, build := range tpchQueries() {

@@ -1,0 +1,36 @@
+package sql
+
+import "testing"
+
+// FuzzParse drives the lexer and recursive-descent parser with arbitrary
+// input: Parse must return a statement or an error, never panic. Successful
+// parses are re-rendered through the AST's String methods, which walk every
+// node and would panic on malformed trees.
+func FuzzParse(f *testing.F) {
+	f.Add("SELECT a FROM t")
+	f.Add("SELECT c_id, c_segment FROM cust WHERE c_id < 10")
+	f.Add("SELECT DISTINCT a, b FROM t WHERE x = 'lit' AND y >= 2.5")
+	f.Add("SELECT n, SUM(v * (1 - d)) AS rev FROM a JOIN b ON a.k = b.k GROUP BY n ORDER BY rev DESC LIMIT 3")
+	f.Add("SELECT COUNT(*) FROM t WHERE a <> b")
+	f.Add("select '")
+	f.Add("SELECT 1e999 FROM t")
+	f.Add("SELECT ((((a)))) FROM t WHERE ((a))")
+	f.Fuzz(func(t *testing.T, q string) {
+		stmt, err := Parse(q)
+		if err != nil {
+			return
+		}
+		for _, item := range stmt.Select {
+			if item.Expr != nil {
+				_ = item.Expr.String()
+			}
+			if item.Agg != nil && item.Agg.Arg != nil {
+				_ = item.Agg.Arg.String()
+			}
+		}
+		for _, p := range stmt.Where {
+			_ = p.Left.String()
+			_ = p.Right.String()
+		}
+	})
+}

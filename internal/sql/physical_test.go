@@ -407,3 +407,43 @@ func TestSQLDistinctCostPlan(t *testing.T) {
 		t.Error("DISTINCT cost plan lacks a dedup aggregate")
 	}
 }
+
+func TestSQLPlansEmitCompiledPredicates(t *testing.T) {
+	// Every pushed-down scan filter and post-join filter the planner emits
+	// must evaluate through the compiled (columnar) form, not the interpreted
+	// row loop.
+	cat := testCatalog(t)
+	stmt, err := Parse("SELECT c_segment, SUM(o_total) AS s FROM cust " +
+		"JOIN ord ON c_id = o_cust WHERE o_day < 20 AND c_id < o_total " +
+		"GROUP BY c_segment")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	pp, err := Compile(stmt, cat)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var scans, selects int
+	var walk func(op engine.Operator)
+	walk = func(op engine.Operator) {
+		switch o := op.(type) {
+		case *engine.Scan:
+			scans++
+			if !o.Compiled() {
+				t.Errorf("scan %s filter is not compiled", o.Name())
+			}
+		case *engine.Select:
+			selects++
+			if !o.Compiled() {
+				t.Errorf("select %s predicate is not compiled", o.Name())
+			}
+		}
+		for _, in := range op.Inputs() {
+			walk(in)
+		}
+	}
+	walk(pp.Root)
+	if scans != 2 || selects == 0 {
+		t.Fatalf("plan shape unexpected: %d scans, %d selects", scans, selects)
+	}
+}

@@ -14,8 +14,10 @@ const dateRange = 2406 // ~1992-01-01 .. 1998-08-02 in days, like TPC-H
 // given scale factor for the execution engine. Layout follows the paper's
 // setup: NATION and REGION replicated to all nodes, LINEITEM and ORDERS
 // co-partitioned on the order key, the remaining tables partitioned on their
-// primary keys. Intended for small scale factors (tests/examples); the
-// cost-level experiments never materialize rows.
+// primary keys. Tables are built as typed column vectors, so scans execute
+// columnar from the start; the row-oriented Parts view is derived. Intended
+// for small scale factors (tests/examples); the cost-level experiments never
+// materialize rows.
 func Generate(sf float64, parts int, seed int64) (*engine.Catalog, error) {
 	if sf <= 0 {
 		return nil, fmt.Errorf("tpch: scale factor must be positive, got %g", sf)
@@ -38,16 +40,21 @@ func Generate(sf float64, parts int, seed int64) (*engine.Catalog, error) {
 	nOrders := scaled(rowsOrdersPerSF)
 	nPart := scaled(rowsPartPerSF)
 
+	ints := func(n int) engine.Vector { return engine.Vector{Type: engine.TypeInt, Ints: make([]int64, n)} }
+	floats := func(n int) engine.Vector { return engine.Vector{Type: engine.TypeFloat, Floats: make([]float64, n)} }
+	strs := func(n int) engine.Vector { return engine.Vector{Type: engine.TypeString, Strings: make([]string, n)} }
+
 	// REGION (replicated).
 	regionSchema := engine.Schema{
 		{Name: "r_regionkey", Type: engine.TypeInt},
 		{Name: "r_name", Type: engine.TypeString},
 	}
-	regionRows := make([]engine.Row, rowsRegion)
-	for i := range regionRows {
-		regionRows[i] = engine.Row{int64(i), fmt.Sprintf("REGION#%d", i)}
+	regionCols := []engine.Vector{ints(rowsRegion), strs(rowsRegion)}
+	for i := 0; i < rowsRegion; i++ {
+		regionCols[0].Ints[i] = int64(i)
+		regionCols[1].Strings[i] = fmt.Sprintf("REGION#%d", i)
 	}
-	region, err := engine.NewReplicatedTable("region", regionSchema, regionRows, parts)
+	region, err := engine.NewReplicatedTableFromColumns("region", regionSchema, regionCols, parts)
 	if err != nil {
 		return nil, err
 	}
@@ -58,11 +65,13 @@ func Generate(sf float64, parts int, seed int64) (*engine.Catalog, error) {
 		{Name: "n_regionkey", Type: engine.TypeInt},
 		{Name: "n_name", Type: engine.TypeString},
 	}
-	nationRows := make([]engine.Row, rowsNation)
-	for i := range nationRows {
-		nationRows[i] = engine.Row{int64(i), int64(i % rowsRegion), fmt.Sprintf("NATION#%d", i)}
+	nationCols := []engine.Vector{ints(rowsNation), ints(rowsNation), strs(rowsNation)}
+	for i := 0; i < rowsNation; i++ {
+		nationCols[0].Ints[i] = int64(i)
+		nationCols[1].Ints[i] = int64(i % rowsRegion)
+		nationCols[2].Strings[i] = fmt.Sprintf("NATION#%d", i)
 	}
-	nation, err := engine.NewReplicatedTable("nation", nationSchema, nationRows, parts)
+	nation, err := engine.NewReplicatedTableFromColumns("nation", nationSchema, nationCols, parts)
 	if err != nil {
 		return nil, err
 	}
@@ -72,11 +81,12 @@ func Generate(sf float64, parts int, seed int64) (*engine.Catalog, error) {
 		{Name: "s_suppkey", Type: engine.TypeInt},
 		{Name: "s_nationkey", Type: engine.TypeInt},
 	}
-	supplierRows := make([]engine.Row, nSupplier)
-	for i := range supplierRows {
-		supplierRows[i] = engine.Row{int64(i), int64(rng.Intn(rowsNation))}
+	supplierCols := []engine.Vector{ints(nSupplier), ints(nSupplier)}
+	for i := 0; i < nSupplier; i++ {
+		supplierCols[0].Ints[i] = int64(i)
+		supplierCols[1].Ints[i] = int64(rng.Intn(rowsNation))
 	}
-	supplier, err := engine.NewTable("supplier", supplierSchema, supplierRows, parts, 0)
+	supplier, err := engine.NewTableFromColumns("supplier", supplierSchema, supplierCols, parts, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -88,13 +98,13 @@ func Generate(sf float64, parts int, seed int64) (*engine.Catalog, error) {
 		{Name: "c_mktsegment", Type: engine.TypeString},
 	}
 	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
-	customerRows := make([]engine.Row, nCustomer)
-	for i := range customerRows {
-		customerRows[i] = engine.Row{
-			int64(i), int64(rng.Intn(rowsNation)), segments[rng.Intn(len(segments))],
-		}
+	customerCols := []engine.Vector{ints(nCustomer), ints(nCustomer), strs(nCustomer)}
+	for i := 0; i < nCustomer; i++ {
+		customerCols[0].Ints[i] = int64(i)
+		customerCols[1].Ints[i] = int64(rng.Intn(rowsNation))
+		customerCols[2].Strings[i] = segments[rng.Intn(len(segments))]
 	}
-	customer, err := engine.NewTable("customer", customerSchema, customerRows, parts, 0)
+	customer, err := engine.NewTableFromColumns("customer", customerSchema, customerCols, parts, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -115,33 +125,33 @@ func Generate(sf float64, parts int, seed int64) (*engine.Catalog, error) {
 		{Name: "l_linestatus", Type: engine.TypeString},
 		{Name: "l_shipdate", Type: engine.TypeInt},
 	}
-	ordersRows := make([]engine.Row, nOrders)
-	var lineitemRows []engine.Row
+	ordersCols := []engine.Vector{ints(nOrders), ints(nOrders), ints(nOrders)}
+	lineitemCols := []engine.Vector{ints(0), ints(0), floats(0), floats(0), floats(0), strs(0), strs(0), ints(0)}
 	flags := []string{"A", "N", "R"}
 	statuses := []string{"F", "O"}
-	for i := range ordersRows {
+	for i := 0; i < nOrders; i++ {
 		orderDate := int64(rng.Intn(dateRange))
-		ordersRows[i] = engine.Row{int64(i), int64(rng.Intn(nCustomer)), orderDate}
+		ordersCols[0].Ints[i] = int64(i)
+		ordersCols[1].Ints[i] = int64(rng.Intn(nCustomer))
+		ordersCols[2].Ints[i] = orderDate
 		lines := 1 + rng.Intn(7)
 		for l := 0; l < lines; l++ {
 			price := 900.0 + rng.Float64()*104000.0
-			lineitemRows = append(lineitemRows, engine.Row{
-				int64(i),
-				int64(rng.Intn(nSupplier)),
-				1 + float64(rng.Intn(50)),
-				price,
-				float64(rng.Intn(11)) / 100.0,
-				flags[rng.Intn(len(flags))],
-				statuses[rng.Intn(len(statuses))],
-				orderDate + int64(rng.Intn(120)),
-			})
+			lineitemCols[0].Ints = append(lineitemCols[0].Ints, int64(i))
+			lineitemCols[1].Ints = append(lineitemCols[1].Ints, int64(rng.Intn(nSupplier)))
+			lineitemCols[2].Floats = append(lineitemCols[2].Floats, 1+float64(rng.Intn(50)))
+			lineitemCols[3].Floats = append(lineitemCols[3].Floats, price)
+			lineitemCols[4].Floats = append(lineitemCols[4].Floats, float64(rng.Intn(11))/100.0)
+			lineitemCols[5].Strings = append(lineitemCols[5].Strings, flags[rng.Intn(len(flags))])
+			lineitemCols[6].Strings = append(lineitemCols[6].Strings, statuses[rng.Intn(len(statuses))])
+			lineitemCols[7].Ints = append(lineitemCols[7].Ints, orderDate+int64(rng.Intn(120)))
 		}
 	}
-	orders, err := engine.NewTable("orders", ordersSchema, ordersRows, parts, 0)
+	orders, err := engine.NewTableFromColumns("orders", ordersSchema, ordersCols, parts, 0)
 	if err != nil {
 		return nil, err
 	}
-	lineitem, err := engine.NewTable("lineitem", lineitemSchema, lineitemRows, parts, 0)
+	lineitem, err := engine.NewTableFromColumns("lineitem", lineitemSchema, lineitemCols, parts, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -152,11 +162,12 @@ func Generate(sf float64, parts int, seed int64) (*engine.Catalog, error) {
 		{Name: "p_partkey", Type: engine.TypeInt},
 		{Name: "p_size", Type: engine.TypeInt},
 	}
-	partRows := make([]engine.Row, nPart)
-	for i := range partRows {
-		partRows[i] = engine.Row{int64(i), int64(1 + rng.Intn(50))}
+	partCols := []engine.Vector{ints(nPart), ints(nPart)}
+	for i := 0; i < nPart; i++ {
+		partCols[0].Ints[i] = int64(i)
+		partCols[1].Ints[i] = int64(1 + rng.Intn(50))
 	}
-	part, err := engine.NewTable("part", partSchema, partRows, parts, 0)
+	part, err := engine.NewTableFromColumns("part", partSchema, partCols, parts, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -166,15 +177,15 @@ func Generate(sf float64, parts int, seed int64) (*engine.Catalog, error) {
 		{Name: "ps_suppkey", Type: engine.TypeInt},
 		{Name: "ps_supplycost", Type: engine.TypeFloat},
 	}
-	partsuppRows := make([]engine.Row, 0, nPart*4)
+	partsuppCols := []engine.Vector{ints(0), ints(0), floats(0)}
 	for i := 0; i < nPart; i++ {
 		for j := 0; j < 4; j++ {
-			partsuppRows = append(partsuppRows, engine.Row{
-				int64(i), int64(rng.Intn(nSupplier)), 1 + rng.Float64()*1000,
-			})
+			partsuppCols[0].Ints = append(partsuppCols[0].Ints, int64(i))
+			partsuppCols[1].Ints = append(partsuppCols[1].Ints, int64(rng.Intn(nSupplier)))
+			partsuppCols[2].Floats = append(partsuppCols[2].Floats, 1+rng.Float64()*1000)
 		}
 	}
-	partsupp, err := engine.NewTable("partsupp", partsuppSchema, partsuppRows, parts, 0)
+	partsupp, err := engine.NewTableFromColumns("partsupp", partsuppSchema, partsuppCols, parts, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -95,6 +95,109 @@ func EngineQ3(cat *engine.Catalog, segment string, dateMax int64, materializeJoi
 	return sorted, nil
 }
 
+// EngineQ1C builds a DAG-shaped variant of Q1 (above-average lineitems): one
+// shared LINEITEM scan feeds both a global per-returnflag AVG(quantity)
+// aggregate and, through a materialized join on the flag, the probe side that
+// keeps only lineitems above their flag's average before the final grouped
+// count/sum. The shared scan makes the plan a DAG, not a tree.
+func EngineQ1C(cat *engine.Catalog, shipdateMax int64) (engine.Operator, error) {
+	li, err := cat.Table("lineitem")
+	if err != nil {
+		return nil, err
+	}
+	s := li.Schema
+	// Output: l_returnflag, l_linestatus, l_quantity, l_extendedprice.
+	scan := engine.NewScan("q1c-scan-lineitem", li,
+		engine.Cmp{Op: engine.LE, L: engine.Col(s.MustCol("l_shipdate")), R: engine.Const{V: shipdateMax}},
+		[]int{s.MustCol("l_returnflag"), s.MustCol("l_linestatus"),
+			s.MustCol("l_quantity"), s.MustCol("l_extendedprice")})
+	avg := engine.NewHashAggregate("q1c-avg", scan, []int{0},
+		[]engine.AggSpec{{Kind: engine.AggAvg, Col: 2}},
+		true,
+		engine.Schema{
+			{Name: "returnflag", Type: engine.TypeString},
+			{Name: "avg_qty", Type: engine.TypeFloat},
+		})
+	// Build the tiny per-flag averages, probe the shared scan. Output:
+	// flag, status, qty, price, flag(avg side), avg_qty.
+	join := engine.NewHashJoin("q1c-join", avg, scan, 0, 0)
+	join.SetMaterialize(true)
+	sel := engine.NewSelect("q1c-above-avg", join, engine.And{
+		engine.Cmp{Op: engine.EQ, L: engine.Col(0), R: engine.Col(4)},
+		engine.Cmp{Op: engine.GT, L: engine.Col(2), R: engine.Col(5)},
+	})
+	proj := engine.NewProject("q1c-proj", sel,
+		[]engine.Expr{engine.Col(0), engine.Col(1), engine.Col(3)},
+		engine.Schema{
+			{Name: "returnflag", Type: engine.TypeString},
+			{Name: "linestatus", Type: engine.TypeString},
+			{Name: "price", Type: engine.TypeFloat},
+		})
+	agg := engine.NewHashAggregate("q1c-agg", proj, []int{0, 1},
+		[]engine.AggSpec{
+			{Kind: engine.AggCount},
+			{Kind: engine.AggSum, Col: 2},
+		},
+		true,
+		engine.Schema{
+			{Name: "returnflag", Type: engine.TypeString},
+			{Name: "linestatus", Type: engine.TypeString},
+			{Name: "count", Type: engine.TypeInt},
+			{Name: "sum_price", Type: engine.TypeFloat},
+		})
+	return agg, nil
+}
+
+// EngineQ2C builds a DAG-shaped variant of Q2 (minimum-cost suppliers): the
+// partition-wise MIN(ps_supplycost) per part is materialized and consumed by
+// two branches — a join against small parts and a plain filter on expensive
+// minimums — whose union is sorted and limited. The materialized aggregate
+// with two consumers makes the plan a DAG.
+func EngineQ2C(cat *engine.Catalog, sizeMax int64, costMin float64) (engine.Operator, error) {
+	ps, err := cat.Table("partsupp")
+	if err != nil {
+		return nil, err
+	}
+	pt, err := cat.Table("part")
+	if err != nil {
+		return nil, err
+	}
+	// Output: ps_partkey, ps_supplycost.
+	scanPS := engine.NewScan("q2c-scan-partsupp", ps, nil,
+		[]int{ps.Schema.MustCol("ps_partkey"), ps.Schema.MustCol("ps_supplycost")})
+	ex := engine.NewExchange("q2c-exchange", scanPS, 0)
+	minSchema := engine.Schema{
+		{Name: "partkey", Type: engine.TypeInt},
+		{Name: "mincost", Type: engine.TypeFloat},
+	}
+	minAgg := engine.NewHashAggregate("q2c-mincost", ex, []int{0},
+		[]engine.AggSpec{{Kind: engine.AggMin, Col: 1}},
+		false, minSchema)
+	minAgg.SetMaterialize(true)
+
+	// Branch A: minimum costs of small parts. Build the filtered parts, probe
+	// the shared aggregate. Output: partkey, mincost, p_partkey.
+	scanP := engine.NewScan("q2c-scan-part", pt,
+		engine.Cmp{Op: engine.LT, L: engine.Col(pt.Schema.MustCol("p_size")), R: engine.Const{V: sizeMax}},
+		[]int{pt.Schema.MustCol("p_partkey")})
+	join := engine.NewHashJoin("q2c-join-part", scanP, minAgg, 0, 0)
+	cheap := engine.NewProject("q2c-cheap", join,
+		[]engine.Expr{engine.Col(0), engine.Col(1)}, minSchema)
+
+	// Branch B: parts whose cheapest supplier is still expensive.
+	pricey := engine.NewSelect("q2c-pricey", minAgg,
+		engine.Cmp{Op: engine.GT, L: engine.Col(1), R: engine.Const{V: costMin}})
+	priceyProj := engine.NewProject("q2c-pricey-proj", pricey,
+		[]engine.Expr{engine.Col(0), engine.Col(1)}, minSchema)
+
+	union, err := engine.NewUnionAll("q2c-union", cheap, priceyProj)
+	if err != nil {
+		return nil, err
+	}
+	sorted := engine.NewSort("q2c-sort", union, 1, true)
+	return engine.NewLimit("q2c-limit", sorted, 50), nil
+}
+
 // EngineQ5 builds TPC-H Q5 (local supplier volume, simplified): the Figure 9
 // chain σ(REGION) ⨝ NATION ⨝ CUSTOMER ⨝ ORDERS ⨝ LINEITEM ⨝ SUPPLIER with
 // the c_nationkey = s_nationkey condition applied as a post-join filter,

@@ -10,7 +10,9 @@
 package bench
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -159,25 +161,166 @@ func benchPipelinedQ3(b *testing.B, withFailure bool) {
 func BenchmarkRuntimePipelinedQ3(b *testing.B)         { benchPipelinedQ3(b, false) }
 func BenchmarkRuntimePipelinedQ3Recovery(b *testing.B) { benchPipelinedQ3(b, true) }
 
-// benchRecord is one measurement in BENCH_runtime.json.
-type benchRecord struct {
-	Name        string  `json:"name"`
-	WallSeconds float64 `json:"wall_seconds"`
+// Scan→filter→project through the shared operator kernels, columnar vs. the
+// []Row baseline. The baseline table carries a plain-int key column, which
+// defeats strict typing: the same kernel objects then execute their
+// interpreted row-at-a-time paths over raw batches — the pre-refactor
+// execution shape — so the comparison isolates the representation, not the
+// operator logic.
+const sfpRows = 100000
+
+func sfpTable(b testing.TB, columnar bool) *engine.Table {
+	schema := engine.Schema{{Name: "k", Type: engine.TypeInt}, {Name: "v", Type: engine.TypeFloat}}
+	rows := make([]engine.Row, sfpRows)
+	for i := range rows {
+		var k engine.Value = int64(i)
+		if !columnar {
+			k = int(i)
+		}
+		rows[i] = engine.Row{k, float64((i * 7) % 1000)}
+	}
+	tb, err := engine.NewTable("sfp", schema, rows, benchParts, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tb
+}
+
+func sfpOps(b testing.TB, tb *engine.Table) (*engine.Scan, *engine.Select, *engine.Project) {
+	scan := engine.NewScan("sfp-scan", tb, nil, nil)
+	sel := engine.NewSelect("sfp-sel", scan,
+		engine.Cmp{Op: engine.LT, L: engine.Col(1), R: engine.Const{V: 900.0}})
+	proj := engine.NewProject("sfp-proj", sel,
+		[]engine.Expr{engine.Col(0),
+			engine.Arith{Op: engine.Mul, L: engine.Col(1), R: engine.Const{V: 1.01}}},
+		engine.Schema{{Name: "k", Type: engine.TypeInt}, {Name: "u", Type: engine.TypeFloat}})
+	return scan, sel, proj
+}
+
+func benchScanFilterProject(b *testing.B, columnar bool) {
+	tb := sfpTable(b, columnar)
+	scan, sel, proj := sfpOps(b, tb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := 0
+		for p := 0; p < benchParts; p++ {
+			batch, err := scan.ComputeBatch(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fk, _ := engine.NewOperatorKernel(sel)
+			pk, _ := engine.NewOperatorKernel(proj)
+			fb, err := fk.Process(batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if fb == nil {
+				continue
+			}
+			pb, err := pk.Process(fb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if pb != nil {
+				rows += pb.Len()
+			}
+		}
+		if rows == 0 {
+			b.Fatal("stage produced no rows")
+		}
+	}
+}
+
+func BenchmarkScanFilterProjectColumnar(b *testing.B) { benchScanFilterProject(b, true) }
+func BenchmarkScanFilterProjectRowBaseline(b *testing.B) {
+	benchScanFilterProject(b, false)
+}
+
+// scalingPoint is one GOMAXPROCS setting in the worker-scaling series.
+type scalingPoint struct {
+	Workers          int     `json:"workers"`
+	StagedSeconds    float64 `json:"staged_seconds_per_op"`
+	PipelinedSeconds float64 `json:"pipelined_seconds_per_op"`
+	Speedup          float64 `json:"pipelined_speedup"`
+	PipelinedAllocs  int64   `json:"pipelined_allocs_per_op"`
+	PipelinedBytes   int64   `json:"pipelined_bytes_per_op"`
+}
+
+// allocPoint records an allocation measurement from testing.Benchmark.
+type allocPoint struct {
+	SecondsPerOp float64 `json:"seconds_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
 }
 
 type benchReport struct {
-	GOMAXPROCS    int              `json:"gomaxprocs"`
-	Branches      int              `json:"branches"`
-	RowsPerBranch int              `json:"rows_per_branch"`
-	Partitions    int              `json:"partitions"`
-	Runs          []benchRecord    `json:"runs"`
-	Speedup       float64          `json:"pipelined_speedup"`
-	Metrics       runtime.Snapshot `json:"pipelined_metrics"`
+	GOMAXPROCS    int `json:"gomaxprocs"`
+	Branches      int `json:"branches"`
+	RowsPerBranch int `json:"rows_per_branch"`
+	Partitions    int `json:"partitions"`
+	// Scaling pins GOMAXPROCS to each worker count; speedup is staged vs
+	// pipelined wall time on the multi-branch plan at that setting.
+	Scaling []scalingPoint `json:"scaling"`
+	// ScanFilterProject compares the shared kernels on columnar batches
+	// against the []Row baseline (plain-int key defeats strict typing).
+	ScanFilterProjectRows     int        `json:"scan_filter_project_rows"`
+	ScanFilterProjectRow      allocPoint `json:"scan_filter_project_row_baseline"`
+	ScanFilterProjectColumnar allocPoint `json:"scan_filter_project_columnar"`
+	AllocsReduction           float64    `json:"scan_filter_project_allocs_reduction"`
+	// CheckpointQ1 sizes the materialized Q1 scan intermediate in the legacy
+	// row-gob serialization vs. the column-block format DiskStore now writes.
+	CheckpointQ1RowGobBytes  int64            `json:"checkpoint_q1_row_gob_bytes"`
+	CheckpointQ1ColumnBytes  int64            `json:"checkpoint_q1_column_block_bytes"`
+	CheckpointBytesReduction float64          `json:"checkpoint_q1_bytes_reduction"`
+	Speedup                  float64          `json:"pipelined_speedup"`
+	Metrics                  runtime.Snapshot `json:"pipelined_metrics"`
+}
+
+func toAllocPoint(r testing.BenchmarkResult) allocPoint {
+	return allocPoint{
+		SecondsPerOp: r.T.Seconds() / float64(r.N),
+		AllocsPerOp:  r.AllocsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+	}
+}
+
+// q1CheckpointBytes sizes the Q1 lineitem-scan intermediate (the natural
+// materialization point feeding the aggregate) in both serializations.
+func q1CheckpointBytes(t *testing.T) (rowGob, colBlock int64) {
+	cat, err := tpch.Generate(0.002, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := tpch.EngineQ1(cat, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := q1.Inputs()[0].(*engine.Scan)
+	for p := 0; p < 4; p++ {
+		rows, err := scan.Compute(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(rows); err != nil {
+			t.Fatal(err)
+		}
+		rowGob += int64(buf.Len())
+		n, ok := engine.ColumnBlockSize(rows)
+		if !ok {
+			t.Fatal("Q1 scan output is not strictly typed")
+		}
+		colBlock += n
+	}
+	return rowGob, colBlock
 }
 
 // TestWriteRuntimeBenchJSON measures staged vs pipelined on the multi-branch
-// plan and writes BENCH_runtime.json so the perf trajectory is tracked
-// across PRs. Timing noise is recorded, not asserted on.
+// plan across a pinned 1/2/4-worker scaling series, the columnar vs []Row
+// kernel comparison, and the Q1 checkpoint sizes, then writes
+// BENCH_runtime.json so the perf trajectory is tracked across PRs. Timing
+// noise is recorded, not asserted on.
 func TestWriteRuntimeBenchJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping bench JSON emission in -short mode")
@@ -186,35 +329,66 @@ func TestWriteRuntimeBenchJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Warm both paths once, then take the best of three.
+	// Warm both paths once.
 	runStagedOnce(t, root)
 	runPipelinedOnce(t, root, nil)
-	best := func(f func()) float64 {
-		bestD := time.Duration(1 << 62)
-		for i := 0; i < 3; i++ {
-			start := time.Now()
-			f()
-			if d := time.Since(start); d < bestD {
-				bestD = d
-			}
-		}
-		return bestD.Seconds()
-	}
-	staged := best(func() { runStagedOnce(t, root) })
-	m := &runtime.Metrics{}
-	pipelined := best(func() { runPipelinedOnce(t, root, m) })
 
+	hostProcs := goruntime.GOMAXPROCS(0)
+	defer goruntime.GOMAXPROCS(hostProcs)
+	var scaling []scalingPoint
+	for _, w := range []int{1, 2, 4} {
+		goruntime.GOMAXPROCS(w)
+		staged := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runStagedOnce(b, root)
+			}
+		})
+		pipelined := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runPipelinedOnce(b, root, nil)
+			}
+		})
+		sp := toAllocPoint(staged)
+		pp := toAllocPoint(pipelined)
+		scaling = append(scaling, scalingPoint{
+			Workers:          w,
+			StagedSeconds:    sp.SecondsPerOp,
+			PipelinedSeconds: pp.SecondsPerOp,
+			Speedup:          sp.SecondsPerOp / pp.SecondsPerOp,
+			PipelinedAllocs:  pp.AllocsPerOp,
+			PipelinedBytes:   pp.BytesPerOp,
+		})
+	}
+	goruntime.GOMAXPROCS(hostProcs)
+
+	rowPoint := toAllocPoint(testing.Benchmark(func(b *testing.B) { benchScanFilterProject(b, false) }))
+	colPoint := toAllocPoint(testing.Benchmark(func(b *testing.B) { benchScanFilterProject(b, true) }))
+
+	m := &runtime.Metrics{}
+	start := time.Now()
+	runPipelinedOnce(t, root, m)
+	_ = time.Since(start)
+
+	rowGob, colBlock := q1CheckpointBytes(t)
+
+	last := scaling[len(scaling)-1]
 	report := benchReport{
-		GOMAXPROCS:    goruntime.GOMAXPROCS(0),
-		Branches:      benchBranches,
-		RowsPerBranch: benchBranchRows,
-		Partitions:    benchParts,
-		Runs: []benchRecord{
-			{Name: "staged", WallSeconds: staged},
-			{Name: "pipelined", WallSeconds: pipelined},
-		},
-		Speedup: staged / pipelined,
-		Metrics: m.Snapshot(),
+		GOMAXPROCS:                hostProcs,
+		Branches:                  benchBranches,
+		RowsPerBranch:             benchBranchRows,
+		Partitions:                benchParts,
+		Scaling:                   scaling,
+		ScanFilterProjectRows:     sfpRows,
+		ScanFilterProjectRow:      rowPoint,
+		ScanFilterProjectColumnar: colPoint,
+		AllocsReduction:           1 - float64(colPoint.AllocsPerOp)/float64(rowPoint.AllocsPerOp),
+		CheckpointQ1RowGobBytes:   rowGob,
+		CheckpointQ1ColumnBytes:   colBlock,
+		CheckpointBytesReduction:  1 - float64(colBlock)/float64(rowGob),
+		Speedup:                   last.Speedup,
+		Metrics:                   m.Snapshot(),
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -223,9 +397,18 @@ func TestWriteRuntimeBenchJSON(t *testing.T) {
 	if err := os.WriteFile("BENCH_runtime.json", append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("staged=%.3fs pipelined=%.3fs speedup=%.2fx (GOMAXPROCS=%d)",
-		staged, pipelined, report.Speedup, report.GOMAXPROCS)
-	if report.GOMAXPROCS >= 4 && report.Speedup < 1 {
-		t.Logf("warning: pipelined slower than staged on this machine/run")
+	for _, s := range scaling {
+		t.Logf("workers=%d staged=%.3fs pipelined=%.3fs speedup=%.2fx",
+			s.Workers, s.StagedSeconds, s.PipelinedSeconds, s.Speedup)
+	}
+	t.Logf("scan-filter-project allocs/op: row=%d columnar=%d (%.0f%% reduction)",
+		rowPoint.AllocsPerOp, colPoint.AllocsPerOp, 100*report.AllocsReduction)
+	t.Logf("Q1 checkpoint bytes: row-gob=%d column-block=%d (%.0f%% reduction)",
+		rowGob, colBlock, 100*report.CheckpointBytesReduction)
+	if report.AllocsReduction < 0.5 {
+		t.Errorf("columnar allocs reduction %.2f below the 0.5 acceptance bar", report.AllocsReduction)
+	}
+	if colBlock >= rowGob {
+		t.Errorf("column-block checkpoint (%d bytes) not smaller than row gob (%d bytes)", colBlock, rowGob)
 	}
 }
