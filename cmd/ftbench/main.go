@@ -16,16 +16,19 @@ import (
 	"time"
 
 	"ftpde/internal/experiments"
+	"ftpde/internal/obs"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (see -list), 'all' (paper exhibits), 'extras' (ablations/extensions), or 'everything'")
-		list   = flag.Bool("list", false, "list available experiments")
-		nodes  = flag.Int("nodes", 10, "cluster size")
-		traces = flag.Int("traces", 10, "failure traces per MTBF")
-		seed   = flag.Int64("seed", 1, "trace generation seed")
-		sf     = flag.Float64("sf", 100, "TPC-H scale factor for fixed-scale experiments")
+		exp      = flag.String("exp", "all", "experiment id (see -list), 'all' (paper exhibits), 'extras' (ablations/extensions), or 'everything'")
+		list     = flag.Bool("list", false, "list available experiments")
+		nodes    = flag.Int("nodes", 10, "cluster size")
+		traces   = flag.Int("traces", 10, "failure traces per MTBF")
+		seed     = flag.Int64("seed", 1, "trace generation seed")
+		sf       = flag.Float64("sf", 100, "TPC-H scale factor for fixed-scale experiments")
+		debug    = flag.String("debug-addr", "", "serve live experiment progress and pprof on this address during the run")
+		traceOut = flag.String("trace-out", "", "write the per-experiment timing timeline to this file in Chrome trace_event format")
 	)
 	flag.Parse()
 
@@ -53,14 +56,42 @@ func main() {
 		}
 		runners = []experiments.Runner{r}
 	}
+	var tracer *obs.Tracer
+	if *debug != "" || *traceOut != "" {
+		tracer = obs.NewTracer(obs.DefaultCapacity)
+	}
+	done := 0
+	if *debug != "" {
+		srv, err := obs.StartDebug(*debug, tracer, func() any {
+			return map[string]any{"experiments_total": len(runners), "experiments_done": done}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ftbench: debug server on http://%s/debug/vars\n", srv.Addr())
+	}
+
 	for _, r := range runners {
 		start := time.Now()
+		sp := tracer.Begin(obs.KindStage, r.ID, -1, -1)
 		tbl, err := r.Run(cfg)
 		if err != nil {
+			sp.Fail(err.Error())
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
 			os.Exit(1)
 		}
+		sp.End()
+		done++
 		fmt.Println(tbl)
 		fmt.Printf("(%s regenerated in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *traceOut != "" {
+		if err := obs.WriteChromeTraceFile(*traceOut, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ftbench: wrote Chrome trace to %s\n", *traceOut)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"ftpde/internal/cost"
 	"ftpde/internal/engine"
 	"ftpde/internal/failure"
+	"ftpde/internal/obs"
 	"ftpde/internal/runtime"
 	"ftpde/internal/sql"
 	"ftpde/internal/stats"
@@ -44,6 +45,9 @@ func main() {
 		rt       = flag.String("runtime", "pipelined", "execution runtime: pipelined (concurrent stage DAG) or staged (sequential interpreter)")
 		batch    = flag.Int("batch", engine.DefaultBatchSize, "pipeline batch size in rows (pipelined runtime only)")
 		showStat = flag.Bool("stats", false, "print runtime metrics after execution (pipelined runtime only)")
+		analyze  = flag.Bool("explain-analyze", false, "execute with tracing and print the cost model's predicted-vs-actual audit")
+		traceOut = flag.String("trace-out", "", "write the execution timeline to this file in Chrome trace_event format")
+		debug    = flag.String("debug-addr", "", "serve live introspection (/debug/vars, /debug/timeline, /debug/trace, /debug/pprof) on this address during execution")
 	)
 	flag.Parse()
 
@@ -98,9 +102,34 @@ func main() {
 		return
 	}
 
-	pp, err := sql.Compile(stmt, cat)
-	if err != nil {
-		fatal(err)
+	var tracer *obs.Tracer
+	if *analyze || *traceOut != "" || *debug != "" {
+		tracer = obs.NewTracer(obs.DefaultCapacity)
+	}
+
+	var pp *sql.PhysicalPlan
+	var audit *sql.AuditPlan
+	if *analyze {
+		tables := make([]string, 0, len(stmt.From))
+		for _, tr := range stmt.From {
+			tables = append(tables, tr.Table)
+		}
+		tstats, err := sql.CollectStats(cat, tables)
+		if err != nil {
+			fatal(err)
+		}
+		cp := stats.CostParams{CPUPerRow: 1e-6, WritePerRow: 1.7e-5, Nodes: *nodes}
+		m := cost.Model{MTBF: *mtbf, MTTR: 1, Percentile: 0.95, PipeConst: 1, Nodes: *nodes}
+		audit, err = sql.BuildAuditPlan(stmt, cat, tstats, cp, m)
+		if err != nil {
+			fatal(err)
+		}
+		pp = audit.Phys
+	} else {
+		pp, err = sql.Compile(stmt, cat)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	for _, name := range splitList(*mat) {
 		found := false
@@ -129,18 +158,34 @@ func main() {
 		injector.Add(parts[0], part, attempt)
 	}
 
+	var metrics *runtime.Metrics
+	if *debug != "" {
+		srv, derr := obs.StartDebug(*debug, tracer, func() any {
+			if metrics == nil {
+				return nil
+			}
+			return metrics.Snapshot()
+		})
+		if derr != nil {
+			fatal(derr)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ftsql: debug server on http://%s/debug/vars\n", srv.Addr())
+	}
+
 	var (
 		res *engine.PartitionedResult
 		rep *engine.Report
 	)
 	switch *rt {
 	case "staged":
-		co := &engine.Coordinator{Nodes: *nodes, Injector: injector}
+		co := &engine.Coordinator{Nodes: *nodes, Injector: injector, Tracer: tracer}
 		res, rep, err = co.Execute(pp.Root)
 	case "pipelined":
 		var r *runtime.Runtime
-		r, err = runtime.New(runtime.Config{Nodes: *nodes, Injector: injector, BatchSize: *batch})
+		r, err = runtime.New(runtime.Config{Nodes: *nodes, Injector: injector, BatchSize: *batch, Tracer: tracer})
 		if err == nil {
+			metrics = r.Metrics()
 			res, rep, err = r.Execute(context.Background(), pp.Root)
 		}
 		if err == nil && *showStat {
@@ -151,6 +196,23 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+
+	if *traceOut != "" {
+		if werr := obs.WriteChromeTraceFile(*traceOut, tracer); werr != nil {
+			fatal(werr)
+		}
+		fmt.Fprintf(os.Stderr, "ftsql: wrote Chrome trace to %s (load in chrome://tracing or Perfetto)\n", *traceOut)
+	}
+
+	if *analyze {
+		report := obs.BuildAudit(audit.Pred, tracer.Snapshot(), tracer.Dropped())
+		fmt.Printf("materialization choice %s (estimated runtime %.4gs); %d result rows\n\n",
+			audit.Opt.Config, audit.Opt.Runtime, len(res.AllRows()))
+		fmt.Print(report.String())
+		fmt.Printf("\nexecution report: failures handled %d, partitions recomputed %d, materialized %d\n",
+			rep.Failures, rep.RecomputedPartitions, rep.MaterializedPartitions)
+		return
 	}
 
 	// Header.

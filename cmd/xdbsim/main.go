@@ -13,23 +13,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"ftpde/internal/cost"
 	"ftpde/internal/exec"
 	"ftpde/internal/failure"
+	"ftpde/internal/obs"
 	"ftpde/internal/schemes"
 	"ftpde/internal/tpch"
 )
 
 func main() {
 	var (
-		query  = flag.String("query", "Q5", "TPC-H query: Q1, Q3, Q5, Q1C, Q2C")
-		scheme = flag.String("scheme", "cost-based", "fault-tolerance scheme: all-mat, no-mat-lineage, no-mat-restart, cost-based")
-		sf     = flag.Float64("sf", 100, "TPC-H scale factor")
-		nodes  = flag.Int("nodes", 10, "cluster size")
-		mtbf   = flag.Float64("mtbf", failure.OneHour, "per-node MTBF (seconds)")
-		mttr   = flag.Float64("mttr", 1, "mean time to repair (seconds)")
-		seed   = flag.Int64("seed", 1, "failure trace seed")
+		query    = flag.String("query", "Q5", "TPC-H query: Q1, Q3, Q5, Q1C, Q2C")
+		scheme   = flag.String("scheme", "cost-based", "fault-tolerance scheme: all-mat, no-mat-lineage, no-mat-restart, cost-based")
+		sf       = flag.Float64("sf", 100, "TPC-H scale factor")
+		nodes    = flag.Int("nodes", 10, "cluster size")
+		mtbf     = flag.Float64("mtbf", failure.OneHour, "per-node MTBF (seconds)")
+		mttr     = flag.Float64("mttr", 1, "mean time to repair (seconds)")
+		seed     = flag.Int64("seed", 1, "failure trace seed")
+		traceOut = flag.String("trace-out", "", "write the simulated timeline to this file in Chrome trace_event format")
+		debug    = flag.String("debug-addr", "", "serve the simulated timeline and pprof on this address until interrupted")
 	)
 	flag.Parse()
 
@@ -94,6 +98,26 @@ func main() {
 		}
 		fmt.Println("\ngantt (each ▓ block is simulated time; ░ marks retry-inflated span):")
 		printGantt(res.Stages, res.Runtime)
+	}
+
+	if *traceOut != "" {
+		if err := obs.WriteChromeTraceSpans(*traceOut, exec.SimEpoch, res.Spans); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote Chrome trace to %s (simulated seconds map to wall-clock seconds)\n", *traceOut)
+	}
+	if *debug != "" {
+		tracer := obs.NewTracer(len(res.Spans) * 2)
+		tracer.Ingest(res.Spans)
+		srv, err := obs.StartDebug(*debug, tracer, func() any { return res })
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ndebug server on http://%s/debug/timeline — ctrl-c to exit\n", srv.Addr())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		srv.Close()
 	}
 }
 

@@ -115,6 +115,28 @@ func ColumnBlockSize(rows []Row) (int64, bool) {
 	return n, true
 }
 
+// EncodedSize returns the exact number of bytes writeBlockFile produces for
+// rows: the column-block size when the rows are strictly typed, the length of
+// the magic-prefixed gob stream otherwise. The runtime's checkpoint-bytes
+// metric uses it so both encodings are counted exactly.
+func EncodedSize(rows []Row) int64 {
+	if n, ok := ColumnBlockSize(rows); ok {
+		return n
+	}
+	var cw countingWriter
+	if err := writeBlockFile(&cw, rows); err != nil {
+		return 0
+	}
+	return cw.n
+}
+
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
 // EncodeColumnBlock serializes rows in the column-block format; ok is false
 // when the rows are not strictly typed and the caller must fall back to gob.
 func EncodeColumnBlock(rows []Row) ([]byte, bool) {

@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 	"sync"
+
+	"ftpde/internal/obs"
 )
 
 // FailureInjector decides whether the node hosting partition `part` dies
@@ -121,6 +123,9 @@ type Coordinator struct {
 	MaxRestarts int
 	// Store is the fault-tolerant medium; nil allocates a fresh one.
 	Store Store
+	// Tracer receives execution spans and failure/recovery events; nil
+	// disables tracing.
+	Tracer *obs.Tracer
 }
 
 const maxAttemptsPerPartition = 1000
@@ -154,6 +159,8 @@ func (co *Coordinator) Execute(root Operator) (*PartitionedResult, *Report, erro
 	if maxRestarts == 0 {
 		maxRestarts = 100
 	}
+	qspan := co.Tracer.Begin(obs.KindQuery, root.Name(), -1, -1)
+	defer qspan.End()
 
 	// Attempts persist across coarse restarts so scripted failure traces
 	// advance (a restarted query re-runs every operator, but the trace has
@@ -176,6 +183,7 @@ func (co *Coordinator) Execute(root Operator) (*PartitionedResult, *Report, erro
 		if co.Coarse && asRestart(err, &rf) {
 			report.Failures++
 			report.Restarts++
+			co.Tracer.Event(obs.KindRestart, rf.op, rf.part, report.Restarts)
 			if report.Restarts > maxRestarts {
 				report.Aborted = true
 				return nil, report, fmt.Errorf("engine: query aborted after %d restarts", report.Restarts-1)
@@ -219,6 +227,17 @@ func (st *execState) run(root Operator) (*PartitionedResult, error) {
 func (st *execState) computeAll(op Operator) error {
 	st.ensureResult(op)
 	parts := st.co.Nodes
+	stageSpan := st.co.Tracer.Begin(obs.KindStage, op.Name(), -1, -1)
+	defer func() {
+		var rows int64
+		for part, ok := range st.done[op] {
+			if ok {
+				rows += int64(len(st.results[op].Parts[part]))
+			}
+		}
+		stageSpan.SetRows(rows)
+		stageSpan.End()
+	}()
 
 	// An earlier recovery may have dropped partitions of inputs computed
 	// before the failure; restore them before the parallel pass reads them.
@@ -254,11 +273,20 @@ func (st *execState) computeAll(op Operator) error {
 				return
 			}
 			attempt := st.attempts[attemptKey(op, part)]
+			sp := st.co.Tracer.Begin(obs.KindTask, op.Name(), part, attempt)
 			if st.co.Injector.FailCompute(op.Name(), part, attempt) {
+				st.co.Tracer.Event(obs.KindFailure, op.Name(), part, attempt)
+				sp.Fail("node failure")
+				sp.End()
 				out[part] = outcome{part: part, failed: true}
 				return
 			}
 			rows, err := op.Compute(part, st.inputResults(op))
+			sp.SetRows(int64(len(rows)))
+			if err != nil {
+				sp.Fail(err.Error())
+			}
+			sp.End()
 			out[part] = outcome{part: part, rows: rows, err: err}
 		}(part)
 	}
@@ -290,7 +318,13 @@ func (st *execState) computeAll(op Operator) error {
 		}
 		st.report.Failures++
 		st.dropVolatileOnNode(part)
-		if err := st.ensure(op, part); err != nil {
+		rsp := st.co.Tracer.Begin(obs.KindRecovery, op.Name(), part, -1)
+		err := st.ensure(op, part)
+		if err != nil {
+			rsp.Fail(err.Error())
+		}
+		rsp.End()
+		if err != nil {
 			return err
 		}
 	}
@@ -331,6 +365,7 @@ func (st *execState) ensure(op Operator, part int) error {
 			return fmt.Errorf("engine: partition %d of %s exceeded %d attempts", part, op.Name(), maxAttemptsPerPartition)
 		}
 		if st.co.Injector.FailCompute(op.Name(), part, attempt) {
+			st.co.Tracer.Event(obs.KindFailure, op.Name(), part, attempt)
 			st.attempts[key]++
 			if st.co.Coarse {
 				return &restartFailure{op: op.Name(), part: part}
@@ -351,10 +386,15 @@ func (st *execState) ensure(op Operator, part int) error {
 			}
 			continue
 		}
+		sp := st.co.Tracer.Begin(obs.KindTask, op.Name(), part, attempt)
 		rows, err := op.Compute(part, st.inputResults(op))
 		if err != nil {
+			sp.Fail(err.Error())
+			sp.End()
 			return err
 		}
+		sp.SetRows(int64(len(rows)))
+		sp.End()
 		st.attempts[key]++
 		st.report.RecomputedPartitions++
 		st.commit(op, part, rows)
@@ -370,7 +410,11 @@ func (st *execState) commit(op Operator, part int, rows []Row) {
 	st.done[op][part] = true
 	if op.Materialize() {
 		if _, already := st.co.Store.Get(op.Name(), part); !already {
+			sp := st.co.Tracer.Begin(obs.KindCheckpoint, op.Name(), part, -1)
 			st.co.Store.Put(op.Name(), part, rows, st.co.Nodes)
+			sp.SetBytes(EncodedSize(rows))
+			sp.SetRows(int64(len(rows)))
+			sp.End()
 			st.report.MaterializedPartitions++
 		}
 	}

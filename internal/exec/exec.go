@@ -21,6 +21,7 @@ import (
 
 	"ftpde/internal/cost"
 	"ftpde/internal/failure"
+	"ftpde/internal/obs"
 	"ftpde/internal/plan"
 	"ftpde/internal/schemes"
 )
@@ -68,6 +69,10 @@ type Result struct {
 	Aborted bool
 	// Stages holds per-stage timelines (fine-grained recovery only).
 	Stages []StageReport
+	// Spans is the simulated execution as an obs timeline: stage/task spans,
+	// failure instants and recovery windows on the simulator's synthetic
+	// clock (see SimEpoch). Export with obs.WriteChromeTraceSpans.
+	Spans []obs.Span
 }
 
 // Run simulates the execution of plan p (with its current materialization
@@ -118,15 +123,21 @@ func runFine(c *cost.Collapsed, opt Options, tr *failure.Trace) *Result {
 		stageEnd := start
 		for node := 0; node < opt.Cluster.Nodes; node++ {
 			cur := start
+			attempt := 0
 			for {
 				f := tr.NextFailure(node, cur)
 				if f >= cur+work {
+					res.addSpan(obs.KindTask, stage.Name, node, attempt, cur, cur+work, "")
 					cur += work
 					break
 				}
 				res.Failures++
 				stage.Retries++
+				res.addSpan(obs.KindTask, stage.Name, node, attempt, cur, f, "node failure")
+				res.addEvent(obs.KindFailure, stage.Name, node, attempt, f)
+				res.addSpan(obs.KindRecovery, stage.Name, node, -1, f, f+opt.Cluster.MTTR, "")
 				cur = f + opt.Cluster.MTTR
+				attempt++
 			}
 			if cur > stageEnd {
 				stageEnd = cur
@@ -134,11 +145,13 @@ func runFine(c *cost.Collapsed, opt Options, tr *failure.Trace) *Result {
 		}
 		stage.End = stageEnd
 		end[cid] = stageEnd
+		res.addSpan(obs.KindStage, stage.Name, -1, -1, start, stageEnd, "")
 		res.Stages = append(res.Stages, stage)
 		if stageEnd > res.Runtime {
 			res.Runtime = stageEnd
 		}
 	}
+	res.addSpan(obs.KindQuery, "query", -1, -1, 0, res.Runtime, "")
 	return res
 }
 
@@ -152,18 +165,25 @@ func runCoarse(c *cost.Collapsed, opt Options, tr *failure.Trace) *Result {
 	makespan := failureFreeMakespan(c)
 	start := 0.0
 	for {
-		f, _ := tr.NextClusterFailure(start)
+		f, node := tr.NextClusterFailure(start)
 		if f >= start+makespan {
 			res.Runtime = start + makespan
+			res.addSpan(obs.KindTask, "query", -1, res.Restarts, start, res.Runtime, "")
+			res.addSpan(obs.KindQuery, "query", -1, -1, 0, res.Runtime, "")
 			return res
 		}
 		res.Failures++
 		res.Restarts++
+		res.addSpan(obs.KindTask, "query", -1, res.Restarts-1, start, f, "node failure")
+		res.addEvent(obs.KindFailure, "query", node, res.Restarts-1, f)
+		res.addEvent(obs.KindRestart, "query", node, res.Restarts, f)
 		if res.Restarts > maxRestarts {
 			res.Aborted = true
 			res.Runtime = f
+			res.addSpan(obs.KindQuery, "query", -1, -1, 0, res.Runtime, "aborted")
 			return res
 		}
+		res.addSpan(obs.KindRecovery, "query", node, -1, f, f+opt.Cluster.MTTR, "")
 		start = f + opt.Cluster.MTTR
 	}
 }

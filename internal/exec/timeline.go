@@ -1,0 +1,33 @@
+package exec
+
+import (
+	"time"
+
+	"ftpde/internal/obs"
+)
+
+// SimEpoch anchors the simulator's float timestamps (cost units ≈ seconds)
+// when its timeline is exported as obs spans: simulated time s maps to
+// SimEpoch + s. Pass it to obs.WriteChromeTraceSpans alongside Result.Spans.
+var SimEpoch = time.Unix(0, 0).UTC()
+
+// simTime converts a simulated timestamp to the span clock.
+func simTime(s float64) time.Time {
+	return SimEpoch.Add(time.Duration(s * float64(time.Second)))
+}
+
+// addSpan appends one duration span to the result's synthetic timeline.
+func (r *Result) addSpan(kind obs.Kind, name string, part, attempt int, start, end float64, errMsg string) {
+	r.Spans = append(r.Spans, obs.Span{
+		Kind: kind, Name: name, Part: part, Attempt: attempt,
+		Start: simTime(start), End: simTime(end), Err: errMsg,
+	})
+}
+
+// addEvent appends one instant event to the result's synthetic timeline.
+func (r *Result) addEvent(kind obs.Kind, name string, part, attempt int, at float64) {
+	t := simTime(at)
+	r.Spans = append(r.Spans, obs.Span{
+		Kind: kind, Name: name, Part: part, Attempt: attempt, Start: t, End: t,
+	})
+}

@@ -27,6 +27,7 @@ func Extras() []Runner {
 		{"ext-workload", "Extension: total cost of a mixed workload per scheme and cluster", ExtWorkload},
 		{"ext-adaptive", "Extension (paper future work): re-optimization at materialization points under skew", ExtAdaptive},
 		{"ext-weibull", "Extension: sensitivity of the exponential-arrivals assumption (Weibull failures)", ExtWeibull},
+		{"ext-audit", "Extension: live cost-model audit — predicted vs observed spans on the concurrent runtime", ExtAudit},
 	}
 }
 

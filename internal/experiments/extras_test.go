@@ -7,8 +7,8 @@ import (
 
 func TestExtrasRegistry(t *testing.T) {
 	extras := Extras()
-	if len(extras) != 9 {
-		t.Fatalf("want 9 extras, got %d", len(extras))
+	if len(extras) != 10 {
+		t.Fatalf("want 10 extras, got %d", len(extras))
 	}
 	if len(Everything()) != len(All())+len(extras) {
 		t.Error("Everything() should concatenate All and Extras")
@@ -201,5 +201,29 @@ func TestExtWeibullShape(t *testing.T) {
 			t.Errorf("estimation error should grow with shape: %v", tbl.Rows)
 		}
 		prevActual, prevErr = a, e
+	}
+}
+
+func TestExtAuditShape(t *testing.T) {
+	// Nodes pinned to 4: the audit's forced-materialization regime was
+	// calibrated at that partition count.
+	tbl, err := ExtAudit(Config{Nodes: 4, Traces: 1, Seed: 1, SF: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failsObserved, materialized bool
+	for _, row := range tbl.Rows {
+		if row[1] == "faults" && row[9] != "0" && row[9] != "" {
+			failsObserved = true
+		}
+		if row[4] == "M" {
+			materialized = true
+		}
+	}
+	if !failsObserved {
+		t.Error("no faults run recorded observed failures")
+	}
+	if !materialized {
+		t.Error("no collapsed group was materialized; the audit never exercises checkpoints")
 	}
 }

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// synthetic timeline: two collapsed groups; group B suffers one failure and
+// a recovery, and materializes its output.
+func auditFixture() (Prediction, []Span) {
+	pred := Prediction{
+		DominantRuntime: 0.5,
+		MTTR:            1,
+		Ops: []OpPrediction{
+			{Name: "{1}", Ops: []string{"scan-l"}, TR: 0.1, Total: 0.1,
+				Wasted: 0.05, Attempts: 0.01, Runtime: 0.11, Dominant: true},
+			{Name: "{2,3}", Ops: []string{"join-1", "aggregate"}, TR: 0.3, TM: 0.1,
+				Total: 0.4, Wasted: 0.2, Attempts: 0.02, Runtime: 0.39,
+				Materialize: true, Dominant: true},
+		},
+	}
+	base := time.Unix(1000, 0)
+	at := func(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+	mk := func(kind Kind, name string, part, attempt, startMS, endMS int) Span {
+		return Span{Kind: kind, Name: name, Part: part, Attempt: attempt,
+			Start: at(startMS), End: at(endMS)}
+	}
+	spans := []Span{
+		mk(KindQuery, "query", -1, -1, 0, 100),
+		mk(KindStage, "scan-l", -1, -1, 0, 20),
+		mk(KindTask, "scan-l", 0, 0, 0, 20),
+		mk(KindStage, "aggregate", -1, -1, 20, 90),
+		func() Span {
+			s := mk(KindTask, "aggregate", 1, 0, 20, 40)
+			s.Err = "node failure"
+			return s
+		}(),
+		mk(KindFailure, "join-1", 1, 0, 40, 40),
+		mk(KindRecovery, "aggregate", 1, -1, 40, 70),
+		mk(KindTask, "aggregate", 1, 1, 45, 70),
+		func() Span {
+			s := mk(KindCheckpoint, "aggregate", 1, -1, 70, 75)
+			s.Bytes = 1234
+			return s
+		}(),
+	}
+	return pred, spans
+}
+
+func TestBuildAuditJoinsPredictionsAndSpans(t *testing.T) {
+	pred, spans := auditFixture()
+	rep := BuildAudit(pred, spans, 0)
+	if len(rep.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rep.Rows))
+	}
+	scan, join := rep.Rows[0], rep.Rows[1]
+	if scan.Obs.Wall != 20*time.Millisecond {
+		t.Errorf("scan wall = %v", scan.Obs.Wall)
+	}
+	if join.Obs.Wall != 70*time.Millisecond {
+		t.Errorf("join wall = %v", join.Obs.Wall)
+	}
+	if join.Obs.Failures != 1 || join.Obs.Recoveries != 1 {
+		t.Errorf("join failures/recoveries = %d/%d, want 1/1",
+			join.Obs.Failures, join.Obs.Recoveries)
+	}
+	if join.Obs.Attempts != 2 {
+		t.Errorf("join attempts = %d, want 2", join.Obs.Attempts)
+	}
+	if join.Obs.WastedWall != 20*time.Millisecond {
+		t.Errorf("join wasted = %v, want 20ms", join.Obs.WastedWall)
+	}
+	if join.Obs.CheckpointBytes != 1234 {
+		t.Errorf("join checkpoint bytes = %d", join.Obs.CheckpointBytes)
+	}
+	if rep.ActualRuntime != 100*time.Millisecond {
+		t.Errorf("query wall = %v", rep.ActualRuntime)
+	}
+	if rep.Failures != 1 || rep.Recoveries != 1 || rep.Restarts != 0 {
+		t.Errorf("timeline summary = %d/%d/%d", rep.Failures, rep.Recoveries, rep.Restarts)
+	}
+	// relerr for join: (0.39 - 0.07) / 0.07
+	want := (0.39 - 0.07) / 0.07
+	if math.Abs(join.RelErr-want) > 1e-9 {
+		t.Errorf("join relerr = %g, want %g", join.RelErr, want)
+	}
+	// dominant actual = 20ms + 70ms
+	if rep.DominantActual != 90*time.Millisecond {
+		t.Errorf("dominant actual = %v", rep.DominantActual)
+	}
+}
+
+func TestBuildAuditNoObservations(t *testing.T) {
+	pred, _ := auditFixture()
+	rep := BuildAudit(pred, nil, 3)
+	for _, row := range rep.Rows {
+		if !math.IsNaN(row.RelErr) {
+			t.Errorf("relerr without observations = %g, want NaN", row.RelErr)
+		}
+	}
+	if rep.Dropped != 3 {
+		t.Errorf("dropped = %d", rep.Dropped)
+	}
+}
+
+func TestAuditReportStringCoversEveryOperator(t *testing.T) {
+	pred, spans := auditFixture()
+	out := BuildAudit(pred, spans, 1).String()
+	for _, want := range []string{"{1}", "{2,3}", "join-1,aggregate", "dominant path",
+		"failure timeline: 1 failures", "1234", "dropped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}

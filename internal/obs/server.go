@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the opt-in live-introspection endpoint the CLIs mount with
+// -debug-addr. It serves:
+//
+//	/debug/vars      expvar-style JSON snapshot (caller-supplied metrics +
+//	                 tracer counters)
+//	/debug/timeline  the merged span timeline as JSON
+//	/debug/trace     the timeline in Chrome trace_event format
+//	/debug/pprof/*   net/http/pprof
+type DebugServer struct {
+	srv  *http.Server
+	ln   net.Listener
+	done chan struct{}
+}
+
+// StartDebug binds addr (":0" picks a free port) and serves in the
+// background. metrics may be nil; when set, its return value is embedded in
+// /debug/vars under "metrics".
+func StartDebug(addr string, tracer *Tracer, metrics func() any) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		vars := map[string]any{
+			"uptime_seconds": time.Since(tracer.Epoch()).Seconds(),
+			"trace": map[string]any{
+				"spans":   len(tracer.Snapshot()),
+				"dropped": tracer.Dropped(),
+			},
+		}
+		if metrics != nil {
+			vars["metrics"] = metrics()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(vars)
+	})
+	mux.HandleFunc("/debug/timeline", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		WriteJSON(w, tracer)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		WriteChromeTrace(w, tracer)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &DebugServer{
+		srv:  &http.Server{Handler: mux},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down.
+func (s *DebugServer) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

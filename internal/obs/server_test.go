@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestDebugServerEndpoints(t *testing.T) {
+	tr := NewTracer(256)
+	sp := tr.Begin(KindStage, "scan", -1, -1)
+	sp.End()
+	srv, err := StartDebug("127.0.0.1:0", tr, func() any {
+		return map[string]int{"rows": 7}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var vars map[string]any
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars does not parse: %v", err)
+	}
+	if vars["metrics"].(map[string]any)["rows"].(float64) != 7 {
+		t.Errorf("vars metrics = %v", vars["metrics"])
+	}
+
+	var tl Timeline
+	if err := json.Unmarshal(get("/debug/timeline"), &tl); err != nil {
+		t.Fatalf("/debug/timeline does not parse: %v", err)
+	}
+	if len(tl.Spans) != 1 {
+		t.Errorf("timeline spans = %d, want 1", len(tl.Spans))
+	}
+
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(get("/debug/trace"), &trace); err != nil {
+		t.Fatalf("/debug/trace does not parse: %v", err)
+	}
+	if len(trace.TraceEvents) != 1 {
+		t.Errorf("trace events = %d, want 1", len(trace.TraceEvents))
+	}
+
+	if body := get("/debug/pprof/"); len(body) == 0 {
+		t.Error("pprof index is empty")
+	}
+}

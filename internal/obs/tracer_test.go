@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin(KindStage, "s", -1, -1)
+	sp.SetBytes(1)
+	sp.SetRows(2)
+	sp.End()
+	tr.Event(KindFailure, "f", 0, 0)
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil tracer snapshot = %v, want nil", got)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatal("nil tracer reported drops")
+	}
+}
+
+func TestTracerRecordsSpansAndEvents(t *testing.T) {
+	tr := NewTracer(1024)
+	sp := tr.Begin(KindStage, "join-1", -1, -1)
+	sp.SetRows(42)
+	sp.End()
+	task := tr.Begin(KindTask, "join-1", 2, 1)
+	task.Fail("node failure")
+	tr.Event(KindFailure, "join-1", 2, 1)
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byKind := map[Kind]Span{}
+	for _, s := range spans {
+		byKind[s.Kind] = s
+	}
+	if byKind[KindStage].Rows != 42 {
+		t.Errorf("stage rows = %d, want 42", byKind[KindStage].Rows)
+	}
+	if byKind[KindTask].Err != "node failure" {
+		t.Errorf("task err = %q", byKind[KindTask].Err)
+	}
+	if !byKind[KindFailure].Instant() {
+		t.Error("failure event is not instant")
+	}
+	if byKind[KindFailure].Part != 2 || byKind[KindFailure].Attempt != 1 {
+		t.Errorf("failure event ids = (%d,%d), want (2,1)",
+			byKind[KindFailure].Part, byKind[KindFailure].Attempt)
+	}
+}
+
+func TestTracerSnapshotSortedByStart(t *testing.T) {
+	tr := NewTracer(1024)
+	for i := 0; i < 50; i++ {
+		tr.Event(KindFailure, "op", i, 0)
+	}
+	spans := tr.Snapshot()
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start.Before(spans[i-1].Start) {
+			t.Fatalf("snapshot not sorted at %d", i)
+		}
+	}
+}
+
+func TestTracerRingOverflowCountsDrops(t *testing.T) {
+	tr := NewTracer(1) // clamped to 64 per shard
+	total := 0
+	for _, r := range tr.shards {
+		total += len(r.buf)
+	}
+	for i := 0; i < total+100; i++ {
+		tr.Event(KindTask, "op", i, 0)
+	}
+	if got := len(tr.Snapshot()); got != total {
+		t.Errorf("snapshot has %d spans, want ring capacity %d", got, total)
+	}
+	if tr.Dropped() != 100 {
+		t.Errorf("dropped = %d, want 100", tr.Dropped())
+	}
+}
+
+// TestTracerConcurrentEmitAndDrain is the race-detector coverage for the
+// tracer: many workers emit while a collector snapshots concurrently.
+func TestTracerConcurrentEmitAndDrain(t *testing.T) {
+	tr := NewTracer(4096)
+	const workers = 8
+	const perWorker = 500
+	stop := make(chan struct{})
+	collectorDone := make(chan struct{})
+	go func() { // collector drains concurrently with emission
+		defer close(collectorDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Snapshot()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := tr.Begin(KindTask, "op", w, i)
+				sp.SetRows(int64(i))
+				sp.End()
+				if i%10 == 0 {
+					tr.Event(KindFailure, "op", w, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-collectorDone
+
+	spans := tr.Snapshot()
+	if len(spans)+int(tr.Dropped()) != workers*perWorker+workers*perWorker/10 {
+		t.Errorf("spans %d + dropped %d != emitted %d",
+			len(spans), tr.Dropped(), workers*perWorker+workers*perWorker/10)
+	}
+}
+
+func TestChromeTraceExportParses(t *testing.T) {
+	tr := NewTracer(256)
+	sp := tr.Begin(KindStage, "aggregate", -1, -1)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Event(KindFailure, "aggregate", 1, 0)
+
+	var buf jsonBuffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.b, &parsed); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	if len(parsed.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(parsed.TraceEvents))
+	}
+	phases := map[string]bool{}
+	for _, ev := range parsed.TraceEvents {
+		phases[ev["ph"].(string)] = true
+	}
+	if !phases["X"] || !phases["i"] {
+		t.Errorf("want one complete and one instant event, got %v", phases)
+	}
+}
+
+func TestWriteJSONTimeline(t *testing.T) {
+	tr := NewTracer(256)
+	tr.Event(KindRestart, "query", -1, -1)
+	var buf jsonBuffer
+	if err := WriteJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var tl Timeline
+	if err := json.Unmarshal(buf.b, &tl); err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Spans) != 1 || tl.Spans[0].Kind != KindRestart {
+		t.Errorf("timeline = %+v", tl)
+	}
+}
+
+type jsonBuffer struct{ b []byte }
+
+func (j *jsonBuffer) Write(p []byte) (int, error) {
+	j.b = append(j.b, p...)
+	return len(p), nil
+}
+
+func (s SpanScope) open() bool { return s.t != nil }
+
+func TestSpanScopeDoubleEndIsSafe(t *testing.T) {
+	tr := NewTracer(256)
+	sp := tr.Begin(KindTask, "op", 0, 0)
+	sp.End()
+	if sp.open() {
+		t.Fatal("scope still open after End")
+	}
+	sp.End() // must not record a second span
+	if got := len(tr.Snapshot()); got != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", got)
+	}
+}

@@ -3,8 +3,10 @@ package runtime
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"ftpde/internal/engine"
+	"ftpde/internal/obs"
 )
 
 // checkpointReq is one partition to persist.
@@ -23,6 +25,7 @@ type checkpointReq struct {
 type checkpointWriter struct {
 	store   engine.Store
 	metrics *Metrics
+	tracer  *obs.Tracer
 	queue   chan checkpointReq
 
 	mu      sync.Mutex
@@ -32,10 +35,11 @@ type checkpointWriter struct {
 	closed  bool
 }
 
-func newCheckpointWriter(store engine.Store, metrics *Metrics) *checkpointWriter {
+func newCheckpointWriter(store engine.Store, metrics *Metrics, tracer *obs.Tracer) *checkpointWriter {
 	w := &checkpointWriter{
 		store:   store,
 		metrics: metrics,
+		tracer:  tracer,
 		queue:   make(chan checkpointReq, 64),
 		written: make(map[string]bool),
 	}
@@ -46,15 +50,16 @@ func newCheckpointWriter(store engine.Store, metrics *Metrics) *checkpointWriter
 
 func (w *checkpointWriter) loop() {
 	for req := range w.queue {
+		sp := w.tracer.Begin(obs.KindCheckpoint, req.op, req.part, -1)
+		start := time.Now()
 		w.store.Put(req.op, req.part, req.rows, req.parts)
+		w.metrics.addCheckpointWrite(time.Since(start))
 		w.metrics.CheckpointParts.Add(1)
-		if n, ok := engine.ColumnBlockSize(req.rows); ok {
-			// Typed partitions land on disk in the column-block format;
-			// report its exact serialized size.
-			w.metrics.CheckpointBytes.Add(n)
-		} else {
-			w.metrics.CheckpointBytes.Add(approxRowBytes(req.rows))
-		}
+		n := engine.EncodedSize(req.rows)
+		w.metrics.CheckpointBytes.Add(n)
+		sp.SetBytes(n)
+		sp.SetRows(int64(len(req.rows)))
+		sp.End()
 		w.mu.Lock()
 		w.pending--
 		w.cond.Broadcast()

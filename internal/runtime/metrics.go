@@ -7,8 +7,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"ftpde/internal/engine"
 )
 
 // Metrics is the runtime's counter set, safe for concurrent use. One Metrics
@@ -21,7 +19,8 @@ type Metrics struct {
 	// Rows counts rows produced at stage sinks (committed partitions).
 	Rows atomic.Int64
 	// CheckpointParts counts partitions handed to the async checkpoint
-	// writer; CheckpointBytes approximates their serialized size.
+	// writer; CheckpointBytes is their exact serialized size (column-block
+	// or gob, whichever encoding the store uses).
 	CheckpointParts atomic.Int64
 	CheckpointBytes atomic.Int64
 	// Failures counts injected node failures observed by workers.
@@ -34,6 +33,11 @@ type Metrics struct {
 
 	mu        sync.Mutex
 	stageWall map[string]time.Duration
+	stageRows map[string]int64
+	ckptMin   time.Duration
+	ckptMax   time.Duration
+	ckptSum   time.Duration
+	ckptN     int64
 }
 
 // addStageWall accumulates wall time for one stage (keyed by the stage's
@@ -47,12 +51,47 @@ func (m *Metrics) addStageWall(stage string, d time.Duration) {
 	m.stageWall[stage] += d
 }
 
+// addStageRows accumulates committed row counts for one stage.
+func (m *Metrics) addStageRows(stage string, rows int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stageRows == nil {
+		m.stageRows = make(map[string]int64)
+	}
+	m.stageRows[stage] += rows
+}
+
+// addCheckpointWrite records the wall time of one checkpoint store write.
+func (m *Metrics) addCheckpointWrite(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ckptN == 0 || d < m.ckptMin {
+		m.ckptMin = d
+	}
+	if d > m.ckptMax {
+		m.ckptMax = d
+	}
+	m.ckptSum += d
+	m.ckptN++
+}
+
 // StageWall returns a copy of the per-stage wall-time table.
 func (m *Metrics) StageWall() map[string]time.Duration {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make(map[string]time.Duration, len(m.stageWall))
 	for k, v := range m.stageWall {
+		out[k] = v
+	}
+	return out
+}
+
+// StageRows returns a copy of the per-stage committed-row table.
+func (m *Metrics) StageRows() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.stageRows))
+	for k, v := range m.stageRows {
 		out[k] = v
 	}
 	return out
@@ -68,11 +107,16 @@ type Snapshot struct {
 	Recoveries      int64                    `json:"recoveries"`
 	Restarts        int64                    `json:"restarts"`
 	StageWall       map[string]time.Duration `json:"stage_wall_ns"`
+	StageRows       map[string]int64         `json:"stage_rows"`
+	// Checkpoint-write latency over individual store writes.
+	CheckpointMin time.Duration `json:"checkpoint_min_ns"`
+	CheckpointAvg time.Duration `json:"checkpoint_avg_ns"`
+	CheckpointMax time.Duration `json:"checkpoint_max_ns"`
 }
 
 // Snapshot returns a consistent-enough copy of all counters.
 func (m *Metrics) Snapshot() Snapshot {
-	return Snapshot{
+	s := Snapshot{
 		Batches:         m.Batches.Load(),
 		Rows:            m.Rows.Load(),
 		CheckpointParts: m.CheckpointParts.Load(),
@@ -81,14 +125,28 @@ func (m *Metrics) Snapshot() Snapshot {
 		Recoveries:      m.Recoveries.Load(),
 		Restarts:        m.Restarts.Load(),
 		StageWall:       m.StageWall(),
+		StageRows:       m.StageRows(),
 	}
+	m.mu.Lock()
+	if m.ckptN > 0 {
+		s.CheckpointMin = m.ckptMin
+		s.CheckpointAvg = m.ckptSum / time.Duration(m.ckptN)
+		s.CheckpointMax = m.ckptMax
+	}
+	m.mu.Unlock()
+	return s
 }
 
-// String renders the snapshot compactly for CLI output.
+// String renders the snapshot compactly for CLI output. Sections and the
+// per-stage lines inside them are stable-ordered so output is diffable.
 func (s Snapshot) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "batches=%d rows=%d ckpt_parts=%d ckpt_bytes=%d failures=%d recoveries=%d restarts=%d",
 		s.Batches, s.Rows, s.CheckpointParts, s.CheckpointBytes, s.Failures, s.Recoveries, s.Restarts)
+	if s.CheckpointParts > 0 {
+		fmt.Fprintf(&b, "\ncheckpoint write latency: min=%s avg=%s max=%s",
+			s.CheckpointMin, s.CheckpointAvg, s.CheckpointMax)
+	}
 	if len(s.StageWall) > 0 {
 		names := make([]string, 0, len(s.StageWall))
 		for n := range s.StageWall {
@@ -97,26 +155,8 @@ func (s Snapshot) String() string {
 		sort.Strings(names)
 		b.WriteString("\nstage wall time:")
 		for _, n := range names {
-			fmt.Fprintf(&b, "\n  %-40s %s", n, s.StageWall[n])
+			fmt.Fprintf(&b, "\n  %-40s %-14s %d rows", n, s.StageWall[n], s.StageRows[n])
 		}
 	}
 	return b.String()
-}
-
-// approxRowBytes estimates the serialized size of a partition for the
-// checkpoint-bytes counter (cheaper than re-encoding with gob).
-func approxRowBytes(rows []engine.Row) int64 {
-	var n int64
-	for _, r := range rows {
-		n += 8 // slice header / framing
-		for _, v := range r {
-			switch x := v.(type) {
-			case string:
-				n += int64(len(x)) + 2
-			default:
-				n += 8
-			}
-		}
-	}
-	return n
 }

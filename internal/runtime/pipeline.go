@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"ftpde/internal/engine"
+	"ftpde/internal/obs"
 )
 
 // nodeFailure reports an injected node failure while computing op's
@@ -49,6 +50,15 @@ func (a *attempts) take(op string, part int) int {
 	n := a.m[key]
 	a.m[key] = n + 1
 	return n
+}
+
+// peek returns the attempt number the next take would hand out, without
+// advancing it — the task span's attempt label.
+func (a *attempts) peek(op string, part int) int {
+	key := fmt.Sprintf("%s/%d", op, part)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.m[key]
 }
 
 // runPipeline executes one partition of a stage as a chain of goroutines
@@ -163,6 +173,7 @@ func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *sta
 	size := rn.cfg.BatchSize
 	for start, i := 0, 0; start < total; start, i = start+size, i+1 {
 		if fail && i >= 1 {
+			rn.tracer.Event(obs.KindFailure, op.Name(), part, n)
 			cancel()
 			return &nodeFailure{op: op.Name(), part: part}
 		}
@@ -178,6 +189,7 @@ func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *sta
 		}
 	}
 	if fail {
+		rn.tracer.Event(obs.KindFailure, op.Name(), part, n)
 		cancel()
 		return &nodeFailure{op: op.Name(), part: part}
 	}
@@ -208,6 +220,7 @@ func (rn *run) runChainOp(pctx context.Context, cancel context.CancelFunc, op en
 		case b, chOpen := <-in:
 			if !chOpen {
 				if fail {
+					rn.tracer.Event(obs.KindFailure, op.Name(), part, n)
 					cancel()
 					return &nodeFailure{op: op.Name(), part: part}
 				}
@@ -227,6 +240,7 @@ func (rn *run) runChainOp(pctx context.Context, cancel context.CancelFunc, op en
 				return nil
 			}
 			if fail && processed >= 1 {
+				rn.tracer.Event(obs.KindFailure, op.Name(), part, n)
 				cancel()
 				return &nodeFailure{op: op.Name(), part: part}
 			}

@@ -2,6 +2,8 @@ package runtime
 
 import (
 	"context"
+
+	"ftpde/internal/obs"
 )
 
 // recoverFine handles an injected node failure under fine-grained recovery:
@@ -20,7 +22,12 @@ func (rn *run) recoverFine(ctx context.Context, s *stage, part int, nf *nodeFail
 		rn.metrics.Failures.Add(1)
 		rn.dropLineageOnNode(s, nf.part)
 
+		sp := rn.tracer.Begin(obs.KindRecovery, nf.op, nf.part, -1)
 		err := rn.ensurePartition(ctx, s, part)
+		if next, ok := asNodeFailure(err); ok {
+			sp.Fail(next.Error())
+		}
+		sp.End()
 		if err == nil {
 			return nil
 		}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"ftpde/internal/engine"
+	"ftpde/internal/obs"
 	"ftpde/internal/schemes"
 )
 
@@ -50,6 +51,9 @@ type Config struct {
 	Store engine.Store
 	// Metrics receives runtime counters; nil allocates a private set.
 	Metrics *Metrics
+	// Tracer receives execution spans and failure/recovery events; nil
+	// disables tracing (the no-op fast path never reads the clock).
+	Tracer *obs.Tracer
 }
 
 // Runtime executes operator DAGs with the pipelined concurrent runtime.
@@ -99,8 +103,11 @@ func (r *Runtime) Execute(ctx context.Context, root engine.Operator) (*engine.Pa
 	}
 	report := &engine.Report{}
 	attempts := newAttempts()
-	writer := newCheckpointWriter(r.cfg.Store, r.cfg.Metrics)
+	writer := newCheckpointWriter(r.cfg.Store, r.cfg.Metrics, r.cfg.Tracer)
 	defer writer.close()
+
+	qspan := r.cfg.Tracer.Begin(obs.KindQuery, root.Name(), -1, -1)
+	defer qspan.End()
 
 	for {
 		rn := &run{
@@ -109,6 +116,7 @@ func (r *Runtime) Execute(ctx context.Context, root engine.Operator) (*engine.Pa
 			attempts: attempts,
 			report:   report,
 			metrics:  r.cfg.Metrics,
+			tracer:   r.cfg.Tracer,
 			writer:   writer,
 			sem:      make(chan struct{}, r.cfg.MaxWorkers),
 			results:  make(map[*stage]*engine.PartitionedResult, len(plan.stages)),
@@ -127,11 +135,12 @@ func (r *Runtime) Execute(ctx context.Context, root engine.Operator) (*engine.Pa
 			writer.flush()
 			return res, report, nil
 		}
-		if _, ok := asNodeFailure(err); ok && r.cfg.Recovery == schemes.CoarseRestart {
+		if nf, ok := asNodeFailure(err); ok && r.cfg.Recovery == schemes.CoarseRestart {
 			report.Failures++
 			report.Restarts++
 			r.cfg.Metrics.Failures.Add(1)
 			r.cfg.Metrics.Restarts.Add(1)
+			r.cfg.Tracer.Event(obs.KindRestart, nf.op, nf.part, report.Restarts)
 			if report.Restarts > r.cfg.MaxRestarts {
 				report.Aborted = true
 				return nil, report, fmt.Errorf("runtime: query aborted after %d restarts", report.Restarts-1)
@@ -150,6 +159,7 @@ type run struct {
 	attempts *attempts
 	report   *engine.Report
 	metrics  *Metrics
+	tracer   *obs.Tracer
 	writer   *checkpointWriter
 	sem      chan struct{} // bounded worker pool
 
@@ -215,7 +225,12 @@ func (rn *run) execute(ctx context.Context) (*engine.PartitionedResult, error) {
 // and records the stage's wall time.
 func (rn *run) runStage(ctx context.Context, s *stage) error {
 	start := time.Now()
-	defer func() { rn.metrics.addStageWall(s.name(), time.Since(start)) }()
+	sp := rn.tracer.Begin(obs.KindStage, s.name(), -1, -1)
+	defer func() {
+		rn.metrics.addStageWall(s.name(), time.Since(start))
+		sp.SetRows(rn.stageRows(s))
+		sp.End()
+	}()
 
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -297,10 +312,15 @@ func (rn *run) computePartition(ctx context.Context, s *stage, part int, recover
 			}
 		}
 	}
+	sp := rn.tracer.Begin(obs.KindTask, s.name(), part, rn.attempts.peek(s.name(), part))
 	rows, err := rn.runPipeline(ctx, s, part, inputs)
 	if err != nil {
+		sp.Fail(err.Error())
+		sp.End()
 		return err
 	}
+	sp.SetRows(int64(len(rows)))
+	sp.End()
 	rn.commit(s, part, rows, false)
 	if recovery {
 		rn.mu.Lock()
@@ -315,6 +335,20 @@ func (rn *run) isDone(s *stage, part int) bool {
 	rn.mu.Lock()
 	defer rn.mu.Unlock()
 	return rn.done[s][part]
+}
+
+// stageRows sums the rows of the stage's committed partitions (for the
+// stage span; partial when the stage failed mid-flight).
+func (rn *run) stageRows(s *stage) int64 {
+	rn.mu.Lock()
+	defer rn.mu.Unlock()
+	var n int64
+	for part, ok := range rn.done[s] {
+		if ok {
+			n += int64(len(rn.results[s].Parts[part]))
+		}
+	}
+	return n
 }
 
 // commit records a computed partition and, for materialization points,
@@ -332,6 +366,7 @@ func (rn *run) commit(s *stage, part int, rows []engine.Row, fromStore bool) {
 	rn.mu.Unlock()
 	if !fromStore {
 		rn.metrics.Rows.Add(int64(len(rows)))
+		rn.metrics.addStageRows(s.name(), int64(len(rows)))
 	}
 	if s.checkpoint && !fromStore {
 		if rn.writer.enqueue(s.name(), part, rows, rn.cfg.Nodes) {

@@ -1,0 +1,173 @@
+package sql
+
+import (
+	"context"
+	"testing"
+
+	"ftpde/internal/cost"
+	"ftpde/internal/engine"
+	"ftpde/internal/obs"
+	"ftpde/internal/runtime"
+	"ftpde/internal/stats"
+)
+
+// engineOpNames collects every operator name in a physical plan.
+func engineOpNames(root engine.Operator) map[string]bool {
+	out := map[string]bool{}
+	var walk func(op engine.Operator)
+	walk = func(op engine.Operator) {
+		if out[op.Name()] {
+			return
+		}
+		out[op.Name()] = true
+		for _, in := range op.Inputs() {
+			walk(in)
+		}
+	}
+	walk(root)
+	return out
+}
+
+func buildAudit(t *testing.T, text string, cp stats.CostParams, m cost.Model) *AuditPlan {
+	t.Helper()
+	cat := tpchCatalog(t)
+	stmt, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := make([]string, 0, len(stmt.From))
+	for _, tr := range stmt.From {
+		tables = append(tables, tr.Table)
+	}
+	tstats, err := CollectStats(cat, tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit, err := BuildAuditPlan(stmt, cat, tstats, cp, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return audit
+}
+
+// TestAuditMappingCoversPhysicalPlan checks the core invariant of the
+// cost-to-engine mapping: every operator of the compiled physical plan is
+// claimed by exactly one collapsed group, so observed spans are attributed
+// without loss or double counting.
+func TestAuditMappingCoversPhysicalPlan(t *testing.T) {
+	queries := map[string]string{
+		"q1": `SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, COUNT(*) AS cnt
+		       FROM lineitem WHERE l_shipdate <= 1200
+		       GROUP BY l_returnflag, l_linestatus`,
+		"q3": `SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+		       FROM customer
+		       JOIN orders ON c_custkey = o_custkey
+		       JOIN lineitem ON o_orderkey = l_orderkey
+		       WHERE c_mktsegment = 'BUILDING' AND o_orderdate < 1200
+		       GROUP BY l_orderkey ORDER BY revenue DESC LIMIT 10`,
+		"scan-only": `SELECT l_orderkey, l_quantity FROM lineitem WHERE l_shipdate <= 1200`,
+	}
+	cp := stats.CostParams{CPUPerRow: 1e-6, WritePerRow: 1.7e-5, Nodes: 4}
+	m := cost.Model{MTBF: 3600, MTTR: 1, Percentile: 0.95, PipeConst: 1, Nodes: 4}
+	for name, text := range queries {
+		t.Run(name, func(t *testing.T) {
+			audit := buildAudit(t, text, cp, m)
+			want := engineOpNames(audit.Phys.Root)
+			seen := map[string]int{}
+			dominant := 0
+			for _, op := range audit.Pred.Ops {
+				if op.Dominant {
+					dominant++
+				}
+				for _, n := range op.Ops {
+					seen[n]++
+				}
+			}
+			for n := range want {
+				if seen[n] != 1 {
+					t.Errorf("engine operator %q claimed %d times, want 1", n, seen[n])
+				}
+			}
+			for n := range seen {
+				if !want[n] {
+					t.Errorf("prediction references unknown engine operator %q", n)
+				}
+			}
+			if dominant == 0 {
+				t.Error("no collapsed group on the dominant path")
+			}
+			if audit.Pred.DominantRuntime <= 0 {
+				t.Errorf("dominant runtime = %g, want > 0", audit.Pred.DominantRuntime)
+			}
+		})
+	}
+}
+
+// TestAuditMaterializationAppliedAndObserved forces the optimizer into a
+// materializing regime, executes the audited plan under scripted failures,
+// and checks the full loop: the chosen checkpoint produces checkpoint spans
+// with bytes, failures are attributed to the groups they were injected into,
+// and attempts grow there.
+func TestAuditMaterializationAppliedAndObserved(t *testing.T) {
+	// CPU-heavy rows with cheap writes and a short MTBF: the regime where
+	// checkpointing a mid-plan operator pays off (see ext-audit).
+	cp := stats.CostParams{CPUPerRow: 1e-3, WritePerRow: 1e-4, Nodes: 4}
+	m := cost.Model{MTBF: 60, MTTR: 1, Percentile: 0.95, PipeConst: 1, Nodes: 4}
+	audit := buildAudit(t, `SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+		FROM customer
+		JOIN orders ON c_custkey = o_custkey
+		JOIN lineitem ON o_orderkey = l_orderkey
+		WHERE c_mktsegment = 'BUILDING' AND o_orderdate < 1200
+		GROUP BY l_orderkey ORDER BY revenue DESC`, cp, m)
+
+	var matGroup string
+	groups := map[string]string{} // engine op -> collapsed group name
+	for _, op := range audit.Pred.Ops {
+		if op.Materialize {
+			matGroup = op.Name
+		}
+		for _, n := range op.Ops {
+			groups[n] = op.Name
+		}
+	}
+	if matGroup == "" {
+		t.Fatal("optimizer chose no materialization in a regime built to force it")
+	}
+	if len(audit.Pred.Ops) < 2 {
+		t.Fatalf("expected multi-group collapse, got %d groups", len(audit.Pred.Ops))
+	}
+
+	inj := engine.NewScriptedFailures().Add("join-2", 1, 0).Add("aggregate", 2, 0)
+	tracer := obs.NewTracer(obs.DefaultCapacity)
+	r, err := runtime.New(runtime.Config{Nodes: 4, Injector: inj, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Execute(context.Background(), audit.Phys.Root); err != nil {
+		t.Fatal(err)
+	}
+	rep := obs.BuildAudit(audit.Pred, tracer.Snapshot(), tracer.Dropped())
+	if rep.Failures != 2 || rep.Recoveries == 0 {
+		t.Errorf("failure timeline: failures=%d recoveries=%d, want 2 and >0", rep.Failures, rep.Recoveries)
+	}
+	byName := map[string]obs.AuditRow{}
+	for _, row := range rep.Rows {
+		byName[row.Pred.Name] = row
+	}
+	for _, failedOp := range []string{"join-2", "aggregate"} {
+		g := groups[failedOp]
+		if g == "" {
+			t.Fatalf("failed operator %q not in any group", failedOp)
+		}
+		row := byName[g]
+		if row.Obs.Failures == 0 {
+			t.Errorf("group %s (holds %s) recorded no failures", g, failedOp)
+		}
+		if row.Obs.Attempts < 2 {
+			t.Errorf("group %s attempts = %d, want >= 2 after injected failure", g, row.Obs.Attempts)
+		}
+	}
+	if got := byName[matGroup].Obs.CheckpointBytes; got <= 0 {
+		t.Errorf("materialized group %s checkpoint bytes = %d, want > 0", matGroup, got)
+	}
+}
