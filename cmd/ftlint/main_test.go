@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot resolves the repo root from go env GOMOD, so the smoke test
+// works regardless of the test binary's working directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		t.Fatal("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// TestFtlintRepoIsClean is the gate the CI job enforces: the multichecker
+// over the whole module must exit 0. A regression that reintroduces a
+// discarded checkpoint error or an unpaired failure span fails this test.
+func TestFtlintRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole module; skipped in -short")
+	}
+	cmd := exec.Command("go", "run", "./cmd/ftlint", "./...")
+	cmd.Dir = moduleRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./cmd/ftlint ./... failed: %v\n%s", err, out)
+	}
+	if len(strings.TrimSpace(string(out))) != 0 {
+		t.Fatalf("expected no findings, got:\n%s", out)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	stdout := tempFile(t)
+	stderr := tempFile(t)
+	if code := run([]string{"-list"}, stdout, stderr); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	listing := readBack(t, stdout)
+	for _, name := range []string{"batchalias", "ckpterr", "costfloat", "ctxleak", "spanpair"} {
+		if !strings.Contains(listing, name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, listing)
+		}
+	}
+}
+
+func TestUnknownAnalyzerExitsUsage(t *testing.T) {
+	stdout := tempFile(t)
+	stderr := tempFile(t)
+	if code := run([]string{"-run", "nosuch"}, stdout, stderr); code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+	if msg := readBack(t, stderr); !strings.Contains(msg, "unknown analyzer") {
+		t.Errorf("stderr missing diagnosis: %q", msg)
+	}
+}
+
+func tempFile(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func readBack(t *testing.T, f *os.File) string {
+	t.Helper()
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}

@@ -97,7 +97,7 @@ func TestOptimizeResultConsistency(t *testing.T) {
 	if math.Abs(rt-res.Runtime) > 1e-9 {
 		t.Errorf("re-estimated runtime %g != reported %g", rt, res.Runtime)
 	}
-	if res.Dominant.Runtime != res.Runtime {
+	if !cost.ApproxEq(res.Dominant.Runtime, res.Runtime) {
 		t.Errorf("dominant path runtime %g != reported %g", res.Dominant.Runtime, res.Runtime)
 	}
 }
@@ -134,7 +134,7 @@ func TestFindBestFTPlanPicksCheaperCandidate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Runtime != resCheapOnly.Runtime {
+	if !cost.ApproxEq(res.Runtime, resCheapOnly.Runtime) {
 		t.Errorf("multi-candidate result %g != cheap-only result %g", res.Runtime, resCheapOnly.Runtime)
 	}
 	if res.Stats.PlansConsidered != 2 {
@@ -165,7 +165,7 @@ func TestTopKCanBeatGreedyFirstPlan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Plan.Op(b1) == nil || res.Plan.TotalRunCost() != 104 {
+	if res.Plan.Op(b1) == nil || !cost.ApproxEq(res.Plan.TotalRunCost(), 104) {
 		t.Errorf("optimizer should pick planB under failures, got plan with run cost %g", res.Plan.TotalRunCost())
 	}
 }
@@ -210,7 +210,7 @@ func TestRule3ReducesPathEvaluations(t *testing.T) {
 		t.Errorf("rule 3 increased path evaluations: %d > %d",
 			with.Stats.PathsEvaluated, without.Stats.PathsEvaluated)
 	}
-	if with.Runtime != without.Runtime {
+	if !cost.ApproxEq(with.Runtime, without.Runtime) {
 		t.Errorf("rule 3 changed the result: %g != %g", with.Runtime, without.Runtime)
 	}
 }
@@ -225,7 +225,7 @@ func TestMemoizedPathsSoundness(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if plainRes.Runtime != memoRes.Runtime {
+		if !cost.ApproxEq(plainRes.Runtime, memoRes.Runtime) {
 			t.Errorf("MTBF=%g: memoized variant changed result %g != %g", mtbf, memoRes.Runtime, plainRes.Runtime)
 		}
 	}

@@ -13,7 +13,7 @@ func TestCheckpointedCostValidation(t *testing.T) {
 		t.Error("negative checkpoint cost accepted")
 	}
 	oc, err := m.CheckpointedCost(0, 5, 1)
-	if err != nil || oc.Runtime != 0 {
+	if err != nil || !ApproxEq(oc.Runtime, 0) {
 		t.Errorf("zero work should cost nothing: %+v, %v", oc, err)
 	}
 }
@@ -52,7 +52,7 @@ func TestBestCheckpointInterval(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if interval == 0 {
+	if ApproxEq(interval, 0) {
 		t.Error("long operator should benefit from checkpointing")
 	}
 	if runtime >= m.OperatorCost(300).Runtime {
@@ -63,7 +63,7 @@ func TestBestCheckpointInterval(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if interval != 0 {
+	if !ApproxEq(interval, 0) {
 		t.Errorf("short operator picked interval %g, want none", interval)
 	}
 	if _, _, err := m.BestCheckpointInterval(10, 0.5, 1); err == nil {
@@ -89,7 +89,7 @@ func TestClusterAwareModel(t *testing.T) {
 	one.Nodes = 1
 	oneAware := one
 	oneAware.ClusterAware = true
-	if one.OperatorCost(100).Runtime != oneAware.OperatorCost(100).Runtime {
+	if !ApproxEq(one.OperatorCost(100).Runtime, oneAware.OperatorCost(100).Runtime) {
 		t.Error("single-node cluster-aware should equal per-node")
 	}
 }

@@ -29,7 +29,7 @@ func TestCollapsePaperExample(t *testing.T) {
 		if cid == 0 {
 			t.Fatalf("collapsed operator %v not found", g)
 		}
-		if got := c.Total(cid); got != wantTotals[i] {
+		if got := c.Total(cid); !ApproxEq(got, wantTotals[i]) {
 			t.Errorf("t(%v) = %g, want %g", g, got, wantTotals[i])
 		}
 	}
@@ -39,7 +39,7 @@ func TestCollapsePaperExample(t *testing.T) {
 		t.Errorf("dom({1,2,3}) = %v, want [2 3]", dom)
 	}
 	// tm({1,2,3}) = tm(3) = 0.5.
-	if got := c.P.Op(c.OpByMembers(1, 2, 3)).MatCost; got != 0.5 {
+	if got := c.P.Op(c.OpByMembers(1, 2, 3)).MatCost; !ApproxEq(got, 0.5) {
 		t.Errorf("tm({1,2,3}) = %g, want 0.5", got)
 	}
 	// Collapsed-plan paths: {1,2,3}->{4,5}->{6} and ->{7}.
@@ -94,7 +94,7 @@ func TestCollapseAllMat(t *testing.T) {
 	// t(c) = tr(o) + tm(o) for each singleton group.
 	for cid, members := range c.Members {
 		orig := p.Op(members[0])
-		if got, want := c.Total(cid), orig.RunCost+orig.MatCost; got != want {
+		if got, want := c.Total(cid), orig.RunCost+orig.MatCost; !ApproxEq(got, want) {
 			t.Errorf("t({%d}) = %g, want %g", members[0], got, want)
 		}
 	}
@@ -121,10 +121,10 @@ func TestCollapseNoMat(t *testing.T) {
 	}
 	// Sinks do not materialize here, so tm(c) = 0 and t(c) = tr(c).
 	// Dominant path to 6: 2->3->4->5->6 with tr = 1.5+2+1+1.5+0.8 = 6.8.
-	if got := c.Total(g6); got != 6.8 {
+	if got := c.Total(g6); !ApproxEq(got, 6.8) {
 		t.Errorf("t(sink 6 group) = %g, want 6.8", got)
 	}
-	if got := c.Total(g7); got != 7.7 {
+	if got := c.Total(g7); !ApproxEq(got, 7.7) {
 		t.Errorf("t(sink 7 group) = %g, want 7.7", got)
 	}
 }
@@ -146,13 +146,13 @@ func TestCollapsePipeConst(t *testing.T) {
 		t.Fatal("expected {o,p} group")
 	}
 	op := c.P.Op(cid)
-	if op.RunCost != 3.2 {
+	if !ApproxEq(op.RunCost, 3.2) {
 		t.Errorf("tr({o,p}) = %g, want 3.2", op.RunCost)
 	}
-	if op.MatCost != 1 {
+	if !ApproxEq(op.MatCost, 1) {
 		t.Errorf("tm({o,p}) = %g, want 1", op.MatCost)
 	}
-	if got := c.Total(cid); got != 4.2 {
+	if got := c.Total(cid); !ApproxEq(got, 4.2) {
 		t.Errorf("t({o,p}) = %g, want 4.2", got)
 	}
 }

@@ -38,10 +38,10 @@ func TestTable2(t *testing.T) {
 	for _, r := range rows {
 		cid := c.OpByMembers(r.members...)
 		oc := m.OperatorCost(c.Total(cid))
-		if oc.Total != r.total {
+		if !ApproxEq(oc.Total, r.total) {
 			t.Errorf("t(%v) = %g, want %g", r.members, oc.Total, r.total)
 		}
-		if oc.Wasted != r.wasted {
+		if !ApproxEq(oc.Wasted, r.wasted) {
 			t.Errorf("w(%v) = %g, want %g", r.members, oc.Wasted, r.wasted)
 		}
 		if !almostEqual(oc.Gamma, r.gamma, 0.0101) {
@@ -81,7 +81,7 @@ func TestTable2(t *testing.T) {
 	if c.Root[dom.Path[len(dom.Path)-1]] != 7 {
 		t.Errorf("dominant path should end at operator 7, got %v", dom.Path)
 	}
-	if dom.Runtime != tp2 {
+	if !ApproxEq(dom.Runtime, tp2) {
 		t.Errorf("dominant runtime = %g, want %g", dom.Runtime, tp2)
 	}
 }
@@ -90,10 +90,10 @@ func TestOperatorCostNoFailureRegime(t *testing.T) {
 	// With an enormous MTBF no attempts are needed: T(c) = t(c).
 	m := Model{MTBF: 1e12, MTTR: 10, Percentile: 0.95, PipeConst: 1}
 	oc := m.OperatorCost(100)
-	if oc.Attempts != 0 {
+	if !ApproxEq(oc.Attempts, 0) {
 		t.Errorf("attempts = %g, want 0", oc.Attempts)
 	}
-	if oc.Runtime != 100 {
+	if !ApproxEq(oc.Runtime, 100) {
 		t.Errorf("runtime = %g, want 100", oc.Runtime)
 	}
 }

@@ -86,7 +86,9 @@ func TestDiskStoreGobFallbackRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows := []Row{{int64(1)}, {2.5}}
-	d.Put("mixed", 0, rows, 1)
+	if err := d.Put("mixed", 0, rows, 1); err != nil {
+		t.Fatal(err)
+	}
 	if err := d.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +126,9 @@ func TestDiskStoreGCsOrphanedTempFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d1.Put("op", 0, []Row{{int64(1)}}, 1)
+	if err := d1.Put("op", 0, []Row{{int64(1)}}, 1); err != nil {
+		t.Fatal(err)
+	}
 
 	// Plant an orphan as a crash mid-Put would leave it: a "put-*" temp file
 	// that never got renamed into place.

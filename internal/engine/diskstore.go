@@ -17,8 +17,10 @@ import (
 // paper's external iSCSI target, which also survives restarts of the whole
 // engine).
 type Store interface {
-	// Put persists one partition of an operator's output.
-	Put(op string, part int, rows []Row, parts int)
+	// Put persists one partition of an operator's output. A non-nil error
+	// means the partition did not durably land; callers must surface it —
+	// recovery that silently trusts a failed checkpoint reads torn state.
+	Put(op string, part int, rows []Row, parts int) error
 	// Get returns a stored partition.
 	Get(op string, part int) ([]Row, bool)
 	// Len returns the number of operators with stored output.
@@ -92,12 +94,16 @@ func (d *DiskStore) path(op string, part int) string {
 // temp file, fsynced, then atomically renamed into place, and the directory
 // is fsynced so the rename itself survives a crash. A kill at any point
 // leaves either the old partition (or nothing) visible — never a torn file.
-func (d *DiskStore) Put(op string, part int, rows []Row, parts int) {
+func (d *DiskStore) Put(op string, part int, rows []Row, parts int) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.putLocked(op, part, rows); err != nil {
-		d.err = err
+		if d.err == nil {
+			d.err = err
+		}
+		return err
 	}
+	return nil
 }
 
 func (d *DiskStore) putLocked(op string, part int, rows []Row) error {

@@ -10,7 +10,9 @@ func TestDiskStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows := []Row{{int64(1), 2.5, "x"}, {int64(2), 3.5, "y"}}
-	d.Put("⨝ weird/name", 1, rows, 4)
+	if err := d.Put("⨝ weird/name", 1, rows, 4); err != nil {
+		t.Fatal(err)
+	}
 	if err := d.Err(); err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +39,9 @@ func TestDiskStoreEmptyPartition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d.Put("op", 0, nil, 2)
+	if err := d.Put("op", 0, nil, 2); err != nil {
+		t.Fatal(err)
+	}
 	got, ok := d.Get("op", 0)
 	if !ok {
 		t.Fatal("empty partition not stored")
@@ -53,7 +57,9 @@ func TestDiskStoreSurvivesRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d1.Put("join", 0, []Row{{int64(42)}}, 2)
+	if err := d1.Put("join", 0, []Row{{int64(42)}}, 2); err != nil {
+		t.Fatal(err)
+	}
 
 	// "Restart": a fresh store over the same directory sees the data.
 	d2, err := NewDiskStore(dir)

@@ -63,8 +63,9 @@ func NewMatStore() *MatStore {
 	return &MatStore{data: make(map[string][][]Row)}
 }
 
-// Put stores one partition of an operator's output.
-func (m *MatStore) Put(op string, part int, rows []Row, parts int) {
+// Put stores one partition of an operator's output. The in-memory store
+// cannot fail, so the error is always nil.
+func (m *MatStore) Put(op string, part int, rows []Row, parts int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ps, ok := m.data[op]
@@ -73,6 +74,7 @@ func (m *MatStore) Put(op string, part int, rows []Row, parts int) {
 		m.data[op] = ps
 	}
 	ps[part] = rows
+	return nil
 }
 
 // Get returns one stored partition; ok reports whether it exists.
@@ -308,7 +310,9 @@ func (st *execState) computeAll(op Operator) error {
 		if !o.fromStore {
 			st.attempts[attemptKey(op, part)]++
 		}
-		st.commit(op, part, o.rows)
+		if err := st.commit(op, part, o.rows); err != nil {
+			return err
+		}
 	}
 
 	for _, part := range failedParts {
@@ -332,7 +336,10 @@ func (st *execState) computeAll(op Operator) error {
 }
 
 // ensure recursively (re)computes one partition, recovering lost inputs
-// first — the lineage walk of fine-grained recovery.
+// first — the lineage walk of fine-grained recovery. Failure events emitted
+// here are resolved by the recovery span its caller opens.
+//
+//lint:spanpair computeAll
 func (st *execState) ensure(op Operator, part int) error {
 	st.ensureResult(op)
 	if st.done[op][part] {
@@ -341,8 +348,7 @@ func (st *execState) ensure(op Operator, part int) error {
 	// Materialized output survives failures: restore from the FT store.
 	if op.Materialize() {
 		if rows, ok := st.co.Store.Get(op.Name(), part); ok {
-			st.commit(op, part, rows)
-			return nil
+			return st.commit(op, part, rows)
 		}
 	}
 	// Recover inputs: narrow operators need partition `part`, wide operators
@@ -397,13 +403,14 @@ func (st *execState) ensure(op Operator, part int) error {
 		sp.End()
 		st.attempts[key]++
 		st.report.RecomputedPartitions++
-		st.commit(op, part, rows)
-		return nil
+		return st.commit(op, part, rows)
 	}
 }
 
-// commit records a computed partition and persists it when materialized.
-func (st *execState) commit(op Operator, part int, rows []Row) {
+// commit records a computed partition and persists it when materialized. A
+// store write failure is returned: recovery must never proceed believing a
+// checkpoint exists that never durably landed.
+func (st *execState) commit(op Operator, part int, rows []Row) error {
 	res := st.ensureResult(op)
 	res.Parts[part] = rows
 	res.Lost[part] = false
@@ -411,13 +418,18 @@ func (st *execState) commit(op Operator, part int, rows []Row) {
 	if op.Materialize() {
 		if _, already := st.co.Store.Get(op.Name(), part); !already {
 			sp := st.co.Tracer.Begin(obs.KindCheckpoint, op.Name(), part, -1)
-			st.co.Store.Put(op.Name(), part, rows, st.co.Nodes)
+			if err := st.co.Store.Put(op.Name(), part, rows, st.co.Nodes); err != nil {
+				sp.Fail(err.Error())
+				sp.End()
+				return fmt.Errorf("engine: materialize %s/%d: %w", op.Name(), part, err)
+			}
 			sp.SetBytes(EncodedSize(rows))
 			sp.SetRows(int64(len(rows)))
 			sp.End()
 			st.report.MaterializedPartitions++
 		}
 	}
+	return nil
 }
 
 // dropVolatileOnNode models the loss of all in-memory (non-materialized)

@@ -31,7 +31,10 @@ func hammerStore(t *testing.T, s Store) {
 			defer wg.Done()
 			for op := 0; op < ops; op++ {
 				for part := w; part < parts; part += writers {
-					s.Put(fmt.Sprintf("op-%d", op), part, rows(op, part), parts)
+					if err := s.Put(fmt.Sprintf("op-%d", op), part, rows(op, part), parts); err != nil {
+						t.Errorf("Put op-%d/%d: %v", op, part, err)
+						return
+					}
 				}
 			}
 		}(w)
@@ -114,7 +117,9 @@ func TestDiskStoreMidWriteKill(t *testing.T) {
 		t.Fatal(err)
 	}
 	old := []Row{{int64(1), "committed"}}
-	d.Put("join", 0, old, 2)
+	if err := d.Put("join", 0, old, 2); err != nil {
+		t.Fatal(err)
+	}
 
 	// (a) Crash after the temp file was partially written, before rename:
 	// leave a torn temp file behind, like a kill between write and rename.
@@ -151,7 +156,9 @@ func TestDiskStoreMidWriteKill(t *testing.T) {
 	}
 
 	// New writes over a crashed state replace it atomically.
-	d2.Put("join", 1, []Row{{int64(2), "fresh"}}, 2)
+	if err := d2.Put("join", 1, []Row{{int64(2), "fresh"}}, 2); err != nil {
+		t.Fatal(err)
+	}
 	got, ok = d2.Get("join", 1)
 	if !ok || got[0][1].(string) != "fresh" {
 		t.Fatalf("overwrite of torn partition failed: %v (ok=%v)", got, ok)

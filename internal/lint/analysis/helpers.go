@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WithStack walks every file of the pass, invoking fn with each node and the
+// stack of its ancestors (outermost first, not including the node itself).
+// Returning false prunes the subtree.
+func (p *Pass) WithStack(fn func(n ast.Node, stack []ast.Node) bool) {
+	for _, f := range p.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if !fn(n, stack) {
+				return false // pruned: Inspect skips children and the pop call
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// FuncDecls maps each function or method object declared in the package to
+// its declaration. Analyzers use it to resolve same-package calls statically.
+func (p *Pass) FuncDecls() map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				out[obj] = fd
+			}
+		}
+	}
+	return out
+}
+
+// CalleeFunc resolves a call expression to the function or method object it
+// statically invokes, or nil for dynamic calls (function values, interface
+// methods resolve to the interface method object).
+func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := p.TypesInfo.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.TypesInfo.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+		}
+		if f, ok := p.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// LocalCalls returns the same-package functions a function body statically
+// calls (declarations resolved through decls).
+func (p *Pass) LocalCalls(body ast.Node, decls map[*types.Func]*ast.FuncDecl) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	seen := make(map[*ast.FuncDecl]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if f := p.CalleeFunc(call); f != nil {
+			if fd, ok := decls[f]; ok && !seen[fd] {
+				seen[fd] = true
+				out = append(out, fd)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// NamedTypeName returns the name of the (possibly pointer-wrapped) named type
+// of t, or "" when t is not a named type. It is the structural hook the
+// analyzers use so fixtures can declare their own Store/Tracer/Batch types.
+func NamedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// ErrorResultIndexes returns the positions of error-typed results in the
+// callee's signature (empty when the call has none).
+func ErrorResultIndexes(sig *types.Signature) []int {
+	var out []int
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// ImportPath is the package's import path; test-augmented variants keep
+	// the go list spelling "p [p.test]".
+	ImportPath string
+	// Path is the canonical import path (ImportPath without the test-variant
+	// suffix). Analyzers scope themselves with it.
+	Path string
+	Dir  string
+	Fset *token.FileSet
+	// Files holds the parsed sources, comments included.
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	ForTest    string
+	DepOnly    bool
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load lists the packages matching patterns (with `go list -export -deps
+// -test`, run in dir) and type-checks every non-synthetic target package from
+// source. Dependency type information comes from the compiler's export data,
+// so loading works fully offline and never re-type-checks the standard
+// library. Test-augmented variants ("p [p.test]") replace their plain
+// sibling, so _test.go files are analyzed alongside regular sources without
+// duplicating diagnostics.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-export", "-deps", "-test",
+		"-json=ImportPath,Dir,Name,ForTest,DepOnly,Standard,Export,GoFiles,CgoFiles,ImportMap,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	index := make(map[string]*listPackage)
+	var order []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		lp := p
+		index[lp.ImportPath] = &lp
+		order = append(order, &lp)
+	}
+
+	// Select targets: non-dep, non-synthetic packages. When a test-augmented
+	// variant exists it supersedes the plain package (its GoFiles are a
+	// superset).
+	augmented := make(map[string]bool)
+	for _, p := range order {
+		if !p.DepOnly && p.ForTest != "" && strings.HasSuffix(p.ImportPath, "]") {
+			augmented[p.ForTest] = true
+		}
+	}
+	fset := token.NewFileSet()
+	shared := newExportImporter(fset, index, nil)
+	var pkgs []*Package
+	for _, p := range order {
+		if p.DepOnly || p.Standard || strings.HasSuffix(p.ImportPath, ".test") {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if augmented[p.ImportPath] && p.ForTest == "" {
+			continue // superseded by "p [p.test]"
+		}
+		if len(p.CgoFiles) > 0 {
+			return nil, fmt.Errorf("lint: %s: cgo packages are not supported", p.ImportPath)
+		}
+		imp := shared
+		if len(p.ImportMap) > 0 {
+			imp = newExportImporter(fset, index, p.ImportMap)
+		}
+		pkg, err := typeCheck(fset, p, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typeCheck parses and type-checks one listed package from source.
+func typeCheck(fset *token.FileSet, p *listPackage, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(p.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	// Type-check under the canonical path: test-augmented variants list as
+	// "p [p.test]", but analyzers scope on Pkg.Path() and must see "p".
+	path := p.ImportPath
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: p.ImportPath,
+		Path:       path,
+		Dir:        p.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// newExportImporter returns a gc-export-data importer resolving import paths
+// through the go list table (and an optional per-package ImportMap, used by
+// external test packages whose imports are remapped onto test-augmented
+// variants).
+func newExportImporter(fset *token.FileSet, index map[string]*listPackage, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		dep, ok := index[path]
+		if !ok || dep.Export == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(dep.Export)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

@@ -1,0 +1,259 @@
+// Package batchalias implements the ftlint analyzer that guards the columnar
+// engine's aliasing contract: batch kernels receive Vectors whose backing
+// slices are shared with upstream operators, so a kernel must never write
+// into an input batch's storage — it narrows rows with a fresh selection
+// vector or allocates fresh output vectors. The analyzer taints Batch/Vector
+// parameters, tracks aliases through local assignments, and flags writes and
+// appends that reach tainted backing storage.
+package batchalias
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ftpde/internal/lint/analysis"
+)
+
+// Analyzer flags mutations of input Batch/Vector backing storage in the
+// engine's kernel code.
+var Analyzer = &analysis.Analyzer{
+	Name: "batchalias",
+	Doc: "kernels in internal/engine must not mutate the backing slices of " +
+		"input Batch/Vector values; allocate fresh output vectors or narrow " +
+		"rows through a new selection vector",
+	Run: run,
+}
+
+// batchTypes are the parameter type names whose storage is shared.
+var batchTypes = map[string]bool{"Batch": true, "Vector": true}
+
+func run(pass *analysis.Pass) error {
+	if !strings.Contains(pass.Pkg.Path(), "internal/engine") {
+		return nil
+	}
+	for _, fd := range pass.FuncDecls() {
+		checkFunc(pass, fd)
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil || fd.Type.Params == nil {
+		return
+	}
+	// Taint the Batch/Vector parameters. The method receiver is deliberately
+	// exempt: a *Batch method owns its receiver (appendRow and friends are
+	// the owner's API); the aliasing hazard is for batches received as
+	// arguments.
+	tainted := make(map[types.Object]bool)
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && batchTypes[analysis.NamedTypeName(obj.Type())] {
+				tainted[obj] = true
+			}
+		}
+	}
+	if len(tainted) == 0 {
+		return
+	}
+	// killed records value-copy fields that were re-pointed at fresh storage
+	// (vec := b.Cols[0]; vec.Ints = make(...)): writes through them no longer
+	// reach the input.
+	killed := make(map[types.Object]map[string]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			// Taint propagation first (x := alias-of-tainted), then write
+			// checks; a statement can be both for different operands.
+			if len(s.Lhs) == len(s.Rhs) {
+				for i, rhs := range s.Rhs {
+					fresh := !rootTainted(pass, tainted, rhs)
+					if sel, ok := ast.Unparen(s.Lhs[i]).(*ast.SelectorExpr); ok && fresh {
+						// vec.Ints = make(...) on a tainted value copy kills
+						// the field's aliasing.
+						if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+							if obj := identObj(pass, id); obj != nil && tainted[obj] && !isPointer(obj.Type()) {
+								if killed[obj] == nil {
+									killed[obj] = make(map[string]bool)
+								}
+								killed[obj][sel.Sel.Name] = true
+							}
+						}
+					}
+					id, isIdent := s.Lhs[i].(*ast.Ident)
+					if !isIdent {
+						continue
+					}
+					obj := identObj(pass, id)
+					if obj == nil {
+						continue
+					}
+					if fresh || !aliasType(pass, rhs) {
+						// Strong update: re-pointing the variable at fresh
+						// storage (sel = make(...), sel = next) ends its
+						// aliasing of the input.
+						if fresh {
+							delete(tainted, obj)
+							delete(killed, obj)
+						}
+						continue
+					}
+					tainted[obj] = true
+					delete(killed, obj)
+				}
+			}
+			for _, lhs := range s.Lhs {
+				checkWrite(pass, tainted, killed, lhs)
+			}
+		case *ast.RangeStmt:
+			if rootTainted(pass, tainted, s.X) {
+				if id, ok := s.Value.(*ast.Ident); ok && id.Name != "_" {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil && aliasTypeOf(obj.Type()) {
+						tainted[obj] = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, tainted, killed, s.X)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok && id.Name == "append" && len(s.Args) > 0 {
+				if rootTainted(pass, tainted, s.Args[0]) {
+					pass.Reportf(s.Pos(), "append to an input batch's backing slice may write in place past len; build the output in a fresh slice")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkWrite flags an assignment target that reaches tainted backing storage:
+// an element write anywhere along the path, or a field write through a
+// pointer to a tainted value.
+func checkWrite(pass *analysis.Pass, tainted map[types.Object]bool, killed map[types.Object]map[string]bool, lhs ast.Expr) {
+	if !rootTainted(pass, tainted, lhs) {
+		return
+	}
+	if obj, field := rootAndField(pass, lhs); obj != nil && field != "" && killed[obj][field] {
+		return
+	}
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		pass.Reportf(lhs.Pos(), "write into an input batch's backing storage; kernels must allocate fresh output vectors or use a new selection vector")
+	case *ast.SelectorExpr:
+		base := ast.Unparen(e.X)
+		if tv, ok := pass.TypesInfo.Types[base]; ok {
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr || containsIndex(base) {
+				pass.Reportf(lhs.Pos(), "field write through a shared Batch/Vector mutates the input in place; build a fresh vector instead")
+			}
+		}
+	case *ast.StarExpr:
+		pass.Reportf(lhs.Pos(), "write through a pointer into an input batch; kernels must not mutate their inputs")
+	}
+}
+
+// rootTainted walks lhs/rhs access paths (selectors, indexes, derefs,
+// address-of, slicing) down to the base identifier and reports whether it is
+// tainted.
+func rootTainted(pass *analysis.Pass, tainted map[types.Object]bool, e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[x]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[x]
+			}
+			return obj != nil && tainted[obj]
+		default:
+			return false
+		}
+	}
+}
+
+// rootAndField walks the access path to its base identifier and returns the
+// identifier's object plus the first field selected off it ("" when the path
+// has no selector adjacent to the base).
+func rootAndField(pass *analysis.Pass, e ast.Expr) (types.Object, string) {
+	field := ""
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			field = x.Sel.Name
+			e = x.X
+		case *ast.IndexExpr:
+			field = ""
+			e = x.X
+		case *ast.SliceExpr:
+			field = ""
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.Ident:
+			return identObj(pass, x), field
+		default:
+			return nil, ""
+		}
+	}
+}
+
+func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if obj := pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Defs[id]
+}
+
+func isPointer(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}
+
+// aliasType reports whether the expression's type can carry shared backing
+// storage: a Batch/Vector (or pointer to one) or any slice.
+func aliasType(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && aliasTypeOf(tv.Type)
+}
+
+func aliasTypeOf(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if batchTypes[analysis.NamedTypeName(t)] {
+		return true
+	}
+	_, isSlice := t.Underlying().(*types.Slice)
+	return isSlice
+}
+
+// containsIndex reports whether the access path contains an element access,
+// meaning the write lands inside shared slice storage even when the final
+// step is a value field.
+func containsIndex(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.IndexExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package batchalias_test
+
+import (
+	"testing"
+
+	"ftpde/internal/lint/analysistest"
+	"ftpde/internal/lint/batchalias"
+)
+
+func TestBatchalias(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), batchalias.Analyzer, "internal/engine")
+}

@@ -1,0 +1,105 @@
+// Package engine is the batchalias fixture: a miniature columnar batch with
+// kernels that respect and kernels that violate the aliasing contract. Its
+// import path ends in internal/engine, the analyzer's scope.
+package engine
+
+// Vector mirrors the engine's column storage.
+type Vector struct {
+	Ints   []int64
+	Floats []float64
+}
+
+// Batch mirrors the engine's columnar batch.
+type Batch struct {
+	Cols []Vector
+	Sel  []int32
+}
+
+func badDirectWrite(b *Batch) {
+	b.Cols[0].Ints[0] = 1 // want `write into an input batch's backing storage`
+}
+
+func badAliasWrite(b *Batch) {
+	vec := &b.Cols[0]
+	vec.Ints[2] = 9 // want `write into an input batch's backing storage`
+}
+
+func badSliceAliasWrite(b *Batch) {
+	ints := b.Cols[0].Ints
+	ints[0] = 7 // want `write into an input batch's backing storage`
+}
+
+func badRangeWrite(b *Batch) {
+	for _, col := range b.Cols {
+		col.Ints[0] = 0 // want `write into an input batch's backing storage`
+	}
+}
+
+func badHeaderWrite(b *Batch) {
+	b.Cols[0].Ints = nil // want `field write through a shared Batch/Vector`
+}
+
+func badVectorParam(v *Vector, x float64) {
+	v.Floats[0] = x // want `write into an input batch's backing storage`
+}
+
+func badAppend(b *Batch) []int32 {
+	return append(b.Sel, 1) // want `append to an input batch's backing slice`
+}
+
+func badIncDec(b *Batch) {
+	b.Cols[0].Ints[0]++ // want `write into an input batch's backing storage`
+}
+
+// goodSelection narrows rows through a fresh selection vector — the blessed
+// sharing pattern: Cols are shared read-only, Sel is newly allocated.
+func goodSelection(b *Batch) *Batch {
+	sel := make([]int32, 0, len(b.Sel))
+	for i, v := range b.Cols[0].Ints {
+		if v > 0 {
+			sel = append(sel, int32(i))
+		}
+	}
+	return &Batch{Cols: b.Cols, Sel: sel}
+}
+
+// goodFreshOutput reads the input and writes a newly allocated vector.
+func goodFreshOutput(b *Batch) Vector {
+	out := Vector{Ints: make([]int64, len(b.Cols[0].Ints))}
+	for i, v := range b.Cols[0].Ints {
+		out.Ints[i] = v * 2
+	}
+	return out
+}
+
+// goodLocalCopyHeader copies the Vector header by value; rewriting the local
+// copy's fields does not touch the input.
+func goodLocalCopyHeader(b *Batch) Vector {
+	vec := b.Cols[0]
+	vec.Ints = make([]int64, 4)
+	vec.Ints[0] = 1
+	return vec
+}
+
+// goodRepointedLocal starts as an alias of the input selection but is
+// re-pointed at fresh storage before any write — the Filter kernel's shape.
+func goodRepointedLocal(b *Batch) []int32 {
+	sel := b.Sel
+	if sel == nil {
+		sel = make([]int32, len(b.Cols[0].Ints))
+		for i := range sel {
+			sel[i] = int32(i)
+		}
+	}
+	return sel
+}
+
+// appendRow is the owner's API: methods may mutate their receiver.
+func (b *Batch) appendRow(v int64) {
+	b.Cols[0].Ints = append(b.Cols[0].Ints, v)
+}
+
+func suppressed(b *Batch) {
+	//lint:ignore batchalias fixture exercises suppression
+	b.Cols[0].Ints[0] = 1
+}

@@ -1,0 +1,12 @@
+package ckpterr_test
+
+import (
+	"testing"
+
+	"ftpde/internal/lint/analysistest"
+	"ftpde/internal/lint/ckpterr"
+)
+
+func TestCkpterr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ckpterr.Analyzer, "ckpt")
+}

@@ -1,0 +1,71 @@
+// Package costfloat implements the ftlint analyzer that protects the cost
+// model's numerics: the paper's expected-runtime formulas (§5) combine
+// exponentials and long products of probabilities, where exact float
+// equality is meaningless and math.Exp/math.Log silently produce Inf/NaN
+// outside their safe domain. In internal/cost and internal/core, float
+// comparisons must go through the epsilon helpers and Exp/Log through the
+// clamped wrappers.
+package costfloat
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ftpde/internal/lint/analysis"
+)
+
+// Analyzer flags exact float comparisons and raw math.Exp/math.Log calls in
+// the cost-model packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "costfloat",
+	Doc: "in internal/cost and internal/core, ==/!= on floats must use the " +
+		"ApproxEq epsilon helper and math.Exp/math.Log must use the " +
+		"SafeExp/SafeLog domain-clamped wrappers",
+	Run: run,
+}
+
+// mathFuncs are the domain-sensitive math functions with a Safe* wrapper.
+var mathFuncs = map[string]string{
+	"Exp": "SafeExp",
+	"Log": "SafeLog",
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "internal/cost") && !strings.Contains(path, "internal/core") {
+		return nil
+	}
+	pass.WithStack(func(n ast.Node, _ []ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			if e.Op != token.EQL && e.Op != token.NEQ {
+				return true
+			}
+			if isFloat(pass, e.X) || isFloat(pass, e.Y) {
+				pass.Reportf(e.OpPos, "exact %s comparison on floating-point values; use ApproxEq (internal/cost) with an explicit epsilon", e.Op)
+			}
+		case *ast.CallExpr:
+			f := pass.CalleeFunc(e)
+			if f == nil || f.Pkg() == nil || f.Pkg().Path() != "math" {
+				return true
+			}
+			if safe, ok := mathFuncs[f.Name()]; ok {
+				pass.Reportf(e.Pos(), "math.%s without a domain guard; use %s (internal/cost), which clamps the argument", f.Name(), safe)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// isFloat reports whether e has floating-point type (possibly named).
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,12 @@
+package costfloat_test
+
+import (
+	"testing"
+
+	"ftpde/internal/lint/analysistest"
+	"ftpde/internal/lint/costfloat"
+)
+
+func TestCostfloat(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), costfloat.Analyzer, "internal/cost")
+}

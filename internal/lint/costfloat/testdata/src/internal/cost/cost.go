@@ -1,0 +1,43 @@
+// Package cost is the costfloat fixture; its import path ends in
+// internal/cost, which puts it in the analyzer's scope.
+package cost
+
+import "math"
+
+const eps = 1e-9
+
+// ApproxEq mirrors the real epsilon helper.
+func ApproxEq(a, b float64) bool { return math.Abs(a-b) <= eps }
+
+type budget float64
+
+func bad(a, b float64, w budget) bool {
+	if a == b { // want `exact == comparison on floating-point values`
+		return true
+	}
+	if a != 0.5 { // want `exact != comparison on floating-point values`
+		return false
+	}
+	if w == 1 { // want `exact == comparison on floating-point values`
+		return true
+	}
+	_ = math.Exp(a) // want `math.Exp without a domain guard`
+	_ = math.Log(b) // want `math.Log without a domain guard`
+	return false
+}
+
+func good(a, b float64, n int) bool {
+	if ApproxEq(a, b) {
+		return true
+	}
+	if n == 3 { // ints compare exactly, no finding
+		return false
+	}
+	_ = math.Ceil(a) // Ceil has no domain cliff; allowed
+	return a < b     // ordering comparisons are fine
+}
+
+func suppressed(a float64) bool {
+	//lint:ignore costfloat fixture exercises suppression
+	return a == 0
+}

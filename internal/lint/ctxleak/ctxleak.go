@@ -1,0 +1,271 @@
+// Package ctxleak implements the ftlint analyzer that keeps the pipelined
+// runtime cancellable: code reachable from a goroutine launch in
+// internal/runtime must pair every blocking channel send with a done/stop
+// select case, so a cancelled partition context can always tear the stage
+// chain down instead of leaking workers.
+package ctxleak
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"ftpde/internal/lint/analysis"
+)
+
+// Analyzer flags blocking channel sends in goroutine-reachable runtime code
+// that cannot be interrupted by a done/stop channel.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxleak",
+	Doc: "goroutines in internal/runtime must select on a done/stop channel " +
+		"for every blocking channel send; a naked send leaks the worker when " +
+		"the partition context is cancelled mid-stream",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.HasSuffix(pass.Pkg.Path(), "internal/runtime") {
+		return nil
+	}
+	decls := pass.FuncDecls()
+
+	// Roots: function literals in go statements, plus same-package functions
+	// and methods a go statement references.
+	var rootBodies []ast.Node
+	rootDecls := make(map[*ast.FuncDecl]bool)
+	pass.WithStack(func(n ast.Node, _ []ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			rootBodies = append(rootBodies, lit.Body)
+			return true
+		}
+		if f := pass.CalleeFunc(g.Call); f != nil {
+			if fd, ok := decls[f]; ok {
+				rootDecls[fd] = true
+			}
+		}
+		return true
+	})
+
+	// Reachability: everything a goroutine can execute, transitively through
+	// same-package calls.
+	reachable := make(map[*ast.FuncDecl]bool)
+	var mark func(fd *ast.FuncDecl)
+	mark = func(fd *ast.FuncDecl) {
+		if reachable[fd] || fd.Body == nil {
+			return
+		}
+		reachable[fd] = true
+		for _, callee := range pass.LocalCalls(fd.Body, decls) {
+			mark(callee)
+		}
+	}
+	for fd := range rootDecls {
+		mark(fd)
+	}
+	for _, body := range rootBodies {
+		for _, callee := range pass.LocalCalls(body, decls) {
+			mark(callee)
+		}
+	}
+
+	check := func(root ast.Node) {
+		checkSends(pass, root)
+	}
+	for _, body := range rootBodies {
+		check(body)
+	}
+	for fd := range reachable {
+		check(fd.Body)
+	}
+	return nil
+}
+
+// checkSends reports naked blocking sends under root.
+func checkSends(pass *analysis.Pass, root ast.Node) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if send, ok := n.(*ast.SendStmt); ok {
+			checkOneSend(pass, send, stack)
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+func checkOneSend(pass *analysis.Pass, send *ast.SendStmt, stack []ast.Node) {
+	// A send that is a select case is fine when a sibling case receives from
+	// a done/stop channel.
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.CommClause:
+			sel, ok := outerSelect(stack, i)
+			if ok && (hasDoneCase(pass, sel) || hasDefault(sel)) {
+				return
+			}
+			pass.Reportf(send.Pos(), "select with a channel send has no done/stop receive case; add one so cancellation can interrupt the send")
+			return
+		case *ast.FuncLit:
+			// Leaving the enclosing function: the send is naked within it.
+			i = -1
+			_ = anc
+		}
+		if i < 0 {
+			break
+		}
+	}
+	// Naked send: allowed only on a channel that is provably buffered at its
+	// creation site in the same function chain and sent to at most once
+	// (outside any loop) — the bounded "result slot" pattern.
+	if bufferedSlotSend(pass, send, stack) {
+		return
+	}
+	pass.Reportf(send.Pos(), "blocking channel send without a done/stop select; wrap it in select { case ch <- v: case <-done: } so cancellation cannot leak this goroutine")
+}
+
+// outerSelect finds the SelectStmt owning the CommClause at stack[i].
+func outerSelect(stack []ast.Node, i int) (*ast.SelectStmt, bool) {
+	for j := i - 1; j >= 0; j-- {
+		if sel, ok := stack[j].(*ast.SelectStmt); ok {
+			return sel, true
+		}
+	}
+	return nil, false
+}
+
+// hasDoneCase reports whether the select has a receive case on a done-like
+// channel: <-ctx.Done(), or a channel whose name suggests shutdown
+// (done/stop/quit/closed/cancel).
+func hasDoneCase(pass *analysis.Pass, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		clause, ok := c.(*ast.CommClause)
+		if !ok || clause.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch s := clause.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = s.X
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				recv = s.Rhs[0]
+			}
+		}
+		un, ok := ast.Unparen(recv).(*ast.UnaryExpr)
+		if !ok || un.Op.String() != "<-" {
+			continue
+		}
+		if doneLike(un.X) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDefault reports whether the select has a default clause, making every
+// case non-blocking.
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if clause, ok := c.(*ast.CommClause); ok && clause.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func doneLike(ch ast.Expr) bool {
+	switch e := ast.Unparen(ch).(type) {
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Done"
+		}
+	case *ast.Ident:
+		return doneName(e.Name)
+	case *ast.SelectorExpr:
+		return doneName(e.Sel.Name)
+	}
+	return false
+}
+
+func doneName(name string) bool {
+	l := strings.ToLower(name)
+	for _, hint := range []string{"done", "stop", "quit", "closed", "cancel"} {
+		if strings.Contains(l, hint) {
+			return true
+		}
+	}
+	return false
+}
+
+// bufferedSlotSend reports whether the send targets a channel created with a
+// visible non-zero capacity in an enclosing function and the send is not
+// inside a loop — the error-slot pattern `errCh := make(chan error, n)`
+// where every goroutine sends exactly once and the buffer absorbs it.
+func bufferedSlotSend(pass *analysis.Pass, send *ast.SendStmt, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.FuncLit, *ast.FuncDecl:
+			// Loops outside the goroutine body do not repeat the send.
+			i = -1
+		}
+		if i < 0 {
+			break
+		}
+	}
+	ident, ok := ast.Unparen(send.Chan).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[ident].(*types.Var)
+	if !ok {
+		return false
+	}
+	buffered := false
+	pass.WithStack(func(n ast.Node, _ []ast.Node) bool {
+		if buffered {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || pass.TypesInfo.Defs[lid] != obj {
+				continue
+			}
+			if isBufferedMake(pass, assign.Rhs[i]) {
+				buffered = true
+			}
+		}
+		return true
+	})
+	return buffered
+}
+
+// isBufferedMake matches make(chan T, cap) with cap not constant zero.
+func isBufferedMake(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "make" {
+		return false
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Args[1]]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(tv.Value); exact && v == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package ctxleak_test
+
+import (
+	"testing"
+
+	"ftpde/internal/lint/analysistest"
+	"ftpde/internal/lint/ctxleak"
+)
+
+func TestCtxleak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxleak.Analyzer, "internal/runtime")
+}

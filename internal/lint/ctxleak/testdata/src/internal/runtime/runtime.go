@@ -1,0 +1,96 @@
+// Package runtime is the ctxleak fixture: goroutine bodies with cancellable
+// and leaky channel sends. Its import path ends in internal/runtime, which is
+// the analyzer's scope.
+package runtime
+
+import "context"
+
+type worker struct {
+	out  chan int
+	stop chan struct{}
+}
+
+func leakyLiteral(ctx context.Context, out chan int) {
+	go func() {
+		for i := 0; i < 10; i++ {
+			out <- i // want `blocking channel send without a done/stop select`
+		}
+	}()
+}
+
+func leakySelect(ctx context.Context, out chan int, other chan int) {
+	go func() {
+		select {
+		case out <- 1: // want `select with a channel send has no done/stop receive case`
+		case v := <-other:
+			_ = v
+		}
+	}()
+}
+
+func leakyNamed(w *worker) {
+	go w.drain()
+}
+
+// drain is reachable only from the go statement in leakyNamed.
+func (w *worker) drain() {
+	w.pump()
+}
+
+// pump is reachable transitively from a goroutine root.
+func (w *worker) pump() {
+	w.out <- 1 // want `blocking channel send without a done/stop select`
+}
+
+func goodCtx(ctx context.Context, out chan int) {
+	go func() {
+		for i := 0; i < 10; i++ {
+			select {
+			case out <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+func goodStop(w *worker) {
+	go func() {
+		select {
+		case w.out <- 1:
+		case <-w.stop:
+		}
+	}()
+}
+
+func goodDefault(out chan int) {
+	go func() {
+		select {
+		case out <- 1:
+		default:
+		}
+	}()
+}
+
+func goodBufferedSlot() chan error {
+	errCh := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			errCh <- nil
+		}()
+	}
+	return errCh
+}
+
+// notGoroutine sends synchronously from the caller's goroutine; the caller
+// owns its own cancellation, so ctxleak leaves it alone.
+func notGoroutine(out chan int) {
+	out <- 1
+}
+
+func suppressed(out chan int) {
+	go func() {
+		//lint:ignore ctxleak fixture exercises suppression
+		out <- 1
+	}()
+}

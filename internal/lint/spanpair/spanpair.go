@@ -1,0 +1,192 @@
+// Package spanpair implements the ftlint analyzer that keeps the failure
+// timeline honest: every tracer emission of a `failure` span kind must be
+// answered by a `recovery` or `restart` emission — in the same function, in a
+// function it calls, or in a handler documented with a
+// `//lint:spanpair <handler>` directive that the analyzer verifies. It also
+// forbids raw string literals where a span Kind is expected, so the timeline
+// vocabulary stays the closed set defined in internal/obs.
+package spanpair
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+
+	"ftpde/internal/lint/analysis"
+)
+
+// Analyzer enforces failure/recovery span pairing and the Kind vocabulary.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanpair",
+	Doc: "tracer failure emissions must be paired with a recovery or restart " +
+		"emission (same function, callee, or a verified //lint:spanpair " +
+		"handler), and span kinds must be internal/obs constants, never " +
+		"string literals",
+	Run: run,
+}
+
+const directive = "//lint:spanpair "
+
+// Kinds that open a failure episode and kinds that resolve one.
+const failureKind = "failure"
+
+var resolveKinds = map[string]bool{"recovery": true, "restart": true}
+
+func run(pass *analysis.Pass) error {
+	decls := pass.FuncDecls()
+
+	// Pass 1 over each function: literal-kind findings, the set of span kinds
+	// it emits directly, and the source positions of its failure emissions.
+	type funcInfo struct {
+		kinds    map[string]bool
+		failures []ast.Node
+	}
+	infos := make(map[*ast.FuncDecl]*funcInfo)
+	byName := make(map[string]*ast.FuncDecl)
+	for _, fd := range decls {
+		byName[fd.Name.Name] = fd
+	}
+
+	for _, fd := range decls {
+		if fd.Body == nil {
+			continue
+		}
+		info := &funcInfo{kinds: make(map[string]bool)}
+		infos[fd] = info
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				tv, ok := pass.TypesInfo.Types[arg]
+				if !ok || analysis.NamedTypeName(tv.Type) != "Kind" {
+					continue
+				}
+				if lit := stringLiteralArg(pass, arg); lit != nil {
+					pass.Reportf(lit.Pos(), "span kind is a string literal; use the Kind constants from internal/obs so the timeline vocabulary stays closed")
+				}
+				if tv.Value == nil || tv.Value.Kind() != constant.String {
+					continue
+				}
+				kind := constant.StringVal(tv.Value)
+				info.kinds[kind] = true
+				if kind == failureKind {
+					info.failures = append(info.failures, arg)
+				}
+			}
+			return true
+		})
+	}
+
+	// emitsResolve: does fd emit recovery/restart, transitively through
+	// same-package calls?
+	memo := make(map[*ast.FuncDecl]bool)
+	visiting := make(map[*ast.FuncDecl]bool)
+	var emitsResolve func(fd *ast.FuncDecl) bool
+	emitsResolve = func(fd *ast.FuncDecl) bool {
+		if v, ok := memo[fd]; ok {
+			return v
+		}
+		if visiting[fd] {
+			return false
+		}
+		visiting[fd] = true
+		defer func() { visiting[fd] = false }()
+		info := infos[fd]
+		if info != nil {
+			for k := range info.kinds {
+				if resolveKinds[k] {
+					memo[fd] = true
+					return true
+				}
+			}
+		}
+		if fd.Body != nil {
+			for _, callee := range pass.LocalCalls(fd.Body, decls) {
+				if emitsResolve(callee) {
+					memo[fd] = true
+					return true
+				}
+			}
+		}
+		memo[fd] = false
+		return false
+	}
+
+	// Pass 2: every function with failure emissions must resolve them.
+	for fd, info := range infos {
+		if len(info.failures) == 0 {
+			continue
+		}
+		if emitsResolve(fd) {
+			continue
+		}
+		handler, pos, hasDirective := spanpairDirective(pass, fd)
+		if hasDirective {
+			target, ok := byName[handler]
+			if !ok {
+				pass.Reportf(pos, "//lint:spanpair names %s, which is not a function in this package", handler)
+				continue
+			}
+			if !emitsResolve(target) {
+				pass.Reportf(pos, "//lint:spanpair handler %s never emits a recovery or restart span", handler)
+			}
+			continue
+		}
+		for _, f := range info.failures {
+			pass.Reportf(f.Pos(), "failure span in %s is never resolved: emit a recovery or restart span here, in a callee, or document the handler with //lint:spanpair <func>", fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// stringLiteralArg unwraps arg to a raw string literal, looking through
+// parens and a Kind("...")-style conversion.
+func stringLiteralArg(pass *analysis.Pass, arg ast.Expr) *ast.BasicLit {
+	e := ast.Unparen(arg)
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) == 1 {
+		if tv, found := pass.TypesInfo.Types[call.Fun]; found && tv.IsType() {
+			e = ast.Unparen(call.Args[0])
+		}
+	}
+	if lit, ok := e.(*ast.BasicLit); ok && lit.Kind.String() == "STRING" {
+		return lit
+	}
+	return nil
+}
+
+// spanpairDirective looks for a //lint:spanpair comment in fd's doc or body
+// and returns the named handler.
+func spanpairDirective(pass *analysis.Pass, fd *ast.FuncDecl) (handler string, pos token.Pos, ok bool) {
+	var comments []*ast.Comment
+	if fd.Doc != nil {
+		comments = append(comments, fd.Doc.List...)
+	}
+	for _, file := range pass.Files {
+		if file.Pos() <= fd.Pos() && fd.End() <= file.End() {
+			for _, cg := range file.Comments {
+				if cg.Pos() >= fd.Pos() && cg.End() <= fd.End() {
+					comments = append(comments, cg.List...)
+				}
+			}
+		}
+	}
+	for _, c := range comments {
+		rest, found := strings.CutPrefix(c.Text, directive)
+		if !found {
+			continue
+		}
+		name := strings.Fields(rest)
+		if len(name) == 0 {
+			continue
+		}
+		h := name[0]
+		if i := strings.LastIndexByte(h, '.'); i >= 0 {
+			h = h[i+1:]
+		}
+		return h, c.Pos(), true
+	}
+	return "", 0, false
+}

@@ -1,0 +1,12 @@
+package spanpair_test
+
+import (
+	"testing"
+
+	"ftpde/internal/lint/analysistest"
+	"ftpde/internal/lint/spanpair"
+)
+
+func TestSpanpair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), spanpair.Analyzer, "spans")
+}

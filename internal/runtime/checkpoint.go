@@ -27,12 +27,19 @@ type checkpointWriter struct {
 	metrics *Metrics
 	tracer  *obs.Tracer
 	queue   chan checkpointReq
+	// stop unblocks enqueuers and terminates the writer goroutine once the
+	// writer is closed, so no caller can park forever on a full queue.
+	stop chan struct{}
 
 	mu      sync.Mutex
 	cond    *sync.Cond
 	pending int
 	written map[string]bool
 	closed  bool
+	// err latches the first store write failure; flush and close surface it
+	// so the query result is never reported durable on top of a torn
+	// checkpoint.
+	err error
 }
 
 func newCheckpointWriter(store engine.Store, metrics *Metrics, tracer *obs.Tracer) *checkpointWriter {
@@ -41,6 +48,7 @@ func newCheckpointWriter(store engine.Store, metrics *Metrics, tracer *obs.Trace
 		metrics: metrics,
 		tracer:  tracer,
 		queue:   make(chan checkpointReq, 64),
+		stop:    make(chan struct{}),
 		written: make(map[string]bool),
 	}
 	w.cond = sync.NewCond(&w.mu)
@@ -49,22 +57,53 @@ func newCheckpointWriter(store engine.Store, metrics *Metrics, tracer *obs.Trace
 }
 
 func (w *checkpointWriter) loop() {
-	for req := range w.queue {
-		sp := w.tracer.Begin(obs.KindCheckpoint, req.op, req.part, -1)
-		start := time.Now()
-		w.store.Put(req.op, req.part, req.rows, req.parts)
-		w.metrics.addCheckpointWrite(time.Since(start))
-		w.metrics.CheckpointParts.Add(1)
-		n := engine.EncodedSize(req.rows)
-		w.metrics.CheckpointBytes.Add(n)
-		sp.SetBytes(n)
-		sp.SetRows(int64(len(req.rows)))
+	for {
+		select {
+		case req := <-w.queue:
+			w.write(req)
+		case <-w.stop:
+			// Drain requests that raced with close; flush has already
+			// ensured the common case is an empty queue.
+			for {
+				select {
+				case req := <-w.queue:
+					w.write(req)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// write persists one partition and settles its pending count.
+func (w *checkpointWriter) write(req checkpointReq) {
+	sp := w.tracer.Begin(obs.KindCheckpoint, req.op, req.part, -1)
+	start := time.Now()
+	err := w.store.Put(req.op, req.part, req.rows, req.parts)
+	if err != nil {
+		sp.Fail(err.Error())
 		sp.End()
 		w.mu.Lock()
+		if w.err == nil {
+			w.err = fmt.Errorf("runtime: checkpoint %s/%d: %w", req.op, req.part, err)
+		}
 		w.pending--
 		w.cond.Broadcast()
 		w.mu.Unlock()
+		return
 	}
+	w.metrics.addCheckpointWrite(time.Since(start))
+	w.metrics.CheckpointParts.Add(1)
+	n := engine.EncodedSize(req.rows)
+	w.metrics.CheckpointBytes.Add(n)
+	sp.SetBytes(n)
+	sp.SetRows(int64(len(req.rows)))
+	sp.End()
+	w.mu.Lock()
+	w.pending--
+	w.cond.Broadcast()
+	w.mu.Unlock()
 }
 
 // enqueue schedules one partition write. It returns false when the partition
@@ -80,26 +119,41 @@ func (w *checkpointWriter) enqueue(op string, part int, rows []engine.Row, parts
 	w.written[key] = true
 	w.pending++
 	w.mu.Unlock()
-	w.queue <- checkpointReq{op: op, part: part, rows: rows, parts: parts}
-	return true
+	select {
+	case w.queue <- checkpointReq{op: op, part: part, rows: rows, parts: parts}:
+		return true
+	case <-w.stop:
+		// Writer shut down while we were parked on a full queue: roll the
+		// reservation back so flush cannot wait on a write nobody will do.
+		w.mu.Lock()
+		delete(w.written, key)
+		w.pending--
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		return false
+	}
 }
 
-// flush blocks until every enqueued write has reached the store.
-func (w *checkpointWriter) flush() {
+// flush blocks until every enqueued write has reached the store and returns
+// the first write error, if any.
+func (w *checkpointWriter) flush() error {
 	w.mu.Lock()
+	defer w.mu.Unlock()
 	for w.pending > 0 {
 		w.cond.Wait()
 	}
-	w.mu.Unlock()
+	return w.err
 }
 
-// close flushes and stops the writer goroutine.
-func (w *checkpointWriter) close() {
-	w.flush()
+// close flushes, stops the writer goroutine, and returns the first write
+// error. It must not race with enqueue for new partitions.
+func (w *checkpointWriter) close() error {
+	err := w.flush()
 	w.mu.Lock()
 	if !w.closed {
 		w.closed = true
-		close(w.queue)
+		close(w.stop)
 	}
 	w.mu.Unlock()
+	return err
 }

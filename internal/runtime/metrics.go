@@ -106,12 +106,47 @@ type Snapshot struct {
 	Failures        int64                    `json:"failures"`
 	Recoveries      int64                    `json:"recoveries"`
 	Restarts        int64                    `json:"restarts"`
-	StageWall       map[string]time.Duration `json:"stage_wall_ns"`
-	StageRows       map[string]int64         `json:"stage_rows"`
+	StageWall       map[string]time.Duration `json:"-"`
+	StageRows       map[string]int64         `json:"-"`
+	// Stages is the JSON form of the per-stage tables: one entry per stage,
+	// name-sorted, so regenerated benchmark reports are byte-stable in
+	// ordering instead of depending on map iteration or marshaller behavior.
+	Stages []StageMetric `json:"stages"`
 	// Checkpoint-write latency over individual store writes.
 	CheckpointMin time.Duration `json:"checkpoint_min_ns"`
 	CheckpointAvg time.Duration `json:"checkpoint_avg_ns"`
 	CheckpointMax time.Duration `json:"checkpoint_max_ns"`
+}
+
+// StageMetric is one row of the deterministic per-stage table.
+type StageMetric struct {
+	Stage  string        `json:"stage"`
+	WallNS time.Duration `json:"wall_ns"`
+	Rows   int64         `json:"rows"`
+}
+
+// stageTable flattens the per-stage maps into a name-sorted slice.
+func stageTable(wall map[string]time.Duration, rows map[string]int64) []StageMetric {
+	if len(wall) == 0 && len(rows) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(wall))
+	names := make([]string, 0, len(wall))
+	for n := range wall {
+		seen[n] = true
+		names = append(names, n)
+	}
+	for n := range rows {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	out := make([]StageMetric, len(names))
+	for i, n := range names {
+		out[i] = StageMetric{Stage: n, WallNS: wall[n], Rows: rows[n]}
+	}
+	return out
 }
 
 // Snapshot returns a consistent-enough copy of all counters.
@@ -127,6 +162,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		StageWall:       m.StageWall(),
 		StageRows:       m.StageRows(),
 	}
+	s.Stages = stageTable(s.StageWall, s.StageRows)
 	m.mu.Lock()
 	if m.ckptN > 0 {
 		s.CheckpointMin = m.ckptMin

@@ -152,7 +152,10 @@ func (rn *run) sourceBatch(s *stage, part int, inputs []*engine.PartitionedResul
 
 // runSource computes the stage's source operator for one partition and
 // streams the result in batches. When the failure injector fires for this
-// attempt, the worker emits its first batch and then dies mid-stream.
+// attempt, the worker emits its first batch and then dies mid-stream. Its
+// failure events surface as a nodeFailure the stage worker resolves.
+//
+//lint:spanpair recoverFine
 func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *stage, part int, inputs []*engine.PartitionedResult, out chan<- *engine.Batch) error {
 	op := s.source()
 	n := rn.attempts.take(op.Name(), part)
@@ -201,7 +204,10 @@ func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *sta
 // kernel instance (stateful kernels like partition-wise aggregation flush
 // their state at end of stream). A scripted failure kills the worker after
 // its first processed batch (or at stream end when the stream is shorter),
-// cancelling the partition context.
+// cancelling the partition context. Its failure events surface as a
+// nodeFailure the stage worker resolves.
+//
+//lint:spanpair recoverFine
 func (rn *run) runChainOp(pctx context.Context, cancel context.CancelFunc, op engine.Operator, part int, in <-chan *engine.Batch, out chan<- *engine.Batch) error {
 	n := rn.attempts.take(op.Name(), part)
 	if n > maxAttemptsPerPartition {

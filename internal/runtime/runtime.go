@@ -132,7 +132,11 @@ func (r *Runtime) Execute(ctx context.Context, root engine.Operator) (*engine.Pa
 		}
 		res, err := rn.execute(ctx)
 		if err == nil {
-			writer.flush()
+			// The query is only durably complete once every checkpoint the
+			// plan promised has landed.
+			if ferr := writer.flush(); ferr != nil {
+				return nil, report, ferr
+			}
 			return res, report, nil
 		}
 		if nf, ok := asNodeFailure(err); ok && r.cfg.Recovery == schemes.CoarseRestart {
@@ -286,7 +290,9 @@ func (rn *run) computePartition(ctx context.Context, s *stage, part int, recover
 		return nil
 	}
 	if s.checkpoint {
-		rn.writer.flush()
+		if err := rn.writer.flush(); err != nil {
+			return err
+		}
 		if rows, ok := rn.cfg.Store.Get(s.name(), part); ok {
 			rn.commit(s, part, rows, true)
 			return nil

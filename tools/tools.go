@@ -1,0 +1,18 @@
+//go:build tools
+
+// Package tools pins the versions of external developer tools CI installs.
+//
+// The module itself is dependency-free, so the classic blank-import
+// tools.go pattern would drag x/tools and staticcheck into go.mod/go.sum
+// and break offline builds. Instead, the pins live here as constants and
+// .github/workflows/ci.yml installs each tool with `go install <pkg>@<ver>`
+// using these exact versions. Bump a version here and in ci.yml together.
+package tools
+
+const (
+	// StaticcheckVersion pins honnef.co/go/tools/cmd/staticcheck.
+	StaticcheckVersion = "2023.1.7"
+	// XToolsVersion pins golang.org/x/tools, the source of the nilness and
+	// shadow vet analyzers.
+	XToolsVersion = "v0.21.0"
+)
