@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 
 	"ftpde/internal/experiments"
 	"ftpde/internal/obs"
+	"ftpde/internal/obs/metrics"
 )
 
 func main() {
@@ -29,6 +31,7 @@ func main() {
 		sf       = flag.Float64("sf", 100, "TPC-H scale factor for fixed-scale experiments")
 		debug    = flag.String("debug-addr", "", "serve live experiment progress and pprof on this address during the run")
 		traceOut = flag.String("trace-out", "", "write the per-experiment timing timeline to this file in Chrome trace_event format")
+		metOut   = flag.String("metrics-out", "", "write the final metrics registry snapshot to this file as JSON")
 	)
 	flag.Parse()
 
@@ -57,14 +60,22 @@ func main() {
 		runners = []experiments.Runner{r}
 	}
 	var tracer *obs.Tracer
-	if *debug != "" || *traceOut != "" {
+	if *debug != "" || *traceOut != "" || *metOut != "" {
 		tracer = obs.NewTracer(obs.DefaultCapacity)
 	}
 	done := 0
+	reg := metrics.NewRegistry()
+	obs.RegisterTraceMetrics(reg, tracer)
+	reg.MustRegisterFunc(metrics.Desc{
+		Name: "ftpde_experiments_done", Kind: metrics.KindGauge,
+		Help: "Experiments completed so far in this ftbench run.",
+	}, func() []metrics.Sample {
+		return []metrics.Sample{{Value: float64(done)}}
+	})
 	if *debug != "" {
 		srv, err := obs.StartDebug(*debug, tracer, func() any {
 			return map[string]any{"experiments_total": len(runners), "experiments_done": done}
-		})
+		}, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -93,5 +104,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "ftbench: wrote Chrome trace to %s\n", *traceOut)
+	}
+	if *metOut != "" {
+		data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ftbench: wrote metrics snapshot to %s\n", *metOut)
 	}
 }

@@ -9,6 +9,8 @@
 //	ftsql -q "..." -fail "join-1/2/0,aggregate/0/0"    # op/partition/attempt
 //	ftsql -q "..." -explain -mtbf 3600                 # cost plan + FT choice
 //	ftsql -q "..." -runtime=pipelined -stats           # concurrent runtime + metrics
+//	ftsql -calibrate -calibrate-mtbf 2                 # estimate MTBF/MTTR + tr/tm, re-plan
+//	ftsql -list-metrics                                # document the metric vocabulary
 package main
 
 import (
@@ -44,12 +46,34 @@ func main() {
 		maxRows  = flag.Int("rows", 20, "max result rows to print")
 		rt       = flag.String("runtime", "pipelined", "execution runtime: pipelined (concurrent stage DAG) or staged (sequential interpreter)")
 		batch    = flag.Int("batch", engine.DefaultBatchSize, "pipeline batch size in rows (pipelined runtime only)")
-		showStat = flag.Bool("stats", false, "print runtime metrics after execution (pipelined runtime only)")
+		showStat = flag.Bool("stats", false, "print runtime metrics (counters, per-stage wall, wasted work) after execution")
 		analyze  = flag.Bool("explain-analyze", false, "execute with tracing and print the cost model's predicted-vs-actual audit")
 		traceOut = flag.String("trace-out", "", "write the execution timeline to this file in Chrome trace_event format")
-		debug    = flag.String("debug-addr", "", "serve live introspection (/debug/vars, /debug/timeline, /debug/trace, /debug/pprof) on this address during execution")
+		debug    = flag.String("debug-addr", "", "serve live introspection (/metrics, /debug/vars, /debug/timeline, /debug/trace, /debug/pprof) on this address during execution")
+		metOut   = flag.String("metrics-out", "", "write the final metrics registry snapshot to this file as JSON")
+		listMet  = flag.Bool("list-metrics", false, "print every metric family this binary can expose, then exit")
+		cal      = flag.Bool("calibrate", false, "run the calibration loop: execute rounds of TPC-H Q1/Q3/Q5 under injected Poisson failures, estimate MTBF/MTTR and tr/tm correction factors, and re-plan with the calibrated model")
+		calRuns  = flag.Int("calibrate-runs", 3, "rounds of Q1/Q3/Q5 executed while calibrating")
+		calMTBF  = flag.Float64("calibrate-mtbf", 2, "per-node MTBF (seconds) of the Poisson failures injected while calibrating")
+		calWin   = flag.Float64("calibrate-window", 400, "failure-log horizon (seconds) backing the MTBF fit")
 	)
 	flag.Parse()
+
+	if *listMet {
+		fmt.Print(metricsTable())
+		return
+	}
+	if *cal {
+		res, err := runCalibrate(calibrateOptions{
+			SF: *sf, Nodes: *nodes, Seed: *seed, Runs: *calRuns,
+			MTBF: *calMTBF, Window: *calWin, TopK: *topK,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.Report())
+		return
+	}
 
 	text := *query
 	if text == "" {
@@ -158,14 +182,11 @@ func main() {
 		injector.Add(parts[0], part, attempt)
 	}
 
-	var metrics *runtime.Metrics
+	// One Exec aggregates counters, histograms and the wasted-work ledger for
+	// whichever runtime executes the query; the debug server reads it live.
+	em := &runtime.Metrics{}
 	if *debug != "" {
-		srv, derr := obs.StartDebug(*debug, tracer, func() any {
-			if metrics == nil {
-				return nil
-			}
-			return metrics.Snapshot()
-		})
+		srv, derr := obs.StartDebug(*debug, tracer, func() any { return em.Snapshot() }, em.Registry())
 		if derr != nil {
 			fatal(derr)
 		}
@@ -179,23 +200,28 @@ func main() {
 	)
 	switch *rt {
 	case "staged":
-		co := &engine.Coordinator{Nodes: *nodes, Injector: injector, Tracer: tracer}
+		co := &engine.Coordinator{Nodes: *nodes, Injector: injector, Tracer: tracer, Metrics: em}
 		res, rep, err = co.Execute(pp.Root)
 	case "pipelined":
 		var r *runtime.Runtime
-		r, err = runtime.New(runtime.Config{Nodes: *nodes, Injector: injector, BatchSize: *batch, Tracer: tracer})
+		r, err = runtime.New(runtime.Config{Nodes: *nodes, Injector: injector, BatchSize: *batch, Tracer: tracer, Metrics: em})
 		if err == nil {
-			metrics = r.Metrics()
 			res, rep, err = r.Execute(context.Background(), pp.Root)
-		}
-		if err == nil && *showStat {
-			fmt.Fprintf(os.Stderr, "runtime metrics: %s\n\n", r.Metrics().Snapshot())
 		}
 	default:
 		err = fmt.Errorf("unknown -runtime %q (want pipelined or staged)", *rt)
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if *showStat {
+		fmt.Fprintf(os.Stderr, "runtime metrics: %s\n\n", em.Snapshot())
+	}
+	if *metOut != "" {
+		if werr := writeMetricsSnapshot(*metOut, em.Registry()); werr != nil {
+			fatal(werr)
+		}
+		fmt.Fprintf(os.Stderr, "ftsql: wrote metrics snapshot to %s\n", *metOut)
 	}
 
 	if *traceOut != "" {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"ftpde/internal/exec"
 	"ftpde/internal/failure"
 	"ftpde/internal/obs"
+	"ftpde/internal/obs/metrics"
 	"ftpde/internal/schemes"
 	"ftpde/internal/tpch"
 )
@@ -34,6 +36,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "failure trace seed")
 		traceOut = flag.String("trace-out", "", "write the simulated timeline to this file in Chrome trace_event format")
 		debug    = flag.String("debug-addr", "", "serve the simulated timeline and pprof on this address until interrupted")
+		metOut   = flag.String("metrics-out", "", "write the simulated run's metrics registry snapshot to this file as JSON")
 	)
 	flag.Parse()
 
@@ -88,6 +91,9 @@ func main() {
 		fmt.Printf(", %d full restarts", res.Restarts)
 	}
 	fmt.Println()
+	if res.Failures > 0 {
+		fmt.Println(res.Ledger.String())
+	}
 
 	if len(res.Stages) > 0 {
 		exec.SortStages(res.Stages)
@@ -106,10 +112,20 @@ func main() {
 		}
 		fmt.Printf("\nwrote Chrome trace to %s (simulated seconds map to wall-clock seconds)\n", *traceOut)
 	}
+	if *metOut != "" {
+		data, err := json.MarshalIndent(simRegistry(res).Snapshot(), "", "  ")
+		if err == nil {
+			err = os.WriteFile(*metOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote metrics snapshot to %s\n", *metOut)
+	}
 	if *debug != "" {
 		tracer := obs.NewTracer(len(res.Spans) * 2)
 		tracer.Ingest(res.Spans)
-		srv, err := obs.StartDebug(*debug, tracer, func() any { return res })
+		srv, err := obs.StartDebug(*debug, tracer, func() any { return res }, simRegistry(res))
 		if err != nil {
 			fatal(err)
 		}
@@ -119,6 +135,37 @@ func main() {
 		<-ch
 		srv.Close()
 	}
+}
+
+// simRegistry exposes a simulated run through the shared metric vocabulary:
+// the runtime, failure and restart totals plus the wasted-work ledger, all in
+// simulated seconds.
+func simRegistry(res *exec.Result) *metrics.Registry {
+	reg := metrics.NewRegistry()
+	reg.MustRegisterFunc(metrics.Desc{
+		Name: "ftpde_sim_runtime_seconds", Kind: metrics.KindGauge, Unit: "seconds",
+		Help: "Simulated query runtime under the injected failure trace.",
+	}, func() []metrics.Sample { return []metrics.Sample{{Value: res.Runtime}} })
+	reg.MustRegisterFunc(metrics.Desc{
+		Name: "ftpde_sim_failures_total", Kind: metrics.KindCounter,
+		Help: "Failures that interrupted the simulated execution.",
+	}, func() []metrics.Sample { return []metrics.Sample{{Value: float64(res.Failures)}} })
+	reg.MustRegisterFunc(metrics.Desc{
+		Name: "ftpde_sim_restarts_total", Kind: metrics.KindCounter,
+		Help: "Full-query restarts (coarse-grained recovery only).",
+	}, func() []metrics.Sample { return []metrics.Sample{{Value: float64(res.Restarts)}} })
+	reg.MustRegisterFunc(metrics.Desc{
+		Name: "ftpde_wasted_seconds_total", Kind: metrics.KindCounter, Unit: "seconds",
+		Labels: []string{"cause"},
+		Help:   "Simulated seconds lost to failures and repair waits, by cause.",
+	}, func() []metrics.Sample {
+		out := make([]metrics.Sample, 0, len(res.Ledger.Totals))
+		for _, t := range res.Ledger.Totals {
+			out = append(out, metrics.Sample{LabelValues: []string{string(t.Cause)}, Value: t.Seconds})
+		}
+		return out
+	})
+	return reg
 }
 
 // printGantt renders stage intervals as an ASCII chart scaled to the total

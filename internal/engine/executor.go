@@ -3,8 +3,10 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"ftpde/internal/obs"
+	"ftpde/internal/obs/metrics"
 )
 
 // FailureInjector decides whether the node hosting partition `part` dies
@@ -128,6 +130,10 @@ type Coordinator struct {
 	// Tracer receives execution spans and failure/recovery events; nil
 	// disables tracing.
 	Tracer *obs.Tracer
+	// Metrics receives counters, latency histograms and wasted-work ledger
+	// entries; nil disables metrics (every method is nil-safe). The type is
+	// shared with the pipelined runtime, so one Exec can aggregate both.
+	Metrics *metrics.Exec
 }
 
 const maxAttemptsPerPartition = 1000
@@ -169,6 +175,7 @@ func (co *Coordinator) Execute(root Operator) (*PartitionedResult, *Report, erro
 	// moved on).
 	attempts := make(map[string]int)
 	for {
+		attemptStart := time.Now()
 		st := &execState{
 			co:       co,
 			results:  make(map[Operator]*PartitionedResult),
@@ -185,7 +192,11 @@ func (co *Coordinator) Execute(root Operator) (*PartitionedResult, *Report, erro
 		if co.Coarse && asRestart(err, &rf) {
 			report.Failures++
 			report.Restarts++
+			co.Metrics.AddFailures(1)
+			co.Metrics.AddRestarts(1)
 			co.Tracer.Event(obs.KindRestart, rf.op, rf.part, report.Restarts)
+			// The aborted attempt's elapsed time is the realized coarse w(c).
+			co.Metrics.Ledger().Attribute(metrics.CauseRestart, rf.op, rf.part, time.Since(attemptStart))
 			if report.Restarts > maxRestarts {
 				report.Aborted = true
 				return nil, report, fmt.Errorf("engine: query aborted after %d restarts", report.Restarts-1)
@@ -229,8 +240,10 @@ func (st *execState) run(root Operator) (*PartitionedResult, error) {
 func (st *execState) computeAll(op Operator) error {
 	st.ensureResult(op)
 	parts := st.co.Nodes
+	stageStart := time.Now()
 	stageSpan := st.co.Tracer.Begin(obs.KindStage, op.Name(), -1, -1)
 	defer func() {
+		st.co.Metrics.ObserveStageWall(metrics.RuntimeStaged, op.Name(), time.Since(stageStart))
 		var rows int64
 		for part, ok := range st.done[op] {
 			if ok {
@@ -278,6 +291,7 @@ func (st *execState) computeAll(op Operator) error {
 			sp := st.co.Tracer.Begin(obs.KindTask, op.Name(), part, attempt)
 			if st.co.Injector.FailCompute(op.Name(), part, attempt) {
 				st.co.Tracer.Event(obs.KindFailure, op.Name(), part, attempt)
+				st.co.Metrics.Ledger().Fail(op.Name(), part)
 				sp.Fail("node failure")
 				sp.End()
 				out[part] = outcome{part: part, failed: true}
@@ -309,6 +323,8 @@ func (st *execState) computeAll(op Operator) error {
 		}
 		if !o.fromStore {
 			st.attempts[attemptKey(op, part)]++
+			st.co.Metrics.AddRows(int64(len(o.rows)))
+			st.co.Metrics.AddStageRows(op.Name(), int64(len(o.rows)))
 		}
 		if err := st.commit(op, part, o.rows); err != nil {
 			return err
@@ -321,9 +337,15 @@ func (st *execState) computeAll(op Operator) error {
 			return &restartFailure{op: op.Name(), part: part}
 		}
 		st.report.Failures++
+		st.co.Metrics.AddFailures(1)
 		st.dropVolatileOnNode(part)
 		rsp := st.co.Tracer.Begin(obs.KindRecovery, op.Name(), part, -1)
+		recStart := time.Now()
 		err := st.ensure(op, part)
+		// Book the whole recovery window — successful or not — as recompute
+		// waste; the window matches the recovery span so ledger totals
+		// reconcile with the span timeline.
+		st.co.Metrics.Ledger().Attribute(metrics.CauseRecompute, op.Name(), part, time.Since(recStart))
 		if err != nil {
 			rsp.Fail(err.Error())
 		}
@@ -372,11 +394,13 @@ func (st *execState) ensure(op Operator, part int) error {
 		}
 		if st.co.Injector.FailCompute(op.Name(), part, attempt) {
 			st.co.Tracer.Event(obs.KindFailure, op.Name(), part, attempt)
+			st.co.Metrics.Ledger().Fail(op.Name(), part)
 			st.attempts[key]++
 			if st.co.Coarse {
 				return &restartFailure{op: op.Name(), part: part}
 			}
 			st.report.Failures++
+			st.co.Metrics.AddFailures(1)
 			st.dropVolatileOnNode(part)
 			// Inputs may have been lost again; recover them before retrying.
 			for _, in := range op.Inputs() {
@@ -403,6 +427,9 @@ func (st *execState) ensure(op Operator, part int) error {
 		sp.End()
 		st.attempts[key]++
 		st.report.RecomputedPartitions++
+		st.co.Metrics.AddRecoveries(1)
+		st.co.Metrics.AddRows(int64(len(rows)))
+		st.co.Metrics.AddStageRows(op.Name(), int64(len(rows)))
 		return st.commit(op, part, rows)
 	}
 }
@@ -418,12 +445,16 @@ func (st *execState) commit(op Operator, part int, rows []Row) error {
 	if op.Materialize() {
 		if _, already := st.co.Store.Get(op.Name(), part); !already {
 			sp := st.co.Tracer.Begin(obs.KindCheckpoint, op.Name(), part, -1)
+			start := time.Now()
 			if err := st.co.Store.Put(op.Name(), part, rows, st.co.Nodes); err != nil {
 				sp.Fail(err.Error())
 				sp.End()
 				return fmt.Errorf("engine: materialize %s/%d: %w", op.Name(), part, err)
 			}
-			sp.SetBytes(EncodedSize(rows))
+			st.co.Metrics.ObserveCheckpointWrite(metrics.RuntimeStaged, time.Since(start))
+			n := EncodedSize(rows)
+			st.co.Metrics.AddCheckpoint(n)
+			sp.SetBytes(n)
 			sp.SetRows(int64(len(rows)))
 			sp.End()
 			st.report.MaterializedPartitions++

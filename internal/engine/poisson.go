@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PoissonFailures injects node failures from independent per-node Poisson
+// processes with a configurable per-node MTBF — the failure model of the
+// paper's Section 3 made executable. Each node draws an exponential
+// inter-arrival schedule from its own seeded generator, so the schedule (the
+// "cluster failure log") is deterministic for a given seed regardless of
+// execution timing; FailCompute fires when the node's wall clock has passed
+// its next scheduled arrival, consuming that arrival.
+//
+// The calibration loop reads the same schedule through Arrivals: estimating
+// MTBF from the log a known process generated is exactly what a production
+// system does with its cluster's failure history.
+type PoissonFailures struct {
+	mtbf  float64 // per-node MTBF, seconds
+	seed  int64
+	epoch time.Time
+
+	mu    sync.Mutex
+	rngs  []*rand.Rand
+	sched [][]float64 // per node: scheduled arrival times, seconds since epoch
+	pos   []int       // per node: next unconsumed arrival
+}
+
+// NewPoissonFailures returns an injector for a cluster of the given size with
+// per-node mean time between failures mtbf (seconds). A non-positive mtbf or
+// node count yields an injector that never fires.
+func NewPoissonFailures(mtbf float64, nodes int, seed int64) *PoissonFailures {
+	if nodes < 0 {
+		nodes = 0
+	}
+	p := &PoissonFailures{
+		mtbf:  mtbf,
+		seed:  seed,
+		epoch: time.Now(),
+		rngs:  make([]*rand.Rand, nodes),
+		sched: make([][]float64, nodes),
+		pos:   make([]int, nodes),
+	}
+	for node := range p.rngs {
+		// A private generator per node keeps every node's schedule a pure
+		// function of (seed, node), independent of extension order.
+		p.rngs[node] = rand.New(rand.NewSource(seed ^ (int64(node)+1)*0x5851F42D4C957F2D))
+	}
+	return p
+}
+
+// extendLocked grows node's schedule until its last arrival exceeds horizon.
+func (p *PoissonFailures) extendLocked(node int, horizon float64) {
+	if p.mtbf <= 0 {
+		return
+	}
+	s := p.sched[node]
+	last := 0.0
+	if len(s) > 0 {
+		last = s[len(s)-1]
+	}
+	for last <= horizon {
+		last += p.rngs[node].ExpFloat64() * p.mtbf
+		s = append(s, last)
+	}
+	p.sched[node] = s
+}
+
+// FailCompute implements FailureInjector: the node hosting partition `part`
+// dies when its wall clock has passed the next scheduled arrival. One
+// arrival kills one task attempt.
+func (p *PoissonFailures) FailCompute(op string, part, attempt int) bool {
+	if p.mtbf <= 0 || part < 0 || part >= len(p.sched) {
+		return false
+	}
+	elapsed := time.Since(p.epoch).Seconds()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.extendLocked(part, elapsed)
+	if p.pos[part] < len(p.sched[part]) && p.sched[part][p.pos[part]] <= elapsed {
+		p.pos[part]++
+		return true
+	}
+	return false
+}
+
+// Arrivals extends every node's schedule through horizon seconds and returns
+// the merged cluster failure log: all arrival times in [0, horizon), sorted.
+// The log is deterministic for a given (seed, nodes, mtbf).
+func (p *PoissonFailures) Arrivals(horizon float64) []float64 {
+	if p.mtbf <= 0 || horizon <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []float64
+	for node := range p.sched {
+		p.extendLocked(node, horizon)
+		for _, t := range p.sched[node] {
+			if t < horizon {
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -22,6 +22,7 @@ import (
 	"ftpde/internal/cost"
 	"ftpde/internal/failure"
 	"ftpde/internal/obs"
+	"ftpde/internal/obs/metrics"
 	"ftpde/internal/plan"
 	"ftpde/internal/schemes"
 )
@@ -73,6 +74,10 @@ type Result struct {
 	// failure instants and recovery windows on the simulator's synthetic
 	// clock (see SimEpoch). Export with obs.WriteChromeTraceSpans.
 	Spans []obs.Span
+	// Ledger attributes every simulated lost second to a cause: the partial
+	// work a failure destroyed (recompute/restart) and the repair waits
+	// (mttr_wait). Its totals reconcile exactly with the span timeline.
+	Ledger metrics.LedgerSnapshot
 }
 
 // Run simulates the execution of plan p (with its current materialization
@@ -105,6 +110,7 @@ func Run(p *plan.Plan, opt Options, tr *failure.Trace) (*Result, error) {
 // of the interrupted stage.
 func runFine(c *cost.Collapsed, opt Options, tr *failure.Trace) *Result {
 	res := &Result{}
+	var led metrics.Ledger
 	order, err := c.P.TopoOrder()
 	if err != nil {
 		// Collapse guarantees acyclicity; this is defensive.
@@ -136,6 +142,11 @@ func runFine(c *cost.Collapsed, opt Options, tr *failure.Trace) *Result {
 				res.addSpan(obs.KindTask, stage.Name, node, attempt, cur, f, "node failure")
 				res.addEvent(obs.KindFailure, stage.Name, node, attempt, f)
 				res.addSpan(obs.KindRecovery, stage.Name, node, -1, f, f+opt.Cluster.MTTR, "")
+				// The destroyed partial work is the realized w(c); the repair
+				// window is the realized MTTR term of Eq. 8.
+				led.Fail(stage.Name, node)
+				led.AttributeSeconds(metrics.CauseRecompute, stage.Name, node, f-cur)
+				led.AttributeSeconds(metrics.CauseMTTRWait, stage.Name, node, opt.Cluster.MTTR)
 				cur = f + opt.Cluster.MTTR
 				attempt++
 			}
@@ -152,6 +163,7 @@ func runFine(c *cost.Collapsed, opt Options, tr *failure.Trace) *Result {
 		}
 	}
 	res.addSpan(obs.KindQuery, "query", -1, -1, 0, res.Runtime, "")
+	res.Ledger = led.Snapshot()
 	return res
 }
 
@@ -162,6 +174,7 @@ func runCoarse(c *cost.Collapsed, opt Options, tr *failure.Trace) *Result {
 		maxRestarts = DefaultMaxRestarts
 	}
 	res := &Result{}
+	var led metrics.Ledger
 	makespan := failureFreeMakespan(c)
 	start := 0.0
 	for {
@@ -170,6 +183,7 @@ func runCoarse(c *cost.Collapsed, opt Options, tr *failure.Trace) *Result {
 			res.Runtime = start + makespan
 			res.addSpan(obs.KindTask, "query", -1, res.Restarts, start, res.Runtime, "")
 			res.addSpan(obs.KindQuery, "query", -1, -1, 0, res.Runtime, "")
+			res.Ledger = led.Snapshot()
 			return res
 		}
 		res.Failures++
@@ -177,13 +191,18 @@ func runCoarse(c *cost.Collapsed, opt Options, tr *failure.Trace) *Result {
 		res.addSpan(obs.KindTask, "query", -1, res.Restarts-1, start, f, "node failure")
 		res.addEvent(obs.KindFailure, "query", node, res.Restarts-1, f)
 		res.addEvent(obs.KindRestart, "query", node, res.Restarts, f)
+		// The aborted attempt's elapsed time is the realized coarse w(c).
+		led.Fail("query", node)
+		led.AttributeSeconds(metrics.CauseRestart, "query", node, f-start)
 		if res.Restarts > maxRestarts {
 			res.Aborted = true
 			res.Runtime = f
 			res.addSpan(obs.KindQuery, "query", -1, -1, 0, res.Runtime, "aborted")
+			res.Ledger = led.Snapshot()
 			return res
 		}
 		res.addSpan(obs.KindRecovery, "query", node, -1, f, f+opt.Cluster.MTTR, "")
+		led.AttributeSeconds(metrics.CauseMTTRWait, "query", node, opt.Cluster.MTTR)
 		start = f + opt.Cluster.MTTR
 	}
 }

@@ -7,13 +7,16 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"ftpde/internal/obs/metrics"
 )
 
 // DebugServer is the opt-in live-introspection endpoint the CLIs mount with
 // -debug-addr. It serves:
 //
+//	/metrics         the metric registry in Prometheus text exposition format
 //	/debug/vars      expvar-style JSON snapshot (caller-supplied metrics +
-//	                 tracer counters)
+//	                 tracer counters + the registry snapshot)
 //	/debug/timeline  the merged span timeline as JSON
 //	/debug/trace     the timeline in Chrome trace_event format
 //	/debug/pprof/*   net/http/pprof
@@ -24,14 +27,26 @@ type DebugServer struct {
 }
 
 // StartDebug binds addr (":0" picks a free port) and serves in the
-// background. metrics may be nil; when set, its return value is embedded in
-// /debug/vars under "metrics".
-func StartDebug(addr string, tracer *Tracer, metrics func() any) (*DebugServer, error) {
+// background. metricsFn may be nil; when set, its return value is embedded in
+// /debug/vars under "metrics". reg may be nil; when set it backs /metrics and
+// the "registry" key of /debug/vars, and the tracer's span/dropped counters
+// are registered into it as metric families.
+func StartDebug(addr string, tracer *Tracer, metricsFn func() any, reg *metrics.Registry) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug server: %w", err)
 	}
+	if reg != nil {
+		RegisterTraceMetrics(reg, tracer)
+	}
 	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", metrics.ContentType)
+		if reg == nil {
+			return
+		}
+		reg.WritePrometheus(w)
+	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		vars := map[string]any{
@@ -41,8 +56,11 @@ func StartDebug(addr string, tracer *Tracer, metrics func() any) (*DebugServer, 
 				"dropped": tracer.Dropped(),
 			},
 		}
-		if metrics != nil {
-			vars["metrics"] = metrics()
+		if metricsFn != nil {
+			vars["metrics"] = metricsFn()
+		}
+		if reg != nil {
+			vars["registry"] = reg.Snapshot()
 		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -72,6 +90,28 @@ func StartDebug(addr string, tracer *Tracer, metrics func() any) (*DebugServer, 
 		s.srv.Serve(ln)
 	}()
 	return s, nil
+}
+
+// RegisterTraceMetrics exposes a tracer's counters as metric families:
+// ftpde_trace_spans (gauge, currently buffered spans) and
+// ftpde_trace_dropped_total (spans lost to ring-buffer overflow). Safe to
+// call with families already registered (re-registration is a no-op), so
+// callers can compose it with their own wiring.
+func RegisterTraceMetrics(reg *metrics.Registry, tracer *Tracer) {
+	// A second registration of the same name is the common path when the CLI
+	// both lists metrics and starts the server; ignore the duplicate error.
+	_ = reg.RegisterFunc(metrics.Desc{
+		Name: "ftpde_trace_spans", Kind: metrics.KindGauge,
+		Help: "Spans currently buffered in the tracer's ring buffers.",
+	}, func() []metrics.Sample {
+		return []metrics.Sample{{Value: float64(len(tracer.Snapshot()))}}
+	})
+	_ = reg.RegisterFunc(metrics.Desc{
+		Name: "ftpde_trace_dropped_total", Kind: metrics.KindCounter,
+		Help: "Spans dropped because a tracer ring buffer wrapped.",
+	}, func() []metrics.Sample {
+		return []metrics.Sample{{Value: float64(tracer.Dropped())}}
+	})
 }
 
 // Addr returns the bound address (useful with ":0").

@@ -7,6 +7,7 @@ import (
 
 	"ftpde/internal/engine"
 	"ftpde/internal/obs"
+	"ftpde/internal/obs/metrics"
 )
 
 // checkpointReq is one partition to persist.
@@ -93,7 +94,7 @@ func (w *checkpointWriter) write(req checkpointReq) {
 		w.mu.Unlock()
 		return
 	}
-	w.metrics.addCheckpointWrite(time.Since(start))
+	w.metrics.ObserveCheckpointWrite(metrics.RuntimePipelined, time.Since(start))
 	w.metrics.CheckpointParts.Add(1)
 	n := engine.EncodedSize(req.rows)
 	w.metrics.CheckpointBytes.Add(n)
@@ -137,12 +138,24 @@ func (w *checkpointWriter) enqueue(op string, part int, rows []engine.Row, parts
 // flush blocks until every enqueued write has reached the store and returns
 // the first write error, if any.
 func (w *checkpointWriter) flush() error {
+	_, err := w.flushWait()
+	return err
+}
+
+// flushWait is flush plus the time the caller actually spent blocked — the
+// checkpoint-stall waste the ledger books. A flush that finds no pending
+// writes reports zero without reading the clock.
+func (w *checkpointWriter) flushWait() (time.Duration, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.pending == 0 {
+		return 0, w.err
+	}
+	start := time.Now()
 	for w.pending > 0 {
 		w.cond.Wait()
 	}
-	return w.err
+	return time.Since(start), w.err
 }
 
 // close flushes, stops the writer goroutine, and returns the first write

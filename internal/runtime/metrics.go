@@ -1,198 +1,18 @@
 package runtime
 
-import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
-	"sync/atomic"
-	"time"
-)
+import "ftpde/internal/obs/metrics"
 
-// Metrics is the runtime's counter set, safe for concurrent use. One Metrics
-// value can be shared across queries to accumulate, or allocated per query
-// for isolated measurement; the experiments layer reads Snapshot.
-type Metrics struct {
-	// Batches counts vectorized batches processed by pipeline operators
-	// (source emissions and chained transforms).
-	Batches atomic.Int64
-	// Rows counts rows produced at stage sinks (committed partitions).
-	Rows atomic.Int64
-	// CheckpointParts counts partitions handed to the async checkpoint
-	// writer; CheckpointBytes is their exact serialized size (column-block
-	// or gob, whichever encoding the store uses).
-	CheckpointParts atomic.Int64
-	CheckpointBytes atomic.Int64
-	// Failures counts injected node failures observed by workers.
-	Failures atomic.Int64
-	// Recoveries counts stage partitions recomputed by fine-grained
-	// recovery (the runtime analogue of lineage recomputation).
-	Recoveries atomic.Int64
-	// Restarts counts coarse-grained whole-query restarts.
-	Restarts atomic.Int64
-
-	mu        sync.Mutex
-	stageWall map[string]time.Duration
-	stageRows map[string]int64
-	ckptMin   time.Duration
-	ckptMax   time.Duration
-	ckptSum   time.Duration
-	ckptN     int64
-}
-
-// addStageWall accumulates wall time for one stage (keyed by the stage's
-// terminal operator name).
-func (m *Metrics) addStageWall(stage string, d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.stageWall == nil {
-		m.stageWall = make(map[string]time.Duration)
-	}
-	m.stageWall[stage] += d
-}
-
-// addStageRows accumulates committed row counts for one stage.
-func (m *Metrics) addStageRows(stage string, rows int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.stageRows == nil {
-		m.stageRows = make(map[string]int64)
-	}
-	m.stageRows[stage] += rows
-}
-
-// addCheckpointWrite records the wall time of one checkpoint store write.
-func (m *Metrics) addCheckpointWrite(d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.ckptN == 0 || d < m.ckptMin {
-		m.ckptMin = d
-	}
-	if d > m.ckptMax {
-		m.ckptMax = d
-	}
-	m.ckptSum += d
-	m.ckptN++
-}
-
-// StageWall returns a copy of the per-stage wall-time table.
-func (m *Metrics) StageWall() map[string]time.Duration {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]time.Duration, len(m.stageWall))
-	for k, v := range m.stageWall {
-		out[k] = v
-	}
-	return out
-}
-
-// StageRows returns a copy of the per-stage committed-row table.
-func (m *Metrics) StageRows() map[string]int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]int64, len(m.stageRows))
-	for k, v := range m.stageRows {
-		out[k] = v
-	}
-	return out
-}
+// Metrics is the runtime's counter set, safe for concurrent use. It is the
+// shared executable metric set from internal/obs/metrics: one Metrics value
+// can be shared across queries (or even across both runtimes) to accumulate,
+// or allocated per query for isolated measurement; the experiments layer
+// reads Snapshot, the debug endpoint serves Registry. The aliases keep the
+// original package-local names working (tests and callers construct
+// &runtime.Metrics{} directly).
+type Metrics = metrics.Exec
 
 // Snapshot is a plain-value copy of the counters for reporting.
-type Snapshot struct {
-	Batches         int64                    `json:"batches"`
-	Rows            int64                    `json:"rows"`
-	CheckpointParts int64                    `json:"checkpoint_parts"`
-	CheckpointBytes int64                    `json:"checkpoint_bytes"`
-	Failures        int64                    `json:"failures"`
-	Recoveries      int64                    `json:"recoveries"`
-	Restarts        int64                    `json:"restarts"`
-	StageWall       map[string]time.Duration `json:"-"`
-	StageRows       map[string]int64         `json:"-"`
-	// Stages is the JSON form of the per-stage tables: one entry per stage,
-	// name-sorted, so regenerated benchmark reports are byte-stable in
-	// ordering instead of depending on map iteration or marshaller behavior.
-	Stages []StageMetric `json:"stages"`
-	// Checkpoint-write latency over individual store writes.
-	CheckpointMin time.Duration `json:"checkpoint_min_ns"`
-	CheckpointAvg time.Duration `json:"checkpoint_avg_ns"`
-	CheckpointMax time.Duration `json:"checkpoint_max_ns"`
-}
+type Snapshot = metrics.ExecSnapshot
 
 // StageMetric is one row of the deterministic per-stage table.
-type StageMetric struct {
-	Stage  string        `json:"stage"`
-	WallNS time.Duration `json:"wall_ns"`
-	Rows   int64         `json:"rows"`
-}
-
-// stageTable flattens the per-stage maps into a name-sorted slice.
-func stageTable(wall map[string]time.Duration, rows map[string]int64) []StageMetric {
-	if len(wall) == 0 && len(rows) == 0 {
-		return nil
-	}
-	seen := make(map[string]bool, len(wall))
-	names := make([]string, 0, len(wall))
-	for n := range wall {
-		seen[n] = true
-		names = append(names, n)
-	}
-	for n := range rows {
-		if !seen[n] {
-			names = append(names, n)
-		}
-	}
-	sort.Strings(names)
-	out := make([]StageMetric, len(names))
-	for i, n := range names {
-		out[i] = StageMetric{Stage: n, WallNS: wall[n], Rows: rows[n]}
-	}
-	return out
-}
-
-// Snapshot returns a consistent-enough copy of all counters.
-func (m *Metrics) Snapshot() Snapshot {
-	s := Snapshot{
-		Batches:         m.Batches.Load(),
-		Rows:            m.Rows.Load(),
-		CheckpointParts: m.CheckpointParts.Load(),
-		CheckpointBytes: m.CheckpointBytes.Load(),
-		Failures:        m.Failures.Load(),
-		Recoveries:      m.Recoveries.Load(),
-		Restarts:        m.Restarts.Load(),
-		StageWall:       m.StageWall(),
-		StageRows:       m.StageRows(),
-	}
-	s.Stages = stageTable(s.StageWall, s.StageRows)
-	m.mu.Lock()
-	if m.ckptN > 0 {
-		s.CheckpointMin = m.ckptMin
-		s.CheckpointAvg = m.ckptSum / time.Duration(m.ckptN)
-		s.CheckpointMax = m.ckptMax
-	}
-	m.mu.Unlock()
-	return s
-}
-
-// String renders the snapshot compactly for CLI output. Sections and the
-// per-stage lines inside them are stable-ordered so output is diffable.
-func (s Snapshot) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "batches=%d rows=%d ckpt_parts=%d ckpt_bytes=%d failures=%d recoveries=%d restarts=%d",
-		s.Batches, s.Rows, s.CheckpointParts, s.CheckpointBytes, s.Failures, s.Recoveries, s.Restarts)
-	if s.CheckpointParts > 0 {
-		fmt.Fprintf(&b, "\ncheckpoint write latency: min=%s avg=%s max=%s",
-			s.CheckpointMin, s.CheckpointAvg, s.CheckpointMax)
-	}
-	if len(s.StageWall) > 0 {
-		names := make([]string, 0, len(s.StageWall))
-		for n := range s.StageWall {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		b.WriteString("\nstage wall time:")
-		for _, n := range names {
-			fmt.Fprintf(&b, "\n  %-40s %-14s %d rows", n, s.StageWall[n], s.StageRows[n])
-		}
-	}
-	return b.String()
-}
+type StageMetric = metrics.StageMetric

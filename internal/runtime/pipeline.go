@@ -177,6 +177,7 @@ func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *sta
 	for start, i := 0, 0; start < total; start, i = start+size, i+1 {
 		if fail && i >= 1 {
 			rn.tracer.Event(obs.KindFailure, op.Name(), part, n)
+			rn.metrics.Ledger().Fail(op.Name(), part)
 			cancel()
 			return &nodeFailure{op: op.Name(), part: part}
 		}
@@ -193,6 +194,7 @@ func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *sta
 	}
 	if fail {
 		rn.tracer.Event(obs.KindFailure, op.Name(), part, n)
+		rn.metrics.Ledger().Fail(op.Name(), part)
 		cancel()
 		return &nodeFailure{op: op.Name(), part: part}
 	}
@@ -227,6 +229,7 @@ func (rn *run) runChainOp(pctx context.Context, cancel context.CancelFunc, op en
 			if !chOpen {
 				if fail {
 					rn.tracer.Event(obs.KindFailure, op.Name(), part, n)
+					rn.metrics.Ledger().Fail(op.Name(), part)
 					cancel()
 					return &nodeFailure{op: op.Name(), part: part}
 				}
@@ -247,6 +250,7 @@ func (rn *run) runChainOp(pctx context.Context, cancel context.CancelFunc, op en
 			}
 			if fail && processed >= 1 {
 				rn.tracer.Event(obs.KindFailure, op.Name(), part, n)
+				rn.metrics.Ledger().Fail(op.Name(), part)
 				cancel()
 				return &nodeFailure{op: op.Name(), part: part}
 			}

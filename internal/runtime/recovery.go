@@ -2,8 +2,10 @@ package runtime
 
 import (
 	"context"
+	"time"
 
 	"ftpde/internal/obs"
+	"ftpde/internal/obs/metrics"
 )
 
 // recoverFine handles an injected node failure under fine-grained recovery:
@@ -23,7 +25,14 @@ func (rn *run) recoverFine(ctx context.Context, s *stage, part int, nf *nodeFail
 		rn.dropLineageOnNode(s, nf.part)
 
 		sp := rn.tracer.Begin(obs.KindRecovery, nf.op, nf.part, -1)
+		start := time.Now()
 		err := rn.ensurePartition(ctx, s, part)
+		// The whole recovery window is wasted work the failure caused — the
+		// realized w(c) — and it is booked even when the window itself died
+		// to a nested failure (that work was thrown away too). The window
+		// matches the recovery span, so ledger totals reconcile with the
+		// span timeline.
+		rn.metrics.Ledger().Attribute(metrics.CauseRecompute, nf.op, nf.part, time.Since(start))
 		if next, ok := asNodeFailure(err); ok {
 			sp.Fail(next.Error())
 		}

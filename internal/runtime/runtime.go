@@ -24,6 +24,7 @@ import (
 
 	"ftpde/internal/engine"
 	"ftpde/internal/obs"
+	"ftpde/internal/obs/metrics"
 	"ftpde/internal/schemes"
 )
 
@@ -110,6 +111,7 @@ func (r *Runtime) Execute(ctx context.Context, root engine.Operator) (*engine.Pa
 	defer qspan.End()
 
 	for {
+		attemptStart := time.Now()
 		rn := &run{
 			cfg:      r.cfg,
 			plan:     plan,
@@ -134,7 +136,11 @@ func (r *Runtime) Execute(ctx context.Context, root engine.Operator) (*engine.Pa
 		if err == nil {
 			// The query is only durably complete once every checkpoint the
 			// plan promised has landed.
-			if ferr := writer.flush(); ferr != nil {
+			stall, ferr := writer.flushWait()
+			if stall > 0 {
+				r.cfg.Metrics.Ledger().Attribute(metrics.CauseCheckpointStall, root.Name(), -1, stall)
+			}
+			if ferr != nil {
 				return nil, report, ferr
 			}
 			return res, report, nil
@@ -145,6 +151,9 @@ func (r *Runtime) Execute(ctx context.Context, root engine.Operator) (*engine.Pa
 			r.cfg.Metrics.Failures.Add(1)
 			r.cfg.Metrics.Restarts.Add(1)
 			r.cfg.Tracer.Event(obs.KindRestart, nf.op, nf.part, report.Restarts)
+			// The aborted attempt's elapsed time is pure waste: everything it
+			// computed (minus surviving checkpoints) is thrown away.
+			r.cfg.Metrics.Ledger().Attribute(metrics.CauseRestart, nf.op, nf.part, time.Since(attemptStart))
 			if report.Restarts > r.cfg.MaxRestarts {
 				report.Aborted = true
 				return nil, report, fmt.Errorf("runtime: query aborted after %d restarts", report.Restarts-1)
@@ -231,7 +240,7 @@ func (rn *run) runStage(ctx context.Context, s *stage) error {
 	start := time.Now()
 	sp := rn.tracer.Begin(obs.KindStage, s.name(), -1, -1)
 	defer func() {
-		rn.metrics.addStageWall(s.name(), time.Since(start))
+		rn.metrics.ObserveStageWall(metrics.RuntimePipelined, s.name(), time.Since(start))
 		sp.SetRows(rn.stageRows(s))
 		sp.End()
 	}()
@@ -290,7 +299,11 @@ func (rn *run) computePartition(ctx context.Context, s *stage, part int, recover
 		return nil
 	}
 	if s.checkpoint {
-		if err := rn.writer.flush(); err != nil {
+		stall, err := rn.writer.flushWait()
+		if stall > 0 {
+			rn.metrics.Ledger().Attribute(metrics.CauseCheckpointStall, s.name(), part, stall)
+		}
+		if err != nil {
 			return err
 		}
 		if rows, ok := rn.cfg.Store.Get(s.name(), part); ok {
@@ -372,7 +385,7 @@ func (rn *run) commit(s *stage, part int, rows []engine.Row, fromStore bool) {
 	rn.mu.Unlock()
 	if !fromStore {
 		rn.metrics.Rows.Add(int64(len(rows)))
-		rn.metrics.addStageRows(s.name(), int64(len(rows)))
+		rn.metrics.AddStageRows(s.name(), int64(len(rows)))
 	}
 	if s.checkpoint && !fromStore {
 		if rn.writer.enqueue(s.name(), part, rows, rn.cfg.Nodes) {

@@ -2,11 +2,14 @@ package runtime
 
 import (
 	"context"
+	"math"
+	"sync"
 	"testing"
 	"time"
 
 	"ftpde/internal/engine"
 	"ftpde/internal/obs"
+	"ftpde/internal/obs/metrics"
 	"ftpde/internal/tpch"
 )
 
@@ -169,6 +172,107 @@ func TestTracingDisabledIsNoop(t *testing.T) {
 	if len(tracer.Snapshot()) == 0 {
 		t.Error("instrumented run emitted no spans")
 	}
+}
+
+// assertLedgerReconciles checks the acceptance bar that ledger totals agree
+// with the span timeline: booked recompute seconds must match the summed
+// KindRecovery span durations within 1% (the spans strictly contain the
+// attributed windows, so the slack is a few clock reads per recovery).
+func assertLedgerReconciles(t *testing.T, led metrics.LedgerSnapshot, spans []obs.Span, wantFailures int64) {
+	t.Helper()
+	if led.Failures != wantFailures {
+		t.Errorf("ledger failures = %d, want %d", led.Failures, wantFailures)
+	}
+	if led.Unresolved != 0 {
+		t.Errorf("ledger left %d failures unresolved", led.Unresolved)
+	}
+	if open := led.Paired(); len(open) != 0 {
+		t.Errorf("unpaired failure entries: %v", open)
+	}
+	booked := led.Seconds(metrics.CauseRecompute)
+	if booked <= 0 {
+		t.Fatalf("no recompute seconds booked: %s", led.String())
+	}
+	var spanSum float64
+	for _, sp := range spans {
+		if sp.Kind == obs.KindRecovery {
+			spanSum += sp.End.Sub(sp.Start).Seconds()
+		}
+	}
+	if spanSum <= 0 {
+		t.Fatal("no recovery spans in the timeline")
+	}
+	diff := math.Abs(spanSum - booked)
+	if diff > 0.01*spanSum && diff > 5e-3 {
+		t.Errorf("ledger recompute %.6fs does not reconcile with recovery spans %.6fs", booked, spanSum)
+	}
+}
+
+func TestPipelinedLedgerReconcilesWithSpans(t *testing.T) {
+	q, inj, points := q3Trace(t)
+	tracer := obs.NewTracer(obs.DefaultCapacity)
+	m := &Metrics{}
+	r, err := New(Config{Nodes: eqNodes, Injector: inj, Tracer: tracer, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Execute(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	assertLedgerReconciles(t, m.Ledger().Snapshot(), tracer.Snapshot(), int64(len(points)))
+}
+
+func TestStagedLedgerReconcilesWithSpans(t *testing.T) {
+	q, inj, points := q3Trace(t)
+	tracer := obs.NewTracer(obs.DefaultCapacity)
+	m := &Metrics{}
+	co := &engine.Coordinator{Nodes: eqNodes, Injector: inj, Tracer: tracer, Metrics: m}
+	if _, _, err := co.Execute(q); err != nil {
+		t.Fatal(err)
+	}
+	assertLedgerReconciles(t, m.Ledger().Snapshot(), tracer.Snapshot(), int64(len(points)))
+}
+
+// TestLedgerAttributionUnderConcurrentFailures drives both runtimes at once,
+// each with injected failures and its own ledger — the race-detector coverage
+// for attribution from partition workers, recovery loops, and the staged
+// executor running simultaneously.
+func TestLedgerAttributionUnderConcurrentFailures(t *testing.T) {
+	var wg sync.WaitGroup
+	run := func(exec func(m *Metrics, tr *obs.Tracer) error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := &Metrics{}
+			tr := obs.NewTracer(obs.DefaultCapacity)
+			if err := exec(m, tr); err != nil {
+				t.Error(err)
+				return
+			}
+			led := m.Ledger().Snapshot()
+			if led.Failures == 0 || led.Unresolved != 0 || len(led.Paired()) != 0 {
+				t.Errorf("concurrent run ledger inconsistent: %s", led.String())
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		run(func(m *Metrics, tr *obs.Tracer) error {
+			q, inj, _ := q3Trace(t)
+			r, err := New(Config{Nodes: eqNodes, Injector: inj, Tracer: tr, Metrics: m})
+			if err != nil {
+				return err
+			}
+			_, _, err = r.Execute(context.Background(), q)
+			return err
+		})
+		run(func(m *Metrics, tr *obs.Tracer) error {
+			q, inj, _ := q3Trace(t)
+			co := &engine.Coordinator{Nodes: eqNodes, Injector: inj, Tracer: tr, Metrics: m}
+			_, _, err := co.Execute(q)
+			return err
+		})
+	}
+	wg.Wait()
 }
 
 func TestMetricsCheckpointLatencyAndStageRows(t *testing.T) {

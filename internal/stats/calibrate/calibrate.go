@@ -1,0 +1,244 @@
+// Package calibrate closes the feedback loop between observation and the
+// cost model: it turns observed failure inter-arrival times into an MTBF
+// estimate with a confidence interval (exponential fit, the paper's failure
+// model), observed recovery windows into an MTTR estimate, and observed
+// per-operator wall/materialization times into tr/tm correction factors —
+// producing a calibrated cost.Model and stats.CostParams that feed back into
+// findBestFTPlan. The paper treats MTBF, MTTR, tr(o) and tm(o) as given
+// inputs (Sections 3-4); this package is where a running system gets them.
+package calibrate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ftpde/internal/cost"
+	"ftpde/internal/stats"
+)
+
+// Estimator accumulates observations across query runs. It is not safe for
+// concurrent use; feed it from the coordinator thread between runs.
+type Estimator struct {
+	nodes int
+
+	interarrivals []float64 // cluster-level failure inter-arrival times, seconds
+	repairs       []float64 // observed repair (recovery-window) durations, seconds
+
+	trPred, trObs []float64 // per collapsed-operator runtime pairs, seconds
+	tmPred, tmObs []float64 // per collapsed-operator materialization pairs, seconds
+}
+
+// New returns an estimator for a cluster of the given size.
+func New(nodes int) *Estimator {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return &Estimator{nodes: nodes}
+}
+
+// ObserveArrivals records a cluster failure log: absolute arrival times (in
+// seconds, any monotonic origin). Consecutive differences become
+// inter-arrival samples; the times need not be pre-sorted.
+func (e *Estimator) ObserveArrivals(times []float64) {
+	if len(times) < 2 {
+		return
+	}
+	ts := append([]float64(nil), times...)
+	sort.Float64s(ts)
+	for i := 1; i < len(ts); i++ {
+		d := ts[i] - ts[i-1]
+		if d >= 0 {
+			e.interarrivals = append(e.interarrivals, d)
+		}
+	}
+}
+
+// ObserveInterarrival records one cluster-level inter-arrival time directly.
+func (e *Estimator) ObserveInterarrival(d float64) {
+	if d >= 0 {
+		e.interarrivals = append(e.interarrivals, d)
+	}
+}
+
+// ObserveRepair records one observed repair duration (a recovery window).
+func (e *Estimator) ObserveRepair(d float64) {
+	if d >= 0 {
+		e.repairs = append(e.repairs, d)
+	}
+}
+
+// ObserveOp records one collapsed operator's predicted-vs-observed pair:
+// tr(c) against its failure-free task wall time and — when the operator
+// materialized — tm(c) against its checkpoint write wall time. Non-positive
+// predictions carry no calibration signal and are skipped.
+func (e *Estimator) ObserveOp(predTR, obsTR, predTM, obsTM float64) {
+	if predTR > 0 && obsTR > 0 {
+		e.trPred = append(e.trPred, predTR)
+		e.trObs = append(e.trObs, obsTR)
+	}
+	if predTM > 0 && obsTM > 0 {
+		e.tmPred = append(e.tmPred, predTM)
+		e.tmObs = append(e.tmObs, obsTM)
+	}
+}
+
+// MTBFEstimate is the exponential fit over the observed failure log.
+type MTBFEstimate struct {
+	// PerNode is the estimated per-node MTBF in seconds (the cost.Model
+	// parameter): cluster mean inter-arrival × nodes, by the superposition
+	// property of independent Poisson processes.
+	PerNode float64 `json:"per_node"`
+	// Cluster is the mean cluster-level inter-arrival time in seconds.
+	Cluster float64 `json:"cluster"`
+	// Lo and Hi bound PerNode at 95% confidence (exact exponential CI via
+	// the chi-square distribution of 2·n·mean/θ).
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	// Samples is the number of inter-arrival observations.
+	Samples int `json:"samples"`
+}
+
+// Valid reports whether enough samples back the estimate.
+func (m MTBFEstimate) Valid() bool { return m.Samples > 0 && m.PerNode > 0 }
+
+// MTBF fits an exponential to the observed inter-arrival times: the MLE of
+// the mean is the sample mean, and 2·T/θ is chi-square distributed with 2n
+// degrees of freedom, giving the exact confidence interval
+// θ ∈ [2T/χ²(1−α/2, 2n), 2T/χ²(α/2, 2n)].
+func (e *Estimator) MTBF() MTBFEstimate {
+	n := len(e.interarrivals)
+	if n == 0 {
+		return MTBFEstimate{}
+	}
+	var total float64
+	for _, d := range e.interarrivals {
+		total += d
+	}
+	mean := total / float64(n)
+	est := MTBFEstimate{
+		Cluster: mean,
+		PerNode: mean * float64(e.nodes),
+		Samples: n,
+	}
+	k := 2 * float64(n)
+	lo := 2 * total / chiSquareQuantile(0.975, k)
+	hi := 2 * total / chiSquareQuantile(0.025, k)
+	est.Lo = lo * float64(e.nodes)
+	est.Hi = hi * float64(e.nodes)
+	return est
+}
+
+// MTTR returns the mean observed repair duration and the sample count.
+func (e *Estimator) MTTR() (float64, int) {
+	if len(e.repairs) == 0 {
+		return 0, 0
+	}
+	var total float64
+	for _, d := range e.repairs {
+		total += d
+	}
+	return total / float64(len(e.repairs)), len(e.repairs)
+}
+
+// Factors returns the tr and tm correction factors: the least-squares slope
+// through the origin of observed against predicted (Σ pred·obs / Σ pred²),
+// i.e. the multiplier that makes the model's per-operator forecasts best fit
+// what execution measured. A dimension without samples keeps factor 1.
+func (e *Estimator) Factors() (trFactor, tmFactor float64) {
+	return slope(e.trPred, e.trObs), slope(e.tmPred, e.tmObs)
+}
+
+func slope(pred, obs []float64) float64 {
+	var num, den float64
+	for i := range pred {
+		num += pred[i] * obs[i]
+		den += pred[i] * pred[i]
+	}
+	if den <= 0 || num <= 0 {
+		return 1
+	}
+	return num / den
+}
+
+// Samples reports how many pairs back each correction factor.
+func (e *Estimator) Samples() (tr, tm int) { return len(e.trPred), len(e.tmPred) }
+
+// Model produces a calibrated cost model: base with MTBF and MTTR replaced by
+// the estimates (when backed by samples).
+func (e *Estimator) Model(base cost.Model) cost.Model {
+	out := base
+	if est := e.MTBF(); est.Valid() {
+		out.MTBF = est.PerNode
+	}
+	if mttr, n := e.MTTR(); n > 0 && mttr > 0 {
+		out.MTTR = mttr
+	}
+	return out
+}
+
+// Params produces calibrated cost parameters: the per-row constants scaled by
+// the tr/tm correction factors, so re-planning uses observed operator speeds.
+func (e *Estimator) Params(base stats.CostParams) stats.CostParams {
+	trF, tmF := e.Factors()
+	out := base
+	out.CPUPerRow *= trF
+	out.WritePerRow *= tmF
+	return out
+}
+
+// Summary renders the estimator's state for CLI output.
+func (e *Estimator) Summary() string {
+	est := e.MTBF()
+	mttr, nr := e.MTTR()
+	trF, tmF := e.Factors()
+	ntr, ntm := e.Samples()
+	return fmt.Sprintf(
+		"MTBF per node: %.4gs (95%% CI [%.4g, %.4g], %d inter-arrivals)\nMTTR: %.4gs (%d recovery windows)\ntr factor: %.4g (%d ops), tm factor: %.4g (%d ops)",
+		est.PerNode, est.Lo, est.Hi, est.Samples, mttr, nr, trF, ntr, tmF, ntm)
+}
+
+// chiSquareQuantile approximates the chi-square quantile function via the
+// Wilson–Hilferty cube transformation — accurate to a fraction of a percent
+// for the k = 2n degrees of freedom the MTBF interval needs.
+func chiSquareQuantile(p, k float64) float64 {
+	z := normalQuantile(p)
+	a := 2.0 / (9.0 * k)
+	v := 1 - a + z*math.Sqrt(a)
+	return k * v * v * v
+}
+
+// normalQuantile is Acklam's rational approximation of the standard normal
+// quantile function (relative error below 1.15e-9 over (0,1)).
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > 1-pLow:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}

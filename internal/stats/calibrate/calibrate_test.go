@@ -1,0 +1,176 @@
+package calibrate
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ftpde/internal/cost"
+	"ftpde/internal/stats"
+)
+
+func TestMTBFRecoversExponentialRate(t *testing.T) {
+	// Cluster of 10 nodes with per-node MTBF 3600s: cluster inter-arrivals
+	// are exponential with mean 360s.
+	const nodes, perNode = 10, 3600.0
+	rng := rand.New(rand.NewSource(42))
+	e := New(nodes)
+	for i := 0; i < 800; i++ {
+		e.ObserveInterarrival(rng.ExpFloat64() * perNode / nodes)
+	}
+	est := e.MTBF()
+	if !est.Valid() {
+		t.Fatalf("estimate invalid: %+v", est)
+	}
+	if rel := math.Abs(est.PerNode-perNode) / perNode; rel > 0.10 {
+		t.Errorf("per-node MTBF = %g, want %g within 10%% (rel %.3f)", est.PerNode, perNode, rel)
+	}
+	if est.Lo >= est.Hi {
+		t.Errorf("CI inverted: [%g, %g]", est.Lo, est.Hi)
+	}
+	if perNode < est.Lo || perNode > est.Hi {
+		t.Errorf("true MTBF %g outside 95%% CI [%g, %g]", perNode, est.Lo, est.Hi)
+	}
+	// With n=800 the CI must be reasonably tight (relative width well under
+	// the ±20% acceptance band).
+	if width := (est.Hi - est.Lo) / est.PerNode; width > 0.30 {
+		t.Errorf("CI too wide for n=800: relative width %.3f", width)
+	}
+}
+
+func TestObserveArrivalsSortsAndDiffs(t *testing.T) {
+	e := New(1)
+	e.ObserveArrivals([]float64{30, 10, 20}) // unsorted on purpose
+	est := e.MTBF()
+	if est.Samples != 2 {
+		t.Fatalf("samples = %d, want 2", est.Samples)
+	}
+	if est.Cluster != 10 {
+		t.Errorf("cluster mean = %g, want 10", est.Cluster)
+	}
+	// A single arrival carries no inter-arrival information.
+	e2 := New(1)
+	e2.ObserveArrivals([]float64{5})
+	if e2.MTBF().Samples != 0 {
+		t.Error("single arrival produced inter-arrival samples")
+	}
+}
+
+func TestEmptyEstimatorIsInvalid(t *testing.T) {
+	e := New(4)
+	if e.MTBF().Valid() {
+		t.Error("empty estimator claims a valid MTBF")
+	}
+	if mttr, n := e.MTTR(); mttr != 0 || n != 0 {
+		t.Errorf("empty MTTR = %g/%d", mttr, n)
+	}
+	trF, tmF := e.Factors()
+	if trF != 1 || tmF != 1 {
+		t.Errorf("empty factors = %g/%g, want 1/1", trF, tmF)
+	}
+}
+
+func TestFactorsFitSlopeThroughOrigin(t *testing.T) {
+	e := New(1)
+	// Observations exactly 1.5x the tr predictions, 0.5x the tm predictions.
+	for _, p := range []float64{1, 2, 5} {
+		e.ObserveOp(p, 1.5*p, p, 0.5*p)
+	}
+	trF, tmF := e.Factors()
+	if math.Abs(trF-1.5) > 1e-12 || math.Abs(tmF-0.5) > 1e-12 {
+		t.Errorf("factors = %g/%g, want 1.5/0.5", trF, tmF)
+	}
+	ntr, ntm := e.Samples()
+	if ntr != 3 || ntm != 3 {
+		t.Errorf("samples = %d/%d, want 3/3", ntr, ntm)
+	}
+	// Non-positive pairs carry no signal and must be skipped.
+	e.ObserveOp(0, 5, -1, 5)
+	if ntr2, ntm2 := e.Samples(); ntr2 != 3 || ntm2 != 3 {
+		t.Errorf("non-positive predictions were recorded: %d/%d", ntr2, ntm2)
+	}
+}
+
+func TestMTTRMean(t *testing.T) {
+	e := New(1)
+	e.ObserveRepair(1)
+	e.ObserveRepair(3)
+	mttr, n := e.MTTR()
+	if n != 2 || mttr != 2 {
+		t.Errorf("MTTR = %g/%d, want 2/2", mttr, n)
+	}
+}
+
+func TestModelAndParamsCalibration(t *testing.T) {
+	e := New(4)
+	for i := 0; i < 100; i++ {
+		e.ObserveInterarrival(25) // cluster mean 25s -> per-node 100s
+	}
+	e.ObserveRepair(2)
+	e.ObserveOp(1, 2, 1, 3) // tr factor 2, tm factor 3
+
+	base := cost.Model{MTBF: 3600, MTTR: 1, Percentile: 0.95, PipeConst: 1, Nodes: 4}
+	m := e.Model(base)
+	if m.MTBF != 100 {
+		t.Errorf("calibrated MTBF = %g, want 100", m.MTBF)
+	}
+	if m.MTTR != 2 {
+		t.Errorf("calibrated MTTR = %g, want 2", m.MTTR)
+	}
+	if m.Percentile != base.Percentile || m.Nodes != base.Nodes {
+		t.Error("calibration touched unrelated model fields")
+	}
+
+	cp := e.Params(stats.CostParams{CPUPerRow: 1e-6, WritePerRow: 2e-5, Nodes: 4})
+	if math.Abs(cp.CPUPerRow-2e-6) > 1e-18 {
+		t.Errorf("calibrated CPUPerRow = %g, want 2e-6", cp.CPUPerRow)
+	}
+	if math.Abs(cp.WritePerRow-6e-5) > 1e-18 {
+		t.Errorf("calibrated WritePerRow = %g, want 6e-5", cp.WritePerRow)
+	}
+}
+
+func TestChiSquareQuantileAccuracy(t *testing.T) {
+	// Reference values (R: qchisq(p, df)). Wilson–Hilferty is good to a
+	// fraction of a percent at these degrees of freedom.
+	cases := []struct{ p, df, want float64 }{
+		{0.975, 10, 20.483},
+		{0.025, 10, 3.247},
+		{0.975, 100, 129.561},
+		{0.025, 100, 74.222},
+	}
+	for _, c := range cases {
+		got := chiSquareQuantile(c.p, c.df)
+		if rel := math.Abs(got-c.want) / c.want; rel > 0.01 {
+			t.Errorf("chi2(%g, %g) = %g, want %g (rel %.4f)", c.p, c.df, got, c.want, rel)
+		}
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	if z := normalQuantile(0.975); math.Abs(z-1.959964) > 1e-5 {
+		t.Errorf("z(0.975) = %g", z)
+	}
+	if z := normalQuantile(0.5); math.Abs(z) > 1e-12 {
+		t.Errorf("z(0.5) = %g", z)
+	}
+	if z := normalQuantile(0.001); math.Abs(z+3.090232) > 1e-5 {
+		t.Errorf("z(0.001) = %g", z)
+	}
+	if !math.IsInf(normalQuantile(0), -1) || !math.IsInf(normalQuantile(1), 1) {
+		t.Error("quantile at the boundaries must be infinite")
+	}
+}
+
+func TestSummaryMentionsEverything(t *testing.T) {
+	e := New(2)
+	e.ObserveInterarrival(10)
+	e.ObserveRepair(1)
+	s := e.Summary()
+	for _, want := range []string{"MTBF per node", "MTTR", "tr factor", "tm factor"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+}

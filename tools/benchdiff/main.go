@@ -1,0 +1,157 @@
+// Command benchdiff compares two benchmark result files (the
+// BENCH_runtime.json emitted by internal/runtime's benchmark harness) and
+// flags regressions: any lower-is-better series — seconds/op, allocs/op,
+// bytes/op, checkpoint bytes — that got worse by more than the threshold, and
+// any higher-is-better series (speedups, reductions) that shrank by more than
+// the threshold.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.10] [-all] old.json new.json
+//
+// Exit status 1 means at least one regression crossed the threshold, making
+// the command usable as an (advisory) CI gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.10, "relative change that counts as a regression")
+		all       = flag.Bool("all", false, "print every compared series, not only regressions")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.10] [-all] old.json new.json")
+		os.Exit(2)
+	}
+	oldM, err := loadFlat(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newM, err := loadFlat(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	report, regressions := Diff(oldM, newM, *threshold, *all)
+	fmt.Print(report)
+	if regressions > 0 {
+		fmt.Printf("%d regression(s) beyond %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("no regressions")
+}
+
+func loadFlat(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]float64)
+	flatten("", doc, out)
+	return out, nil
+}
+
+// flatten walks a decoded JSON document and records every numeric leaf under
+// its dotted path (array elements are indexed).
+func flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			flatten(join(prefix, k), sub, out)
+		}
+	case []any:
+		for i, sub := range x {
+			flatten(join(prefix, strconv.Itoa(i)), sub, out)
+		}
+	case float64:
+		out[prefix] = x
+	}
+}
+
+func join(prefix, key string) string {
+	if prefix == "" {
+		return key
+	}
+	return prefix + "." + key
+}
+
+// direction classifies a series by its key: -1 lower is better, +1 higher is
+// better, 0 informational (counts, configuration, identifiers).
+func direction(key string) int {
+	leaf := key
+	if i := strings.LastIndex(key, "."); i >= 0 {
+		leaf = key[i+1:]
+	}
+	switch {
+	case strings.HasSuffix(leaf, "seconds_per_op"),
+		strings.HasSuffix(leaf, "allocs_per_op"),
+		strings.HasSuffix(leaf, "bytes_per_op"),
+		strings.HasSuffix(leaf, "_bytes"):
+		return -1
+	case strings.Contains(leaf, "speedup"), strings.HasSuffix(leaf, "_reduction"):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Diff renders the comparison and counts regressions beyond threshold.
+func Diff(oldM, newM map[string]float64, threshold float64, all bool) (string, int) {
+	keys := make([]string, 0, len(oldM))
+	for k := range oldM {
+		if _, ok := newM[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	var b strings.Builder
+	regressions := 0
+	for _, k := range keys {
+		dir := direction(k)
+		if dir == 0 {
+			continue
+		}
+		ov, nv := oldM[k], newM[k]
+		if ov == 0 {
+			continue
+		}
+		change := (nv - ov) / ov
+		regressed := (dir < 0 && change > threshold) || (dir > 0 && change < -threshold)
+		if regressed {
+			regressions++
+		}
+		if !regressed && !all {
+			continue
+		}
+		mark := "  "
+		if regressed {
+			mark = "!!"
+		}
+		fmt.Fprintf(&b, "%s %-55s %14.6g -> %-14.6g %+7.1f%%\n", mark, k, ov, nv, change*100)
+	}
+	for k := range oldM {
+		if _, ok := newM[k]; !ok && direction(k) != 0 {
+			fmt.Fprintf(&b, "-- %-55s dropped from new file\n", k)
+		}
+	}
+	return b.String(), regressions
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFlattenNestedDocument(t *testing.T) {
+	out := map[string]float64{}
+	flatten("", map[string]any{
+		"scaling": []any{
+			map[string]any{"workers": float64(1), "pipelined_seconds_per_op": 0.5},
+		},
+		"checkpoint_q1_row_gob_bytes": float64(1000),
+		"label":                       "ignored",
+	}, out)
+	if out["scaling.0.pipelined_seconds_per_op"] != 0.5 {
+		t.Errorf("flatten missed array leaf: %v", out)
+	}
+	if out["checkpoint_q1_row_gob_bytes"] != 1000 {
+		t.Errorf("flatten missed top-level leaf: %v", out)
+	}
+	if _, ok := out["label"]; ok {
+		t.Error("non-numeric leaf survived flattening")
+	}
+}
+
+func TestDirectionClassification(t *testing.T) {
+	cases := map[string]int{
+		"scaling.0.pipelined_seconds_per_op":        -1,
+		"scaling.2.pipelined_allocs_per_op":         -1,
+		"scan_filter_project_columnar.bytes_per_op": -1,
+		"checkpoint_q1_column_block_bytes":          -1,
+		"pipelined_speedup":                         1,
+		"checkpoint_q1_bytes_reduction":             1,
+		"scaling.0.workers":                         0,
+		"gomaxprocs":                                0,
+	}
+	for k, want := range cases {
+		if got := direction(k); got != want {
+			t.Errorf("direction(%q) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	oldM := map[string]float64{
+		"a.seconds_per_op": 1.0,
+		"b.allocs_per_op":  100,
+		"ckpt_bytes":       1000,
+		"speedup":          2.0,
+		"workers":          4,
+	}
+	newM := map[string]float64{
+		"a.seconds_per_op": 1.25, // +25%: regression
+		"b.allocs_per_op":  105,  // +5%: fine
+		"ckpt_bytes":       900,  // improved
+		"speedup":          1.5,  // -25%: regression
+		"workers":          8,    // informational
+	}
+	report, n := Diff(oldM, newM, 0.10, false)
+	if n != 2 {
+		t.Fatalf("regressions = %d, want 2\n%s", n, report)
+	}
+	if !strings.Contains(report, "a.seconds_per_op") || !strings.Contains(report, "speedup") {
+		t.Errorf("report missing regressed series:\n%s", report)
+	}
+	if strings.Contains(report, "b.allocs_per_op") {
+		t.Errorf("report includes non-regressed series without -all:\n%s", report)
+	}
+
+	reportAll, n2 := Diff(oldM, newM, 0.10, true)
+	if n2 != n {
+		t.Errorf("-all changed regression count: %d vs %d", n2, n)
+	}
+	if !strings.Contains(reportAll, "b.allocs_per_op") {
+		t.Errorf("-all report missing improved series:\n%s", reportAll)
+	}
+}
+
+func TestDiffNoRegressionsOnIdenticalFiles(t *testing.T) {
+	m := map[string]float64{"x.seconds_per_op": 0.5, "speedup": 1.6}
+	if report, n := Diff(m, m, 0.10, false); n != 0 {
+		t.Errorf("identical inputs flagged %d regressions:\n%s", n, report)
+	}
+}
