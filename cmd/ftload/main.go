@@ -1,0 +1,96 @@
+// Command ftload drives a closed-loop load sweep against the ftserve query
+// service and reports throughput/latency per offered load, clean and under
+// injected Poisson failures, in the BENCH_service.json reporting format
+// (tools/benchdiff understands qps as higher-is-better and p50_ms/p99_ms as
+// lower-is-better).
+//
+// Usage:
+//
+//	ftload -out BENCH_service.json                 # in-process sweep
+//	ftload -clients 1,4,16 -duration 5s -mtbf 2    # sweep with failure arms
+//	ftload -addr 127.0.0.1:7070                    # against a running ftserve
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ftpde/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "benchmark a running ftserve at this address (default: in-process servers)")
+		out      = flag.String("out", "BENCH_service.json", "output document path (- for stdout)")
+		clients  = flag.String("clients", "1,4,16", "comma-separated closed-loop client counts to sweep")
+		duration = flag.Duration("duration", 2*time.Second, "measured wall time per arm")
+		tenants  = flag.Int("tenants", 4, "tenant labels clients are spread across")
+		sf       = flag.Float64("sf", 0.005, "TPC-H scale factor (in-process servers)")
+		nodes    = flag.Int("nodes", 4, "cluster size / partition count")
+		seed     = flag.Int64("seed", 7, "data generation seed")
+		workers  = flag.Int("workers", 0, "shared pool size (default GOMAXPROCS)")
+		maxConc  = flag.Int("max-concurrent", 0, "max concurrent queries (default 2*workers)")
+		queue    = flag.Int("queue", 0, "admission queue depth (default 2*max-concurrent)")
+		mtbf     = flag.Float64("mtbf", 2, "per-node MTBF (seconds) of the failure-injected arm; 0 skips it")
+	)
+	flag.Parse()
+
+	sweep, err := parseClients(*clients)
+	if err != nil {
+		fatal(err)
+	}
+	doc, err := service.RunSweep(service.BenchConfig{
+		SF: *sf, Nodes: *nodes, Seed: *seed,
+		Workers: *workers, MaxConcurrent: *maxConc, QueueDepth: *queue,
+		Tenants: *tenants, Clients: sweep, Duration: *duration,
+		MTBF: *mtbf, Addr: *addr,
+	}, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ftload: "+format+"\n", args...)
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	body, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	body = append(body, '\n')
+	if *out == "-" {
+		os.Stdout.Write(body)
+		return
+	}
+	if err := os.WriteFile(*out, body, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ftload: wrote %s (%d sweep points)\n", *out, len(doc.Sweep))
+}
+
+func parseClients(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad client count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -clients sweep")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftload:", err)
+	os.Exit(1)
+}

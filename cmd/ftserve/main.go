@@ -1,0 +1,89 @@
+// Command ftserve runs the multi-tenant query service: a TPC-H catalog, the
+// sql -> core -> cost planning pipeline with load-aware fault-tolerance
+// costing, and many concurrent stage-DAG executions on one shared bounded
+// worker pool.
+//
+// Usage:
+//
+//	ftserve -addr :7070 -http :7071 -sf 0.01 -nodes 4
+//	ftserve -addr :7070 -mtbf 2            # serve under injected Poisson failures
+//	ftserve -addr :7070 -tenant-rate 10 -tenant-concurrency 2
+//
+// The -addr listener speaks the length-prefixed JSON protocol (see
+// internal/service); the -http listener serves POST /query, /healthz,
+// /metrics and the full /debug vocabulary. SIGINT/SIGTERM drains
+// gracefully: in-flight queries finish (including failure recovery), queued
+// and new requests are shed with typed rejects.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ftpde/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7070", "TCP address for the framed JSON protocol")
+		httpA   = flag.String("http", "", "HTTP address for /query, /healthz, /metrics and /debug/* (empty disables)")
+		sf      = flag.Float64("sf", 0.01, "TPC-H scale factor for the served catalog")
+		nodes   = flag.Int("nodes", 4, "cluster size / partition count")
+		seed    = flag.Int64("seed", 7, "data generation seed")
+		workers = flag.Int("workers", 0, "shared worker pool size (default GOMAXPROCS)")
+		maxConc = flag.Int("max-concurrent", 0, "max queries executing simultaneously (default 2*workers)")
+		queue   = flag.Int("queue", 0, "admission queue depth before load shedding (default 2*max-concurrent)")
+		tRate   = flag.Float64("tenant-rate", 0, "per-tenant sustained queries/second (0 = unlimited)")
+		tBurst  = flag.Float64("tenant-burst", 0, "per-tenant burst budget (default tenant-rate)")
+		tConc   = flag.Int("tenant-concurrency", 0, "per-tenant in-flight query cap (0 = unlimited)")
+		mtbf    = flag.Float64("mtbf", 0, "injected per-node Poisson failure MTBF in seconds (0 = no injection)")
+		mSeed   = flag.Int64("fail-seed", 1, "failure injector seed")
+		cMTBF   = flag.Float64("model-mtbf", 0, "cost-model per-node MTBF in seconds (default one hour)")
+		cMTTR   = flag.Float64("model-mttr", 0, "cost-model MTTR in seconds (default 1)")
+		noLoad  = flag.Bool("no-load-aware", false, "disable utilization-scaled recovery costing")
+	)
+	flag.Parse()
+
+	srv, err := service.New(service.Config{
+		SF: *sf, Nodes: *nodes, Seed: *seed,
+		Workers: *workers, MaxConcurrent: *maxConc, QueueDepth: *queue,
+		TenantRate: *tRate, TenantBurst: *tBurst, TenantConcurrency: *tConc,
+		InjectMTBF: *mtbf, InjectSeed: *mSeed,
+		ModelMTBF: *cMTBF, ModelMTTR: *cMTTR,
+		DisableLoadAware: *noLoad,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	tcpAddr, err := srv.StartTCP(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ftserve: protocol on %s (sf=%g nodes=%d workers=%d)\n", tcpAddr, *sf, *nodes, srv.Pool().Capacity())
+	if *httpA != "" {
+		ha, err := srv.StartHTTP(*httpA)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ftserve: http on %s (/query /healthz /metrics /debug)\n", ha)
+	}
+	if *mtbf > 0 {
+		fmt.Printf("ftserve: injecting Poisson failures, per-node MTBF %gs\n", *mtbf)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("ftserve: draining (in-flight queries finish, new requests shed)")
+	srv.Close()
+	fmt.Println("ftserve: drained")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ftserve:", err)
+	os.Exit(1)
+}

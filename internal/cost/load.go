@@ -1,0 +1,43 @@
+package cost
+
+// Load-aware costing: the paper prices the recovery terms w(c) and
+// a(c)·MTTR as if the cluster were idle, but in a multi-tenant service a
+// failed query's recomputation competes with every other tenant for the same
+// worker pool. UnderLoad scales the price of recovery by observed pool
+// utilization, so the optimizer picks more materialization when the service
+// is hot — the per-query what-if accounting of "Providing Insights for
+// Queries affected by Failures and Stragglers" (arXiv 2002.01531) applied at
+// plan time.
+
+// maxLoadUtil caps the utilization fed into the stretch so a saturated (or
+// oversubscribed) pool prices recovery at a finite multiple instead of
+// diverging at rho -> 1.
+const maxLoadUtil = 0.95
+
+// LoadStretch returns the multiplier applied to recovery-time terms at pool
+// utilization util: the M/M/1-style delay factor 1/(1-rho), clamped to
+// [0, maxLoadUtil] so the stretch stays within [1, 20]. At an idle pool the
+// stretch is exactly 1 and the model reduces to the paper's.
+func LoadStretch(util float64) float64 {
+	if util <= 0 {
+		return 1
+	}
+	if util > maxLoadUtil {
+		util = maxLoadUtil
+	}
+	return 1 / (1 - util)
+}
+
+// UnderLoad returns a copy of m pricing recovery against a cluster at the
+// given pool utilization (busy plus queued workers over capacity; values
+// above 1 are clamped). The per-attempt wasted runtime w(c) and the repair
+// time MTTR are both stretched by LoadStretch(util): a recomputation that
+// needs k workers on a pool with spare capacity costs its nominal runtime,
+// but on a contended pool it steals capacity from other tenants and takes —
+// and wastes — proportionally longer. Failure *probabilities* (gamma, a(c))
+// are unchanged: load does not make nodes fail more often, it makes each
+// failure more expensive.
+func (m Model) UnderLoad(util float64) Model {
+	m.RecoveryStretch = LoadStretch(util)
+	return m
+}

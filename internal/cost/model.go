@@ -35,6 +35,11 @@ type Model struct {
 	// ExactWasted selects the exact Equation 3 for w(c) instead of the t/2
 	// approximation of Equation 4 the paper uses. Kept for ablation.
 	ExactWasted bool
+	// RecoveryStretch scales the recovery-time terms w(c) and MTTR to price
+	// recomputation against a loaded shared worker pool instead of an idle
+	// cluster (set via UnderLoad; see load.go). Zero and 1 both mean
+	// unscaled, keeping the zero value paper-faithful.
+	RecoveryStretch float64
 	// ClusterAware is an extension beyond the paper: it divides the MTBF by
 	// the node count when estimating failure probabilities and attempts,
 	// reflecting that a partition-parallel operator is delayed when any of
@@ -81,6 +86,9 @@ func (m Model) Validate() error {
 	if m.Nodes < 0 {
 		return fmt.Errorf("cost: nodes must be non-negative, got %d", m.Nodes)
 	}
+	if m.RecoveryStretch < 0 {
+		return fmt.Errorf("cost: recovery stretch must be non-negative, got %g", m.RecoveryStretch)
+	}
 	return nil
 }
 
@@ -108,6 +116,15 @@ func (m Model) OperatorCost(t float64) OpCost {
 	} else {
 		w = failure.WastedRuntimeApprox(t)
 	}
+	// Under shared-pool contention every recovery runs stretched: the lost
+	// work and the repair both take longer when they compete for workers.
+	if m.RecoveryStretch > 1 {
+		w *= m.RecoveryStretch
+	}
+	mttr := m.MTTR
+	if m.RecoveryStretch > 1 {
+		mttr *= m.RecoveryStretch
+	}
 	gamma := failure.ProbSuccess(t, mtbf)
 	a := failure.Attempts(t, mtbf, m.Percentile)
 	return OpCost{
@@ -115,7 +132,7 @@ func (m Model) OperatorCost(t float64) OpCost {
 		Wasted:   w,
 		Gamma:    gamma,
 		Attempts: a,
-		Runtime:  t + a*w + a*m.MTTR,
+		Runtime:  t + a*w + a*mttr,
 	}
 }
 

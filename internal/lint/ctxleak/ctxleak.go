@@ -1,8 +1,9 @@
 // Package ctxleak implements the ftlint analyzer that keeps the pipelined
-// runtime cancellable: code reachable from a goroutine launch in
-// internal/runtime must pair every blocking channel send with a done/stop
-// select case, so a cancelled partition context can always tear the stage
-// chain down instead of leaking workers.
+// runtime and the query service cancellable: code reachable from a goroutine
+// launch in internal/runtime or internal/service must pair every blocking
+// channel send with a done/stop select case, so a cancelled partition
+// context (or a draining server) can always tear the stage chain down
+// instead of leaking workers.
 package ctxleak
 
 import (
@@ -18,14 +19,27 @@ import (
 // that cannot be interrupted by a done/stop channel.
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxleak",
-	Doc: "goroutines in internal/runtime must select on a done/stop channel " +
-		"for every blocking channel send; a naked send leaks the worker when " +
-		"the partition context is cancelled mid-stream",
+	Doc: "goroutines in internal/runtime and internal/service must select on " +
+		"a done/stop channel for every blocking channel send; a naked send " +
+		"leaks the worker when the partition context is cancelled mid-stream " +
+		"or the server drains",
 	Run: run,
 }
 
+// scopes lists the package-path suffixes the analyzer applies to: the
+// long-running goroutine-heavy layers where a leaked worker outlives its
+// query (runtime stages) or its connection (service handlers).
+var scopes = []string{"internal/runtime", "internal/service"}
+
 func run(pass *analysis.Pass) error {
-	if !strings.HasSuffix(pass.Pkg.Path(), "internal/runtime") {
+	inScope := false
+	for _, s := range scopes {
+		if strings.HasSuffix(pass.Pkg.Path(), s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
 		return nil
 	}
 	decls := pass.FuncDecls()

@@ -10,3 +10,7 @@ import (
 func TestCtxleak(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), ctxleak.Analyzer, "internal/runtime")
 }
+
+func TestCtxleakServiceScope(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxleak.Analyzer, "internal/service")
+}

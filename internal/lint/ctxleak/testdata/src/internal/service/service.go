@@ -1,0 +1,48 @@
+// Package service is the ctxleak fixture for the query-service scope: server
+// goroutines (accept loops, per-connection handlers, result fan-in) must
+// stay interruptible by a stop channel so draining cannot leak workers.
+package service
+
+type server struct {
+	requests chan int
+	results  chan int
+	stop     chan struct{}
+}
+
+func leakyHandler(s *server) {
+	go func() {
+		for r := range s.requests {
+			s.results <- r // want `blocking channel send without a done/stop select`
+		}
+	}()
+}
+
+func leakySelectHandler(s *server, other chan int) {
+	go func() {
+		select {
+		case s.results <- 1: // want `select with a channel send has no done/stop receive case`
+		case v := <-other:
+			_ = v
+		}
+	}()
+}
+
+func goodHandler(s *server) {
+	go func() {
+		for r := range s.requests {
+			select {
+			case s.results <- r:
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+func goodBufferedReply() {
+	done := make(chan error, 1)
+	go func() {
+		done <- nil
+	}()
+	<-done
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterVec(t *testing.T) {
+	v := NewCounterVec([]string{"tenant"})
+	v.With("b").Add(2)
+	v.With("a").Inc()
+	v.With("b").Inc() // same series as the first
+	s := v.Samples()
+	if len(s) != 2 {
+		t.Fatalf("samples = %d, want 2", len(s))
+	}
+	// Label-sorted: a before b.
+	if s[0].LabelValues[0] != "a" || s[0].Value != 1 {
+		t.Fatalf("s[0] = %+v", s[0])
+	}
+	if s[1].LabelValues[0] != "b" || s[1].Value != 3 {
+		t.Fatalf("s[1] = %+v", s[1])
+	}
+}
+
+func TestGaugeVecConcurrent(t *testing.T) {
+	v := NewGaugeVec([]string{"tenant"})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i%2))
+			for j := 0; j < 100; j++ {
+				v.With(name).Add(0.5)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := v.Samples()
+	if len(s) != 2 {
+		t.Fatalf("samples = %d, want 2", len(s))
+	}
+	if got := s[0].Value + s[1].Value; got != 400 {
+		t.Fatalf("total = %g, want 400", got)
+	}
+}
+
+func TestRegistryVecExposition(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("test_requests_total", "Requests.", []string{"tenant"})
+	gv := r.NewGaugeVec("test_depth", "Depth.", "", []string{"queue"})
+	cv.With("alice").Inc()
+	gv.With("q0").Set(3)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`test_requests_total{tenant="alice"} 1`,
+		`test_depth{queue="q0"} 3`,
+		"# TYPE test_requests_total counter",
+		"# TYPE test_depth gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}

@@ -32,10 +32,14 @@ type DebugServer struct {
 // the "registry" key of /debug/vars, and the tracer's span/dropped counters
 // are registered into it as metric families.
 func StartDebug(addr string, tracer *Tracer, metricsFn func() any, reg *metrics.Registry) (*DebugServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: debug server: %w", err)
-	}
+	return StartMux(addr, DebugMux(tracer, metricsFn, reg))
+}
+
+// DebugMux builds the introspection mux StartDebug serves, so other servers
+// (the ftserve HTTP front door) can mount their own handlers next to the
+// debug vocabulary instead of running a second listener. Semantics of the
+// tracer/metricsFn/reg parameters match StartDebug.
+func DebugMux(tracer *Tracer, metricsFn func() any, reg *metrics.Registry) *http.ServeMux {
 	if reg != nil {
 		RegisterTraceMetrics(reg, tracer)
 	}
@@ -79,7 +83,15 @@ func StartDebug(addr string, tracer *Tracer, metricsFn func() any, reg *metrics.
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
+// StartMux binds addr and serves the given mux in the background.
+func StartMux(addr string, mux *http.ServeMux) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
 	s := &DebugServer{
 		srv:  &http.Server{Handler: mux},
 		ln:   ln,

@@ -17,6 +17,7 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	goruntime "runtime"
 	"sync"
@@ -38,8 +39,13 @@ type Config struct {
 	// ChannelDepth is the buffering of inter-operator channels (default 2).
 	ChannelDepth int
 	// MaxWorkers bounds concurrently executing stage-partition workers
-	// (default GOMAXPROCS).
+	// (default GOMAXPROCS). Ignored when Pool is set.
 	MaxWorkers int
+	// Pool is an injected worker pool, shared with other concurrently
+	// executing queries (the multi-tenant service runs every query on one
+	// Pool). Nil allocates a private pool of MaxWorkers slots, preserving
+	// per-query semantics.
+	Pool *Pool
 	// Injector provides live failure decisions; nil means no failures.
 	Injector engine.FailureInjector
 	// Recovery selects fine-grained partition recovery (default) or
@@ -75,6 +81,9 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	if cfg.MaxWorkers <= 0 {
 		cfg.MaxWorkers = goruntime.GOMAXPROCS(0)
+	}
+	if cfg.Pool == nil {
+		cfg.Pool = NewPool(cfg.MaxWorkers)
 	}
 	if cfg.Injector == nil {
 		cfg.Injector = engine.NoFailures{}
@@ -120,7 +129,7 @@ func (r *Runtime) Execute(ctx context.Context, root engine.Operator) (*engine.Pa
 			metrics:  r.cfg.Metrics,
 			tracer:   r.cfg.Tracer,
 			writer:   writer,
-			sem:      make(chan struct{}, r.cfg.MaxWorkers),
+			pool:     r.cfg.Pool,
 			results:  make(map[*stage]*engine.PartitionedResult, len(plan.stages)),
 			done:     make(map[*stage][]bool, len(plan.stages)),
 		}
@@ -174,7 +183,7 @@ type run struct {
 	metrics  *Metrics
 	tracer   *obs.Tracer
 	writer   *checkpointWriter
-	sem      chan struct{} // bounded worker pool
+	pool     *Pool // bounded worker pool, possibly shared across queries
 
 	mu      sync.Mutex // guards results, done and report
 	results map[*stage]*engine.PartitionedResult
@@ -252,12 +261,20 @@ func (rn *run) runStage(ctx context.Context, s *stage) error {
 		wg.Add(1)
 		go func(part int) {
 			defer wg.Done()
-			select {
-			case rn.sem <- struct{}{}:
-				defer func() { <-rn.sem }()
-			case <-ctx.Done():
+			if aerr := rn.pool.Acquire(ctx); aerr != nil {
+				// A cancelled context surfaces through ctx.Err() below, as
+				// before; a closed pool is a real scheduling failure that
+				// must abort the query.
+				if errors.Is(aerr, ErrPoolClosed) {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = aerr
+					}
+					mu.Unlock()
+				}
 				return
 			}
+			defer rn.pool.Release()
 			if err := rn.runStagePartition(ctx, s, part); err != nil {
 				mu.Lock()
 				if firstErr == nil {

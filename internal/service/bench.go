@@ -1,0 +1,284 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TPCHQuery names one of the service's canonical workload queries.
+type TPCHQuery struct {
+	Name string
+	Text string
+}
+
+// TPCHQueries returns the TPC-H shapes the service benchmarks and
+// equivalence tests run: Q1 (scan + aggregate), Q3 (3-way join) and a
+// Q5-like 6-way join — the same spread of plan depths the paper's
+// experiments cover.
+func TPCHQueries() []TPCHQuery {
+	return []TPCHQuery{
+		{"Q1", `
+		SELECT l_returnflag, l_linestatus,
+		       SUM(l_quantity) AS sum_qty,
+		       SUM(l_extendedprice) AS sum_price,
+		       COUNT(*) AS cnt
+		FROM lineitem
+		WHERE l_shipdate <= 1200
+		GROUP BY l_returnflag, l_linestatus`},
+		{"Q3", `
+		SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+		FROM customer
+		JOIN orders ON c_custkey = o_custkey
+		JOIN lineitem ON o_orderkey = l_orderkey
+		WHERE c_mktsegment = 'BUILDING' AND o_orderdate < 1200
+		GROUP BY l_orderkey
+		ORDER BY revenue DESC`},
+		{"Q5", `
+		SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+		FROM region
+		JOIN nation ON r_regionkey = n_regionkey
+		JOIN supplier ON n_nationkey = s_nationkey
+		JOIN lineitem ON s_suppkey = l_suppkey
+		JOIN orders ON l_orderkey = o_orderkey
+		JOIN customer ON o_custkey = c_custkey
+		GROUP BY n_name
+		ORDER BY revenue DESC`},
+	}
+}
+
+// BenchConfig parameterizes the closed-loop load sweep.
+type BenchConfig struct {
+	// Server shape (see Config).
+	SF            float64 `json:"sf"`
+	Nodes         int     `json:"nodes"`
+	Seed          int64   `json:"seed"`
+	Workers       int     `json:"workers"`
+	MaxConcurrent int     `json:"max_concurrent"`
+	QueueDepth    int     `json:"queue_depth"`
+
+	// Tenants spreads clients across this many tenant labels.
+	Tenants int `json:"tenants"`
+	// Clients is the offered-load sweep: one measurement arm per entry,
+	// each running that many closed-loop clients.
+	Clients []int `json:"clients"`
+	// Duration is the measured wall time per arm.
+	Duration        time.Duration `json:"-"`
+	DurationSeconds float64       `json:"duration_seconds"`
+	// MTBF is the injected per-node failure MTBF (seconds) of the
+	// failure arm; <= 0 skips that arm.
+	MTBF float64 `json:"mtbf"`
+	// Addr, when non-empty, benchmarks a remote ftserve instead of an
+	// in-process server (failure arms are skipped: the remote injector is
+	// whatever the remote was started with).
+	Addr string `json:"addr,omitempty"`
+}
+
+func (c BenchConfig) withDefaults() BenchConfig {
+	if c.SF <= 0 {
+		c.SF = 0.005
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if len(c.Clients) == 0 {
+		c.Clients = []int{1, 4, 16}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	c.DurationSeconds = c.Duration.Seconds()
+	return c
+}
+
+// ArmResult is one measured (clients, injector) operating point.
+type ArmResult struct {
+	Clients int `json:"clients"`
+	// QPS is completed queries per second of wall time.
+	QPS float64 `json:"qps"`
+	// P50ms/P99ms are latency percentiles over completed queries.
+	P50ms float64 `json:"p50_ms"`
+	P99ms float64 `json:"p99_ms"`
+
+	Completed int64 `json:"completed"`
+	Rejected  int64 `json:"rejected"`
+	Failed    int64 `json:"failed"`
+	// Failures/Recovered/WastedSeconds aggregate the servers' per-tenant
+	// fault accounting over the arm.
+	Failures      int64   `json:"failures"`
+	Recovered     int64   `json:"recovered"`
+	WastedSeconds float64 `json:"wasted_seconds"`
+}
+
+// SweepPoint pairs the clean and failure-injected arms at one client count.
+type SweepPoint struct {
+	Clients int        `json:"clients"`
+	Clean   ArmResult  `json:"clean"`
+	Faults  *ArmResult `json:"failures,omitempty"`
+}
+
+// BenchDoc is the BENCH_service.json document (tools/benchdiff understands
+// qps as higher-is-better and p50_ms/p99_ms as lower-is-better).
+type BenchDoc struct {
+	Name   string       `json:"name"`
+	Config BenchConfig  `json:"config"`
+	Sweep  []SweepPoint `json:"sweep"`
+}
+
+// RunSweep drives the closed-loop sweep: for each client count, a clean arm
+// and (when MTBF > 0) a failure-injected arm, each against a fresh
+// in-process server so arms do not share warmup state. logf may be nil.
+func RunSweep(cfg BenchConfig, logf func(format string, args ...any)) (*BenchDoc, error) {
+	cfg = cfg.withDefaults()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	doc := &BenchDoc{Name: "service", Config: cfg}
+	for _, n := range cfg.Clients {
+		clean, err := runArm(cfg, n, 0)
+		if err != nil {
+			return nil, err
+		}
+		logf("clients=%d clean: qps=%.1f p50=%.1fms p99=%.1fms rejected=%d",
+			n, clean.QPS, clean.P50ms, clean.P99ms, clean.Rejected)
+		pt := SweepPoint{Clients: n, Clean: clean}
+		if cfg.MTBF > 0 && cfg.Addr == "" {
+			faults, err := runArm(cfg, n, cfg.MTBF)
+			if err != nil {
+				return nil, err
+			}
+			logf("clients=%d faults: qps=%.1f p99=%.1fms failures=%d wasted=%.3fs",
+				n, faults.QPS, faults.P99ms, faults.Failures, faults.WastedSeconds)
+			pt.Faults = &faults
+		}
+		doc.Sweep = append(doc.Sweep, pt)
+	}
+	return doc, nil
+}
+
+// runArm measures one operating point with n closed-loop clients.
+func runArm(cfg BenchConfig, n int, mtbf float64) (ArmResult, error) {
+	addr := cfg.Addr
+	var srv *Server
+	if addr == "" {
+		var err error
+		srv, err = New(Config{
+			SF: cfg.SF, Nodes: cfg.Nodes, Seed: cfg.Seed,
+			Workers: cfg.Workers, MaxConcurrent: cfg.MaxConcurrent, QueueDepth: cfg.QueueDepth,
+			InjectMTBF: mtbf,
+		})
+		if err != nil {
+			return ArmResult{}, err
+		}
+		defer srv.Close()
+		addr, err = srv.StartTCP("127.0.0.1:0")
+		if err != nil {
+			return ArmResult{}, err
+		}
+	}
+
+	queries := TPCHQueries()
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		rejected  int64
+		failed    int64
+		firstErr  error
+	)
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer c.Close()
+			tenant := fmt.Sprintf("t%d", id%cfg.Tenants)
+			for seq := id; time.Now().Before(deadline); seq++ {
+				q := queries[seq%len(queries)]
+				start := time.Now()
+				resp, err := c.Do(Request{
+					ID: fmt.Sprintf("c%d-%d", id, seq), Tenant: tenant,
+					Query: q.Text, MaxRows: 1,
+				})
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				switch resp.Code {
+				case CodeOK:
+					mu.Lock()
+					latencies = append(latencies, time.Since(start).Seconds())
+					mu.Unlock()
+				case CodeBadQuery, CodeError:
+					mu.Lock()
+					failed++
+					mu.Unlock()
+				default:
+					// Load shed: back off, but keep the loop closed enough
+					// to re-offer load quickly.
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+					backoff := time.Duration(resp.RetryAfterSeconds * float64(time.Second))
+					if backoff > 50*time.Millisecond {
+						backoff = 50 * time.Millisecond
+					}
+					time.Sleep(backoff)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return ArmResult{}, firstErr
+	}
+
+	res := ArmResult{
+		Clients:   n,
+		Completed: int64(len(latencies)),
+		Rejected:  rejected,
+		Failed:    failed,
+		QPS:       float64(len(latencies)) / cfg.Duration.Seconds(),
+		P50ms:     percentileMS(latencies, 0.50),
+		P99ms:     percentileMS(latencies, 0.99),
+	}
+	if srv != nil {
+		for _, t := range srv.Stats().Tenants {
+			res.Failures += t.Failures
+			res.Recovered += t.Recovered
+			res.WastedSeconds += t.WastedSeconds
+		}
+	}
+	return res, nil
+}
+
+// percentileMS returns the p-quantile of seconds-valued samples, in ms.
+func percentileMS(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx] * 1000
+}

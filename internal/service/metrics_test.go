@@ -1,0 +1,93 @@
+package service
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPerTenantMetricsAndWastedAttribution: per-tenant families account
+// admissions, rejects, injected failures and — via the per-query ledger —
+// wasted recovery seconds, attributable to exactly the tenant that paid
+// them.
+func TestPerTenantMetricsAndWastedAttribution(t *testing.T) {
+	// MTBF far below query runtime: failures (and thus ledger waste) are
+	// effectively certain.
+	s := newTestServer(t, Config{InjectMTBF: 0.01, TenantRate: 1.0 / 3600, TenantBurst: 2})
+	ctx := context.Background()
+
+	var aliceWasted float64
+	var aliceFailures int
+	for i := 0; i < 2; i++ {
+		resp, err := s.Submit(ctx, Request{Tenant: "alice", Query: TPCHQueries()[1].Text})
+		if err != nil {
+			t.Fatal(err)
+		}
+		aliceWasted += resp.WastedSeconds
+		aliceFailures += resp.Failures
+	}
+	if aliceFailures == 0 {
+		t.Fatal("no failures injected; attribution test is vacuous")
+	}
+	if aliceWasted <= 0 {
+		t.Fatal("failures fired but ledger attributed no wasted seconds")
+	}
+	// Third query trips the quota.
+	if _, err := s.Submit(ctx, Request{Tenant: "alice", Query: TPCHQueries()[0].Text}); err == nil {
+		t.Fatal("expected quota reject")
+	}
+
+	st := s.Stats()
+	if len(st.Tenants) != 1 || st.Tenants[0].Tenant != "alice" {
+		t.Fatalf("tenants = %+v, want only alice", st.Tenants)
+	}
+	a := st.Tenants[0]
+	if a.Admitted != 2 || a.Completed != 2 || a.Rejected != 1 {
+		t.Fatalf("alice totals = %+v, want 2 admitted, 2 completed, 1 rejected", a)
+	}
+	if a.Failures != int64(aliceFailures) {
+		t.Fatalf("metric failures = %d, responses said %d", a.Failures, aliceFailures)
+	}
+	// The tenant's wasted-seconds family equals the sum of her queries'
+	// ledger totals: every lost second has exactly one owner.
+	if math.Abs(a.WastedSeconds-aliceWasted) > 1e-9 {
+		t.Fatalf("metric wasted = %g, responses summed to %g", a.WastedSeconds, aliceWasted)
+	}
+
+	// The families appear in Prometheus exposition with tenant labels.
+	var b strings.Builder
+	s.Registry().WritePrometheus(&b)
+	text := b.String()
+	for _, want := range []string{
+		`ftserve_admitted_total{tenant="alice"} 2`,
+		`ftserve_rejected_total{tenant="alice",reason="quota"} 1`,
+		`ftserve_wasted_seconds_total{tenant="alice"}`,
+		`ftserve_latency_seconds_count{tenant="alice"} 2`,
+		"ftserve_queue_depth 0",
+		"ftserve_pool_utilization 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestStatsMultiTenantOrdering(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx := context.Background()
+	for _, tenant := range []string{"zeta", "alpha", "mid"} {
+		if _, err := s.Submit(ctx, Request{Tenant: tenant, Query: "SELECT n_name FROM nation"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if len(st.Tenants) != 3 {
+		t.Fatalf("tenants = %d, want 3", len(st.Tenants))
+	}
+	for i, want := range []string{"alpha", "mid", "zeta"} {
+		if st.Tenants[i].Tenant != want {
+			t.Fatalf("tenants[%d] = %s, want %s (deterministic order)", i, st.Tenants[i].Tenant, want)
+		}
+	}
+}

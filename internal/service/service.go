@@ -1,0 +1,453 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net"
+	goruntime "runtime"
+	"sync"
+	"time"
+
+	"ftpde/internal/cost"
+	"ftpde/internal/engine"
+	"ftpde/internal/failure"
+	"ftpde/internal/obs"
+	"ftpde/internal/obs/metrics"
+	"ftpde/internal/runtime"
+	"ftpde/internal/sql"
+	"ftpde/internal/stats"
+	"ftpde/internal/tpch"
+)
+
+// Config parameterizes a Server. The zero value of every field selects a
+// sensible default (see withDefaults); tests construct partial configs.
+type Config struct {
+	// SF is the TPC-H scale factor of the served catalog.
+	SF float64
+	// Nodes is the partition count queries execute with.
+	Nodes int
+	// Seed seeds the data generator.
+	Seed int64
+	// BatchSize is the runtime vector width (default engine.DefaultBatchSize).
+	BatchSize int
+
+	// Workers sizes the shared worker pool (default GOMAXPROCS).
+	Workers int
+	// MaxConcurrent bounds queries executing simultaneously (default
+	// 2*Workers): each admitted query owns one slot from admission through
+	// response.
+	MaxConcurrent int
+	// QueueDepth bounds requests parked waiting for an execution slot;
+	// beyond it the server sheds load with RejectQueueFull (default
+	// 2*MaxConcurrent).
+	QueueDepth int
+
+	// TenantRate is each tenant's sustained queries/second budget
+	// (token-bucket refill rate); <= 0 disables rate limiting.
+	TenantRate float64
+	// TenantBurst is the bucket capacity (default max(TenantRate, 1) when
+	// rate limiting is on).
+	TenantBurst float64
+	// TenantConcurrency caps one tenant's in-flight queries so a single
+	// tenant cannot occupy every execution slot; <= 0 disables the cap.
+	TenantConcurrency int
+
+	// ModelMTBF/ModelMTTR parameterize the fault-tolerance cost model used
+	// at plan time (defaults: one hour, 1s — the paper's constants).
+	ModelMTBF float64
+	ModelMTTR float64
+	// CPUPerRow/WritePerRow calibrate the planner's cost units (defaults
+	// 1e-6 and 1.7e-5, ftsql's constants; PR-5 calibration can refine them).
+	CPUPerRow   float64
+	WritePerRow float64
+	// DisableLoadAware turns off utilization-scaled recovery costing, so
+	// plans price recovery as if the pool were idle regardless of load.
+	DisableLoadAware bool
+
+	// InjectMTBF > 0 runs every query under a shared Poisson failure
+	// injector with that per-node MTBF (seconds of wall time).
+	InjectMTBF float64
+	// InjectSeed seeds the failure injector (default 1).
+	InjectSeed int64
+
+	// Registry receives the service metric families; nil allocates one.
+	Registry *metrics.Registry
+	// Tracer receives execution spans; nil allocates a small ring.
+	Tracer *obs.Tracer
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.SF <= 0 {
+		cfg.SF = 0.01
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = goruntime.GOMAXPROCS(0)
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2 * cfg.Workers
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.MaxConcurrent
+	}
+	if cfg.TenantRate > 0 && cfg.TenantBurst <= 0 {
+		cfg.TenantBurst = cfg.TenantRate
+		if cfg.TenantBurst < 1 {
+			cfg.TenantBurst = 1
+		}
+	}
+	if cfg.ModelMTBF <= 0 {
+		cfg.ModelMTBF = failure.OneHour
+	}
+	if cfg.ModelMTTR <= 0 {
+		cfg.ModelMTTR = 1
+	}
+	if cfg.CPUPerRow <= 0 {
+		cfg.CPUPerRow = 1e-6
+	}
+	if cfg.WritePerRow <= 0 {
+		cfg.WritePerRow = 1.7e-5
+	}
+	if cfg.InjectSeed == 0 {
+		cfg.InjectSeed = 1
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = metrics.NewRegistry()
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.NewTracer(1 << 12)
+	}
+	return cfg
+}
+
+// Server is a multi-tenant query service: one TPC-H catalog, one shared
+// bounded worker pool, many concurrent stage-DAG executions.
+type Server struct {
+	cfg      Config
+	cat      *engine.Catalog
+	cp       stats.CostParams
+	base     cost.Model
+	pool     *runtime.Pool
+	injector engine.FailureInjector
+	met      *svcMetrics
+
+	slots chan struct{} // execution-slot semaphore (MaxConcurrent)
+	queue waitQueue
+	stop  chan struct{} // closed when draining begins
+
+	mu       sync.Mutex // guards draining + wg.Add
+	draining bool
+	wg       sync.WaitGroup
+
+	tmu     sync.Mutex
+	tenants map[string]*tenantState
+
+	smu    sync.Mutex
+	tstats map[string]sql.TableStats
+
+	lmu     sync.Mutex
+	ewmaLat float64 // seconds, exponentially-weighted mean query latency
+
+	nmu   sync.Mutex
+	lns   []net.Listener
+	conns map[net.Conn]bool
+	lwg   sync.WaitGroup // accept loops + connection handlers
+	debug *obs.DebugServer
+}
+
+// New builds a server: generates the catalog, sizes the shared pool and
+// registers the service metric families.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	cat, err := tpch.Generate(cfg.SF, cfg.Nodes, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("service: generate catalog: %w", err)
+	}
+	s := &Server{
+		cfg:  cfg,
+		cat:  cat,
+		cp:   stats.CostParams{CPUPerRow: cfg.CPUPerRow, WritePerRow: cfg.WritePerRow, Nodes: cfg.Nodes},
+		base: cost.Model{MTBF: cfg.ModelMTBF, MTTR: cfg.ModelMTTR, Percentile: 0.95, PipeConst: 1, Nodes: cfg.Nodes},
+		pool: runtime.NewPool(cfg.Workers),
+
+		slots:   make(chan struct{}, cfg.MaxConcurrent),
+		queue:   waitQueue{max: cfg.QueueDepth},
+		stop:    make(chan struct{}),
+		tenants: make(map[string]*tenantState),
+		tstats:  make(map[string]sql.TableStats),
+		conns:   make(map[net.Conn]bool),
+	}
+	if cfg.InjectMTBF > 0 {
+		s.injector = engine.NewPoissonFailures(cfg.InjectMTBF, cfg.Nodes, cfg.InjectSeed)
+	}
+	s.met = newSvcMetrics(cfg.Registry, s)
+	return s, nil
+}
+
+// Pool exposes the shared worker pool (tests observe utilization).
+func (s *Server) Pool() *runtime.Pool { return s.pool }
+
+// Registry returns the metric registry backing /metrics.
+func (s *Server) Registry() *metrics.Registry { return s.cfg.Registry }
+
+// QueueDepth returns the number of requests parked for an execution slot.
+func (s *Server) QueueDepth() int { return s.queue.Depth() }
+
+// QueryError wraps a per-query failure that is not load shedding: Phase
+// "plan" covers parse/plan errors (the client's query is at fault), "exec"
+// covers runtime errors.
+type QueryError struct {
+	Phase string
+	Err   error
+}
+
+func (e *QueryError) Error() string { return fmt.Sprintf("service: %s: %v", e.Phase, e.Err) }
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// Submit runs one request through admission, planning and execution. Load
+// shedding returns a *Reject error; query faults return a *QueryError. The
+// returned Response is non-nil only on success.
+func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
+	tenantName := req.Tenant
+	if tenantName == "" {
+		tenantName = "default"
+	}
+
+	// Draining check and in-flight registration are one atomic step so
+	// Drain's wg.Wait cannot miss a query admitted concurrently.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		rej := &Reject{Code: RejectDraining, Tenant: tenantName, RetryAfter: s.retryHint()}
+		s.met.rejected.With(tenantName, string(rej.Code)).Inc()
+		return nil, rej
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+
+	tn := s.tenant(tenantName)
+	if rej := tn.admit(time.Now(), s.retryHint()); rej != nil {
+		s.met.rejected.With(tenantName, string(rej.Code)).Inc()
+		return nil, rej
+	}
+	defer tn.release()
+
+	release, rej, err := s.admitGlobal(ctx, tenantName)
+	if err != nil {
+		return nil, err
+	}
+	if rej != nil {
+		s.met.rejected.With(tenantName, string(rej.Code)).Inc()
+		return nil, rej
+	}
+	defer release()
+	s.met.admitted.With(tenantName).Inc()
+
+	resp, err := s.execute(ctx, req)
+	if err != nil {
+		s.met.failed.With(tenantName).Inc()
+		return nil, err
+	}
+	s.met.completed.With(tenantName).Inc()
+	s.met.latency.With(tenantName).Observe(resp.ElapsedSeconds)
+	s.met.wasted.With(tenantName).Add(resp.WastedSeconds)
+	s.met.failures.With(tenantName).Add(int64(resp.Failures))
+	s.met.recovered.With(tenantName).Add(int64(resp.Recovered))
+	s.observeLatency(resp.ElapsedSeconds)
+	return resp, nil
+}
+
+// planModel samples pool utilization and returns the cost model queries are
+// planned with: load-aware unless disabled.
+func (s *Server) planModel() (cost.Model, float64) {
+	util := s.pool.Utilization()
+	m := s.base
+	if !s.cfg.DisableLoadAware {
+		m = m.UnderLoad(util)
+	}
+	return m, util
+}
+
+// stats returns (collecting and caching on first use) table statistics for
+// every table the statement references.
+func (s *Server) stats(stmt *sql.SelectStmt) (map[string]sql.TableStats, error) {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	out := make(map[string]sql.TableStats, len(stmt.From))
+	for _, tr := range stmt.From {
+		ts, ok := s.tstats[tr.Table]
+		if !ok {
+			collected, err := sql.CollectStats(s.cat, []string{tr.Table})
+			if err != nil {
+				return nil, err
+			}
+			ts = collected[tr.Table]
+			s.tstats[tr.Table] = ts
+		}
+		out[tr.Table] = ts
+	}
+	return out, nil
+}
+
+// execute plans and runs one admitted query on the shared pool. A fresh
+// per-query metric set keeps the wasted-work ledger attributable to this
+// query's tenant (a shared ledger would interleave failure/recovery pairs
+// from concurrently recovering queries).
+func (s *Server) execute(ctx context.Context, req Request) (*Response, error) {
+	start := time.Now()
+	m, util := s.planModel()
+
+	stmt, err := sql.Parse(req.Query)
+	if err != nil {
+		return nil, &QueryError{Phase: "plan", Err: err}
+	}
+	tstats, err := s.stats(stmt)
+	if err != nil {
+		return nil, &QueryError{Phase: "plan", Err: err}
+	}
+	audit, err := sql.BuildAuditPlan(stmt, s.cat, tstats, s.cp, m)
+	if err != nil {
+		return nil, &QueryError{Phase: "plan", Err: err}
+	}
+
+	exec := &runtime.Metrics{}
+	rt, err := runtime.New(runtime.Config{
+		Nodes:     s.cfg.Nodes,
+		BatchSize: s.cfg.BatchSize,
+		Pool:      s.pool,
+		Injector:  s.injector,
+		Metrics:   exec,
+		Tracer:    s.cfg.Tracer,
+	})
+	if err != nil {
+		return nil, &QueryError{Phase: "exec", Err: err}
+	}
+	res, report, err := rt.Execute(ctx, audit.Phys.Root)
+	if err != nil {
+		return nil, &QueryError{Phase: "exec", Err: err}
+	}
+
+	rows, total := formatRows(res, req.MaxRows)
+	cols := make([]string, len(audit.Phys.Output))
+	for i, c := range audit.Phys.Output {
+		cols[i] = c.Name
+	}
+	snap := exec.Snapshot()
+	return &Response{
+		ID:             req.ID,
+		Code:           CodeOK,
+		Columns:        cols,
+		Rows:           rows,
+		RowsTotal:      total,
+		Failures:       report.Failures,
+		Recovered:      report.RecomputedPartitions,
+		Materialized:   report.MaterializedPartitions,
+		WastedSeconds:  snap.WastedSeconds,
+		ElapsedSeconds: time.Since(start).Seconds(),
+		Utilization:    util,
+		MatConfig:      audit.Opt.Config.String(),
+	}, nil
+}
+
+// formatRows renders result rows as strings, truncated to max (0 = all).
+func formatRows(res *engine.PartitionedResult, max int) ([][]string, int) {
+	all := res.AllRows()
+	total := len(all)
+	if max > 0 && len(all) > max {
+		all = all[:max]
+	}
+	out := make([][]string, len(all))
+	for i, r := range all {
+		row := make([]string, len(r))
+		for j, v := range r {
+			row[j] = fmt.Sprintf("%v", v)
+		}
+		out[i] = row
+	}
+	return out, total
+}
+
+// observeLatency folds one query latency into the EWMA behind retryHint.
+func (s *Server) observeLatency(sec float64) {
+	s.lmu.Lock()
+	if s.ewmaLat == 0 {
+		s.ewmaLat = sec
+	} else {
+		s.ewmaLat = 0.8*s.ewmaLat + 0.2*sec
+	}
+	s.lmu.Unlock()
+}
+
+// retryHint estimates how long a shed request should back off: roughly the
+// time for one queued-behind query to finish, floored at 100ms so clients
+// do not spin.
+func (s *Server) retryHint() time.Duration {
+	s.lmu.Lock()
+	lat := s.ewmaLat
+	s.lmu.Unlock()
+	if lat == 0 {
+		lat = 0.25
+	}
+	hint := time.Duration(lat * float64(time.Second) * float64(1+s.queue.Depth()))
+	if hint < 100*time.Millisecond {
+		hint = 100 * time.Millisecond
+	}
+	if hint > 30*time.Second {
+		hint = 30 * time.Second
+	}
+	return hint
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the query path down: new submissions are rejected
+// with RejectDraining, queued-but-unadmitted requests are shed, in-flight
+// queries run to completion (including any failure recovery), then the
+// shared pool is closed. Idempotent; concurrent callers all block until the
+// drain completes.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if first {
+		close(s.stop)
+	}
+	s.wg.Wait()
+	s.pool.Close()
+}
+
+// Close drains the server and tears down its listeners and connections.
+func (s *Server) Close() error {
+	s.nmu.Lock()
+	lns := s.lns
+	s.lns = nil
+	debug := s.debug
+	s.debug = nil
+	s.nmu.Unlock()
+	for _, ln := range lns {
+		ln.Close()
+	}
+	s.Drain()
+	s.nmu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.nmu.Unlock()
+	if debug != nil {
+		debug.Close()
+	}
+	s.lwg.Wait()
+	return nil
+}

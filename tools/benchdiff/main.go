@@ -1,9 +1,11 @@
 // Command benchdiff compares two benchmark result files (the
-// BENCH_runtime.json emitted by internal/runtime's benchmark harness) and
-// flags regressions: any lower-is-better series — seconds/op, allocs/op,
-// bytes/op, checkpoint bytes — that got worse by more than the threshold, and
-// any higher-is-better series (speedups, reductions) that shrank by more than
-// the threshold.
+// BENCH_runtime.json emitted by internal/runtime's benchmark harness, or the
+// BENCH_service.json emitted by ftload's service sweep) and flags
+// regressions: any lower-is-better series — seconds/op, allocs/op, bytes/op,
+// checkpoint bytes, service latency percentiles (p50_ms/p99_ms) — that got
+// worse by more than the threshold, and any higher-is-better series
+// (speedups, reductions, service qps) that shrank by more than the
+// threshold.
 //
 // Usage:
 //
@@ -99,9 +101,13 @@ func direction(key string) int {
 	case strings.HasSuffix(leaf, "seconds_per_op"),
 		strings.HasSuffix(leaf, "allocs_per_op"),
 		strings.HasSuffix(leaf, "bytes_per_op"),
-		strings.HasSuffix(leaf, "_bytes"):
+		strings.HasSuffix(leaf, "_bytes"),
+		// BENCH_service.json latency percentiles (p50_ms, p99_ms).
+		leaf == "p50_ms", leaf == "p99_ms":
 		return -1
-	case strings.Contains(leaf, "speedup"), strings.HasSuffix(leaf, "_reduction"):
+	case strings.Contains(leaf, "speedup"), strings.HasSuffix(leaf, "_reduction"),
+		// BENCH_service.json throughput.
+		leaf == "qps":
 		return 1
 	default:
 		return 0

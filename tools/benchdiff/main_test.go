@@ -35,6 +35,14 @@ func TestDirectionClassification(t *testing.T) {
 		"checkpoint_q1_bytes_reduction":             1,
 		"scaling.0.workers":                         0,
 		"gomaxprocs":                                0,
+		// BENCH_service.json sweep series.
+		"sweep.0.clean.qps":       1,
+		"sweep.1.failures.qps":    1,
+		"sweep.0.clean.p50_ms":    -1,
+		"sweep.2.failures.p99_ms": -1,
+		"sweep.0.clean.completed": 0,
+		"sweep.0.clients":         0,
+		"config.duration_seconds": 0,
 	}
 	for k, want := range cases {
 		if got := direction(k); got != want {
