@@ -158,6 +158,11 @@ func runCalibrate(o calibrateOptions) (*calibrateResult, error) {
 				predTM, obsTM := 0.0, 0.0
 				if row.Pred.Materialize {
 					predTM = row.Pred.TM
+					// Observed tm(c) is the wall time of the actual
+					// checkpoint writes — compressed FTCB blocks — so the
+					// tm factor folds the compression ratio into WritePerRow
+					// and re-planning prices materialization at its real
+					// (smaller) cost.
 					obsTM = row.Obs.CheckpointWall.Seconds()
 				}
 				est.ObserveOp(row.Pred.TR, obsTR, predTM, obsTM)
@@ -245,6 +250,7 @@ func metricsTable() string {
 	em := &runtime.Metrics{}
 	reg := em.Registry()
 	obs.RegisterTraceMetrics(reg, nil)
+	engine.RegisterArenaMetrics(reg, nil)
 	return metrics.DescribeTable(reg.Describe())
 }
 

@@ -1,0 +1,169 @@
+package engine
+
+// BatchBuilder accumulates rows column-wise into one output batch. It is the
+// concatenation primitive for batch-native operators: pipeline sinks drain
+// their stream into a builder, exchange scatters selected rows from many
+// input batches into per-partition builders, and kernel flushes merge partial
+// batches. The finished batch is always dense (no selection vector) and plain
+// (no arena ownership), so it is safe to commit, checkpoint, or share.
+//
+// When an input batch is on the raw row fallback, the builder degrades to
+// rows as well, so mixed-type data keeps flowing with identical semantics.
+type BatchBuilder struct {
+	schema Schema
+	cols   []Vector
+	rows   []Row // raw fallback; non-nil (or degraded) once any input was raw
+	raw    bool
+}
+
+// NewBatchBuilder returns an empty builder producing batches of the schema.
+func NewBatchBuilder(schema Schema) *BatchBuilder {
+	return &BatchBuilder{schema: schema}
+}
+
+// Len returns the number of rows accumulated so far.
+func (bb *BatchBuilder) Len() int {
+	if bb.raw {
+		return len(bb.rows)
+	}
+	if len(bb.cols) == 0 {
+		return 0
+	}
+	return bb.cols[0].Len()
+}
+
+// Append accumulates every logical row of b. The input is only read.
+func (bb *BatchBuilder) Append(b *Batch) {
+	if b == nil || b.Len() == 0 {
+		return
+	}
+	if b.IsRaw() || bb.raw {
+		bb.degrade()
+		bb.rows = b.AppendRows(bb.rows)
+		return
+	}
+	bb.ensureCols()
+	for ci := range bb.cols {
+		src := &b.Cols[ci]
+		dst := &bb.cols[ci]
+		switch dst.Type {
+		case TypeInt:
+			if b.Sel == nil {
+				dst.Ints = append(dst.Ints, src.Ints...)
+			} else {
+				for _, p := range b.Sel {
+					dst.Ints = append(dst.Ints, src.Ints[p])
+				}
+			}
+		case TypeFloat:
+			if b.Sel == nil {
+				dst.Floats = append(dst.Floats, src.Floats...)
+			} else {
+				for _, p := range b.Sel {
+					dst.Floats = append(dst.Floats, src.Floats[p])
+				}
+			}
+		default:
+			if b.Sel == nil {
+				dst.Strings = append(dst.Strings, src.Strings...)
+			} else {
+				for _, p := range b.Sel {
+					dst.Strings = append(dst.Strings, src.Strings[p])
+				}
+			}
+		}
+	}
+}
+
+// AppendRow accumulates one boxed row, degrading the builder to the raw
+// representation (used when raw inputs interleave with columnar ones).
+func (bb *BatchBuilder) AppendRow(r Row) {
+	bb.degrade()
+	bb.rows = append(bb.rows, r)
+}
+
+// AppendSel accumulates the physical positions sel of a columnar batch,
+// ignoring b's own selection vector (callers pass resolved positions). It is
+// the gather half of exchange's hash+scatter and of the join probe.
+func (bb *BatchBuilder) AppendSel(b *Batch, sel []int32) {
+	if len(sel) == 0 {
+		return
+	}
+	if b.IsRaw() || bb.raw {
+		bb.degrade()
+		for _, p := range sel {
+			if b.IsRaw() {
+				bb.rows = append(bb.rows, b.raw[p])
+				continue
+			}
+			r := make(Row, len(b.Cols))
+			for ci := range b.Cols {
+				r[ci] = b.Cols[ci].Value(int(p))
+			}
+			bb.rows = append(bb.rows, r)
+		}
+		return
+	}
+	bb.ensureCols()
+	for ci := range bb.cols {
+		src := &b.Cols[ci]
+		dst := &bb.cols[ci]
+		switch dst.Type {
+		case TypeInt:
+			for _, p := range sel {
+				dst.Ints = append(dst.Ints, src.Ints[p])
+			}
+		case TypeFloat:
+			for _, p := range sel {
+				dst.Floats = append(dst.Floats, src.Floats[p])
+			}
+		default:
+			for _, p := range sel {
+				dst.Strings = append(dst.Strings, src.Strings[p])
+			}
+		}
+	}
+}
+
+// Finish returns the accumulated batch (nil when empty, matching the
+// empty-partition convention). The builder must not be reused afterwards.
+func (bb *BatchBuilder) Finish() *Batch {
+	if bb.raw {
+		if len(bb.rows) == 0 {
+			return nil
+		}
+		return RawBatch(bb.schema, bb.rows)
+	}
+	n := bb.Len()
+	if n == 0 {
+		return nil
+	}
+	return &Batch{Schema: bb.schema, Cols: bb.cols, nrows: n}
+}
+
+// ensureCols lazily allocates the output vectors.
+func (bb *BatchBuilder) ensureCols() {
+	if bb.cols != nil {
+		return
+	}
+	bb.cols = make([]Vector, len(bb.schema))
+	for i, c := range bb.schema {
+		bb.cols[i].Type = c.Type
+	}
+}
+
+// degrade switches the builder to the raw row representation, converting any
+// columnar content accumulated so far.
+func (bb *BatchBuilder) degrade() {
+	if bb.raw {
+		return
+	}
+	bb.raw = true
+	if len(bb.cols) == 0 || bb.cols[0].Len() == 0 {
+		bb.cols = nil
+		return
+	}
+	b := &Batch{Schema: bb.schema, Cols: bb.cols, nrows: bb.cols[0].Len()}
+	bb.rows = b.AppendRows(bb.rows)
+	bb.cols = nil
+}

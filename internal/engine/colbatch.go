@@ -12,6 +12,11 @@ type Vector struct {
 	Ints    []int64
 	Floats  []float64
 	Strings []string
+
+	// pooled marks the backing array as arena-owned; Release returns it to
+	// the Local that allocated it. Value copies of a Vector constructed as
+	// literals (gather, slice, Col aliasing) never carry the flag.
+	pooled bool
 }
 
 // Len returns the number of values in the vector.
@@ -117,6 +122,15 @@ type Batch struct {
 	Sel    []int32
 	nrows  int   // physical row count of Cols
 	raw    []Row // fallback representation; when set, Cols is unused
+
+	// Arena ownership flags: which pieces of this batch Release returns to
+	// a Local. They are tracked separately because batches routinely mix
+	// shared and owned parts — e.g. a filter output owns its selection
+	// vector but shares the input's column storage, and a Scan can hand out
+	// the table's long-lived columnar batch, which owns nothing.
+	selPooled    bool // Sel backing array is arena-owned
+	colsPooled   bool // the []Vector header slice is arena-owned
+	structPooled bool // the Batch struct itself came from a Local
 }
 
 // NewBatchFromCols builds a columnar batch, validating column lengths.
@@ -181,11 +195,23 @@ func rowsOrBatch(schema Schema, rows []Row) *Batch {
 	return RawBatch(schema, rows)
 }
 
+// BatchFromRows converts rows to their batch form, preferring the strict
+// columnar representation and falling back to a raw batch. It is the bridge
+// for row-oriented producers (checkpoint restores, legacy Compute results)
+// entering a batch-native consumer.
+func BatchFromRows(schema Schema, rows []Row) *Batch {
+	return rowsOrBatch(schema, rows)
+}
+
 // IsRaw reports whether the batch is on the row fallback path.
 func (b *Batch) IsRaw() bool { return b.raw != nil }
 
-// Len returns the logical (selected) row count.
+// Len returns the logical (selected) row count (0 for a nil batch, which is
+// the canonical empty-partition representation).
 func (b *Batch) Len() int {
+	if b == nil {
+		return 0
+	}
 	if b.raw != nil {
 		return len(b.raw)
 	}
@@ -197,7 +223,11 @@ func (b *Batch) Len() int {
 
 // AppendRows materializes the logical rows as boxed engine rows, appending to
 // dst. This is the row bridge at package edges (stage sinks, staged Compute).
+// A nil batch (the empty-partition convention) appends nothing.
 func (b *Batch) AppendRows(dst []Row) []Row {
+	if b == nil {
+		return dst
+	}
 	if b.raw != nil {
 		return append(dst, b.raw...)
 	}
@@ -222,17 +252,36 @@ func (b *Batch) ToRows() []Row { return b.AppendRows(nil) }
 
 // Slice returns the logical window [lo,hi) sharing column storage.
 func (b *Batch) Slice(lo, hi int) *Batch {
+	return b.SliceLocal(lo, hi, nil)
+}
+
+// SliceLocal is Slice with arena-recycled shells: the returned batch's struct
+// (and, on the dense path, its column-header slice) come from l, while the
+// column storage and any selection subrange stay shared with — and owned by —
+// the source batch. Releasing a slice therefore never frees storage the
+// source or sibling slices still read.
+func (b *Batch) SliceLocal(lo, hi int, l *Local) *Batch {
 	if b.raw != nil {
 		return RawBatch(b.Schema, b.raw[lo:hi])
 	}
 	if b.Sel != nil {
-		return &Batch{Schema: b.Schema, Cols: b.Cols, Sel: b.Sel[lo:hi], nrows: b.nrows}
+		out := l.newBatch()
+		out.Schema = b.Schema
+		out.Cols = b.Cols
+		out.Sel = b.Sel[lo:hi]
+		out.nrows = b.nrows
+		return out
 	}
-	cols := make([]Vector, len(b.Cols))
+	cols := l.cols(len(b.Cols))
 	for i := range b.Cols {
 		cols[i] = b.Cols[i].slice(lo, hi)
 	}
-	return &Batch{Schema: b.Schema, Cols: cols, nrows: hi - lo}
+	out := l.newBatch()
+	out.Schema = b.Schema
+	out.Cols = cols
+	out.colsPooled = l != nil
+	out.nrows = hi - lo
+	return out
 }
 
 // Project returns a batch exposing only the given columns (nil keeps all),

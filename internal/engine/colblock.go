@@ -11,21 +11,37 @@ import (
 // Column-block format: the serialized form of a materialized partition.
 // Values are stored column-major as length-prefixed typed vectors, so
 // checkpoints of typed intermediates are far denser than the row-by-row gob
-// encoding (no per-value type tags, varint integers, raw float bits):
+// encoding (no per-value type tags, varint integers, raw float bits).
+// Version 2 adds one encoding byte per column and two lightweight
+// compressions chosen per column whenever they are strictly smaller than the
+// plain form — varint delta for integers (sorted keys and near-sequential
+// ids shrink to a byte or two per value) and a first-appearance dictionary
+// for low-cardinality strings:
 //
 //	"FTCB" | version(1) | ncols uvarint | nrows uvarint |
-//	  per column: type(1) |
-//	    TypeInt:    nrows signed varints
-//	    TypeFloat:  nrows fixed little-endian float64 bits
-//	    TypeString: nrows of (uvarint length | bytes)
+//	  per column: type(1) | enc(1) |
+//	    TypeInt    enc 0 (plain): nrows signed varints
+//	    TypeInt    enc 1 (delta): first value, then nrows-1 wrapping deltas,
+//	                              all signed varints
+//	    TypeFloat  enc 0 (plain): nrows fixed little-endian float64 bits
+//	    TypeString enc 0 (plain): nrows of (uvarint length | bytes)
+//	    TypeString enc 1 (dict):  ndict uvarint | ndict entries of
+//	                              (uvarint length | bytes), in first-appearance
+//	                              order | nrows uvarint dictionary indexes
 //
+// Version-1 blocks (no encoding byte, always plain) remain readable.
 // Partitions whose rows are not strictly typed (mixed concrete types in a
 // column, ragged widths, non-scalar values) fall back to gob behind the
 // "FTGB" magic; files with neither magic are legacy whole-file gob streams.
 const (
-	colBlockMagic   = "FTCB"
-	gobBlockMagic   = "FTGB"
-	colBlockVersion = 1
+	colBlockMagic    = "FTCB"
+	gobBlockMagic    = "FTGB"
+	colBlockVersion1 = 1
+	colBlockVersion  = 2
+
+	colEncPlain = 0
+	colEncDelta = 1 // TypeInt only
+	colEncDict  = 1 // TypeString only
 )
 
 // inferColumnTypes derives per-column concrete types from the rows; ok is
@@ -85,10 +101,50 @@ func varintLen(x int64) int64 {
 	return uvarintLen(uint64(x)<<1 ^ uint64(x>>63))
 }
 
+// intColSizes returns the exact payload sizes of column c under the plain
+// and delta encodings.
+func intColSizes(rows []Row, c int) (plain, delta int64) {
+	prev := int64(0)
+	for i, r := range rows {
+		v := r[c].(int64)
+		plain += varintLen(v)
+		if i == 0 {
+			delta += varintLen(v)
+		} else {
+			// Two's-complement wrapping subtraction: the decoder's wrapping
+			// addition round-trips every pair, including extreme values.
+			delta += varintLen(v - prev)
+		}
+		prev = v
+	}
+	return plain, delta
+}
+
+// stringColSizes returns the exact payload sizes of column c under the plain
+// and dictionary encodings.
+func stringColSizes(rows []Row, c int) (plain, dict int64) {
+	seen := make(map[string]uint64)
+	var entries, idxBytes int64
+	for _, r := range rows {
+		s := r[c].(string)
+		plain += uvarintLen(uint64(len(s))) + int64(len(s))
+		idx, ok := seen[s]
+		if !ok {
+			idx = uint64(len(seen))
+			seen[s] = idx
+			entries += uvarintLen(uint64(len(s))) + int64(len(s))
+		}
+		idxBytes += uvarintLen(idx)
+	}
+	dict = uvarintLen(uint64(len(seen))) + entries + idxBytes
+	return plain, dict
+}
+
 // ColumnBlockSize returns the exact encoded size of rows in the column-block
-// format, without building the encoding; ok is false when the rows would
+// format — including the per-column encoding choices EncodeColumnBlock will
+// make — without building the encoding; ok is false when the rows would
 // take the gob fallback. The runtime uses it for its checkpoint-bytes
-// metric.
+// metric, so it must stay byte-exact against the encoder.
 func ColumnBlockSize(rows []Row) (int64, bool) {
 	types, ok := inferColumnTypes(rows)
 	if !ok {
@@ -97,18 +153,23 @@ func ColumnBlockSize(rows []Row) (int64, bool) {
 	n := int64(len(colBlockMagic)) + 1
 	n += uvarintLen(uint64(len(types))) + uvarintLen(uint64(len(rows)))
 	for c, t := range types {
-		n++ // type byte
+		n += 2 // type byte + encoding byte
 		switch t {
 		case TypeInt:
-			for _, r := range rows {
-				n += varintLen(r[c].(int64))
+			plain, delta := intColSizes(rows, c)
+			if delta < plain {
+				n += delta
+			} else {
+				n += plain
 			}
 		case TypeFloat:
 			n += int64(8 * len(rows))
 		default:
-			for _, r := range rows {
-				s := r[c].(string)
-				n += uvarintLen(uint64(len(s))) + int64(len(s))
+			plain, dict := stringColSizes(rows, c)
+			if dict < plain {
+				n += dict
+			} else {
+				n += plain
 			}
 		}
 	}
@@ -155,19 +216,61 @@ func EncodeColumnBlock(rows []Row) ([]byte, bool) {
 		buf = append(buf, byte(t))
 		switch t {
 		case TypeInt:
-			for _, r := range rows {
-				buf = binary.AppendVarint(buf, r[c].(int64))
+			// Same tie rule as ColumnBlockSize: delta only when strictly
+			// smaller, so the size prediction stays byte-exact.
+			plain, delta := intColSizes(rows, c)
+			if delta < plain {
+				buf = append(buf, colEncDelta)
+				prev := int64(0)
+				for i, r := range rows {
+					v := r[c].(int64)
+					if i == 0 {
+						buf = binary.AppendVarint(buf, v)
+					} else {
+						buf = binary.AppendVarint(buf, v-prev)
+					}
+					prev = v
+				}
+			} else {
+				buf = append(buf, colEncPlain)
+				for _, r := range rows {
+					buf = binary.AppendVarint(buf, r[c].(int64))
+				}
 			}
 		case TypeFloat:
+			buf = append(buf, colEncPlain)
 			for _, r := range rows {
 				binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(r[c].(float64)))
 				buf = append(buf, scratch[:]...)
 			}
 		default:
-			for _, r := range rows {
-				s := r[c].(string)
-				buf = binary.AppendUvarint(buf, uint64(len(s)))
-				buf = append(buf, s...)
+			plain, dict := stringColSizes(rows, c)
+			if dict < plain {
+				buf = append(buf, colEncDict)
+				seen := make(map[string]uint64)
+				var entries []string
+				for _, r := range rows {
+					s := r[c].(string)
+					if _, ok := seen[s]; !ok {
+						seen[s] = uint64(len(entries))
+						entries = append(entries, s)
+					}
+				}
+				buf = binary.AppendUvarint(buf, uint64(len(entries)))
+				for _, s := range entries {
+					buf = binary.AppendUvarint(buf, uint64(len(s)))
+					buf = append(buf, s...)
+				}
+				for _, r := range rows {
+					buf = binary.AppendUvarint(buf, seen[r[c].(string)])
+				}
+			} else {
+				buf = append(buf, colEncPlain)
+				for _, r := range rows {
+					s := r[c].(string)
+					buf = binary.AppendUvarint(buf, uint64(len(s)))
+					buf = append(buf, s...)
+				}
 			}
 		}
 	}
@@ -185,7 +288,7 @@ func DecodeColumnBlock(r io.Reader) ([]Row, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: column block: %w", err)
 	}
-	if version != colBlockVersion {
+	if version != colBlockVersion1 && version != colBlockVersion {
 		return nil, fmt.Errorf("engine: column block version %d unsupported", version)
 	}
 	ncols, err := binary.ReadUvarint(br)
@@ -209,16 +312,45 @@ func DecodeColumnBlock(r io.Reader) ([]Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("engine: column block: %w", err)
 		}
+		enc := byte(colEncPlain) // version-1 columns are always plain
+		if version == colBlockVersion {
+			enc, err = br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("engine: column block: %w", err)
+			}
+		}
 		switch ColType(tb) {
 		case TypeInt:
-			for i := uint64(0); i < nrows; i++ {
-				v, err := binary.ReadVarint(br)
-				if err != nil {
-					return nil, fmt.Errorf("engine: column block: %w", err)
+			switch enc {
+			case colEncPlain:
+				for i := uint64(0); i < nrows; i++ {
+					v, err := binary.ReadVarint(br)
+					if err != nil {
+						return nil, fmt.Errorf("engine: column block: %w", err)
+					}
+					rows[i][c] = v
 				}
-				rows[i][c] = v
+			case colEncDelta:
+				prev := int64(0)
+				for i := uint64(0); i < nrows; i++ {
+					d, err := binary.ReadVarint(br)
+					if err != nil {
+						return nil, fmt.Errorf("engine: column block: %w", err)
+					}
+					if i == 0 {
+						prev = d
+					} else {
+						prev += d // wrapping addition mirrors the encoder
+					}
+					rows[i][c] = prev
+				}
+			default:
+				return nil, fmt.Errorf("engine: column block int encoding %d unsupported", enc)
 			}
 		case TypeFloat:
+			if enc != colEncPlain {
+				return nil, fmt.Errorf("engine: column block float encoding %d unsupported", enc)
+			}
 			for i := uint64(0); i < nrows; i++ {
 				if err := readFull(br, scratch[:]); err != nil {
 					return nil, fmt.Errorf("engine: column block: %w", err)
@@ -226,19 +358,57 @@ func DecodeColumnBlock(r io.Reader) ([]Row, error) {
 				rows[i][c] = math.Float64frombits(binary.LittleEndian.Uint64(scratch[:]))
 			}
 		case TypeString:
-			for i := uint64(0); i < nrows; i++ {
-				ln, err := binary.ReadUvarint(br)
+			switch enc {
+			case colEncPlain:
+				for i := uint64(0); i < nrows; i++ {
+					ln, err := binary.ReadUvarint(br)
+					if err != nil {
+						return nil, fmt.Errorf("engine: column block: %w", err)
+					}
+					if ln > 1<<30 {
+						return nil, fmt.Errorf("engine: column block string length %d implausible", ln)
+					}
+					b := make([]byte, ln)
+					if err := readFull(br, b); err != nil {
+						return nil, fmt.Errorf("engine: column block: %w", err)
+					}
+					rows[i][c] = string(b)
+				}
+			case colEncDict:
+				ndict, err := binary.ReadUvarint(br)
 				if err != nil {
 					return nil, fmt.Errorf("engine: column block: %w", err)
 				}
-				if ln > 1<<30 {
-					return nil, fmt.Errorf("engine: column block string length %d implausible", ln)
+				if ndict > 1<<30 {
+					return nil, fmt.Errorf("engine: column block dictionary size %d implausible", ndict)
 				}
-				b := make([]byte, ln)
-				if err := readFull(br, b); err != nil {
-					return nil, fmt.Errorf("engine: column block: %w", err)
+				dict := make([]string, ndict)
+				for d := range dict {
+					ln, err := binary.ReadUvarint(br)
+					if err != nil {
+						return nil, fmt.Errorf("engine: column block: %w", err)
+					}
+					if ln > 1<<30 {
+						return nil, fmt.Errorf("engine: column block string length %d implausible", ln)
+					}
+					b := make([]byte, ln)
+					if err := readFull(br, b); err != nil {
+						return nil, fmt.Errorf("engine: column block: %w", err)
+					}
+					dict[d] = string(b)
 				}
-				rows[i][c] = string(b)
+				for i := uint64(0); i < nrows; i++ {
+					idx, err := binary.ReadUvarint(br)
+					if err != nil {
+						return nil, fmt.Errorf("engine: column block: %w", err)
+					}
+					if idx >= ndict {
+						return nil, fmt.Errorf("engine: column block dictionary index %d out of range", idx)
+					}
+					rows[i][c] = dict[idx]
+				}
+			default:
+				return nil, fmt.Errorf("engine: column block string encoding %d unsupported", enc)
 			}
 		default:
 			return nil, fmt.Errorf("engine: column block has unknown column type %d", tb)

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"math"
 	"os"
@@ -147,5 +148,222 @@ func TestDiskStoreGCsOrphanedTempFiles(t *testing.T) {
 	}
 	if rows, ok := d2.Get("op", 0); !ok || len(rows) != 1 {
 		t.Error("orphan GC damaged committed partitions")
+	}
+}
+
+// TestColumnBlockCompressionRoundTrip drives every per-column encoding the
+// v2 format can choose — plain and delta ints (including wrap-around at the
+// int64 extremes), plain floats with NaN/±Inf/-0, plain and dictionary
+// strings — and checks the property the checkpoint-bytes metric depends on:
+// ColumnBlockSize predicts the encoder byte-for-byte, and decode(encode(x))
+// == x.
+func TestColumnBlockCompressionRoundTrip(t *testing.T) {
+	cases := map[string][]Row{
+		"sorted-ints-delta": func() []Row {
+			rows := make([]Row, 500)
+			for i := range rows {
+				rows[i] = Row{int64(1_000_000 + i*3)}
+			}
+			return rows
+		}(),
+		"random-ints-plain": func() []Row {
+			rows := make([]Row, 200)
+			v := int64(982451653)
+			for i := range rows {
+				v = v*6364136223846793005 + 1442695040888963407
+				rows[i] = Row{v}
+			}
+			return rows
+		}(),
+		"int64-extremes": {
+			{int64(math.MaxInt64)}, {int64(math.MinInt64)},
+			{int64(math.MaxInt64)}, {int64(0)}, {int64(math.MinInt64)},
+		},
+		"floats-special": {
+			{math.NaN()}, {math.Inf(1)}, {math.Inf(-1)},
+			{math.Copysign(0, -1)}, {1e308}, {5e-324},
+		},
+		"low-card-strings-dict": func() []Row {
+			rows := make([]Row, 300)
+			status := []string{"PENDING", "SHIPPED", "RETURNED"}
+			for i := range rows {
+				rows[i] = Row{status[i%len(status)]}
+			}
+			return rows
+		}(),
+		"unique-strings-plain": func() []Row {
+			rows := make([]Row, 50)
+			for i := range rows {
+				rows[i] = Row{string(rune('a'+i%26)) + "-unique-suffix-0123456789"}
+			}
+			return rows
+		}(),
+		"mixed-width": func() []Row {
+			rows := make([]Row, 256)
+			region := []string{"ASIA", "EUROPE"}
+			for i := range rows {
+				rows[i] = Row{int64(i), float64(i) * 1.5, region[i%2]}
+			}
+			return rows
+		}(),
+	}
+	for name, rows := range cases {
+		buf, ok := EncodeColumnBlock(rows)
+		if !ok {
+			t.Fatalf("%s: strictly typed rows refused encoding", name)
+		}
+		if size, ok := ColumnBlockSize(rows); !ok || size != int64(len(buf)) {
+			t.Errorf("%s: ColumnBlockSize = %d, encoded %d bytes", name, size, len(buf))
+		}
+		got, err := DecodeBlockFile(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := rows
+		if !equalRowsNaN(got, want) {
+			t.Errorf("%s: round trip mismatch", name)
+		}
+	}
+}
+
+// equalRowsNaN is reflect.DeepEqual with NaN == NaN for float values.
+func equalRowsNaN(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for c := range a[i] {
+			af, aok := a[i][c].(float64)
+			bf, bok := b[i][c].(float64)
+			if aok && bok && math.IsNaN(af) && math.IsNaN(bf) {
+				continue
+			}
+			if !reflect.DeepEqual(a[i][c], b[i][c]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestColumnBlockCompressionShrinks asserts the encoder actually picks the
+// compressed form where it should: near-sequential ints beat plain varints,
+// low-cardinality strings beat repeated literals.
+func TestColumnBlockCompressionShrinks(t *testing.T) {
+	ints := make([]Row, 1000)
+	for i := range ints {
+		ints[i] = Row{int64(5_000_000_000 + i)}
+	}
+	plain, delta := intColSizes(ints, 0)
+	if delta >= plain {
+		t.Fatalf("sequential ints: delta %d not smaller than plain %d", delta, plain)
+	}
+	strs := make([]Row, 1000)
+	for i := range strs {
+		strs[i] = Row{[]string{"AUTOMOBILE", "FURNITURE"}[i%2]}
+	}
+	splain, dict := stringColSizes(strs, 0)
+	if dict >= splain {
+		t.Fatalf("low-cardinality strings: dict %d not smaller than plain %d", dict, splain)
+	}
+	// And the whole-block size reflects the choice.
+	both := make([]Row, 1000)
+	for i := range both {
+		both[i] = Row{ints[i][0], strs[i][0]}
+	}
+	size, ok := ColumnBlockSize(both)
+	if !ok {
+		t.Fatal("typed rows refused sizing")
+	}
+	header := int64(len(colBlockMagic)) + 1 + uvarintLen(2) + uvarintLen(1000) + 2*2
+	if size != header+delta+dict {
+		t.Fatalf("block size %d does not reflect compressed choices (want %d)", size, header+delta+dict)
+	}
+}
+
+// TestColumnBlockReadsVersion1Blocks hand-builds a version-1 block (no
+// per-column encoding byte, always plain) and checks the v2 decoder still
+// reads it — on-disk checkpoints from older builds stay restorable.
+func TestColumnBlockReadsVersion1Blocks(t *testing.T) {
+	want := []Row{
+		{int64(-7), 2.5, "a"},
+		{int64(42), -0.25, "bc"},
+	}
+	buf := []byte(colBlockMagic)
+	buf = append(buf, colBlockVersion1)
+	buf = appendUvarintTest(buf, 3) // ncols
+	buf = appendUvarintTest(buf, 2) // nrows
+	buf = append(buf, byte(TypeInt))
+	buf = appendVarintTest(buf, -7)
+	buf = appendVarintTest(buf, 42)
+	buf = append(buf, byte(TypeFloat))
+	for _, f := range []float64{2.5, -0.25} {
+		var sc [8]byte
+		binary.LittleEndian.PutUint64(sc[:], math.Float64bits(f))
+		buf = append(buf, sc[:]...)
+	}
+	buf = append(buf, byte(TypeString))
+	for _, s := range []string{"a", "bc"} {
+		buf = appendUvarintTest(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	got, err := DecodeBlockFile(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v1 read-back mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+func appendUvarintTest(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func appendVarintTest(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+
+// TestEncodeBlockBytesMatchesStoreFiles pins the invariant the async
+// checkpoint writer's EncodedStore fast path relies on: the pre-encoded
+// bytes are identical to what a direct Put writes, for both the columnar
+// and the FTGB gob fallback encodings.
+func TestEncodeBlockBytesMatchesStoreFiles(t *testing.T) {
+	for name, rows := range map[string][]Row{
+		"columnar": {{int64(1), "x"}, {int64(2), "y"}},
+		"gob":      {{int64(1)}, {2.5}}, // mixed column -> FTGB fallback
+	} {
+		data, err := EncodeBlockBytes(rows)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		dir := t.TempDir()
+		d1, err := NewDiskStore(filepath.Join(dir, "put"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d1.Put("op", 0, rows, 1); err != nil {
+			t.Fatal(err)
+		}
+		d2, err := NewDiskStore(filepath.Join(dir, "enc"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d2.PutEncoded("op", 0, data, 1); err != nil {
+			t.Fatal(err)
+		}
+		f1, err := os.ReadFile(filepath.Join(dir, "put", "op.part0.gob"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2, err := os.ReadFile(filepath.Join(dir, "enc", "op.part0.gob"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(f1, f2) {
+			t.Errorf("%s: PutEncoded file differs from Put file (%d vs %d bytes)", name, len(f2), len(f1))
+		}
+		got, ok := d2.Get("op", 0)
+		if !ok || !reflect.DeepEqual(got, rows) {
+			t.Errorf("%s: PutEncoded read-back mismatch: ok=%v got=%v", name, ok, got)
+		}
 	}
 }

@@ -27,9 +27,20 @@ type Store interface {
 	Len() int
 }
 
+// EncodedStore is implemented by stores that accept a partition already
+// serialized in the block-file format. The runtime's checkpoint writer uses
+// it to overlap encoding with the previous partition's write: the encode
+// stage produces the bytes off the write path, and the write stage persists
+// them without re-encoding. The data must come from EncodeBlockBytes so
+// every reader (Get, DecodeBlockFile) understands it.
+type EncodedStore interface {
+	PutEncoded(op string, part int, data []byte, parts int) error
+}
+
 var (
-	_ Store = (*MatStore)(nil)
-	_ Store = (*DiskStore)(nil)
+	_ Store        = (*MatStore)(nil)
+	_ Store        = (*DiskStore)(nil)
+	_ EncodedStore = (*DiskStore)(nil)
 )
 
 func init() {
@@ -107,11 +118,33 @@ func (d *DiskStore) Put(op string, part int, rows []Row, parts int) error {
 }
 
 func (d *DiskStore) putLocked(op string, part int, rows []Row) error {
+	data, err := EncodeBlockBytes(rows)
+	if err != nil {
+		return err
+	}
+	return d.putEncodedLocked(op, part, data)
+}
+
+// PutEncoded implements EncodedStore with the same crash-safe tmp+fsync+
+// rename protocol as Put, skipping the encode step.
+func (d *DiskStore) PutEncoded(op string, part int, data []byte, parts int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.putEncodedLocked(op, part, data); err != nil {
+		if d.err == nil {
+			d.err = err
+		}
+		return err
+	}
+	return nil
+}
+
+func (d *DiskStore) putEncodedLocked(op string, part int, data []byte) error {
 	tmp, err := os.CreateTemp(d.dir, "put-*")
 	if err != nil {
 		return err
 	}
-	if err := writeBlockFile(tmp, rows); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return err
@@ -161,6 +194,21 @@ func writeBlockFile(w io.Writer, rows []Row) error {
 		rows = []Row{}
 	}
 	return gob.NewEncoder(w).Encode(rows)
+}
+
+// EncodeBlockBytes serializes one partition to the exact bytes writeBlockFile
+// would stream — column block or magic-prefixed gob — so off-path encoders
+// (the runtime's async checkpoint writer) produce files identical to the
+// staged executor's.
+func EncodeBlockBytes(rows []Row) ([]byte, error) {
+	if buf, ok := EncodeColumnBlock(rows); ok {
+		return buf, nil
+	}
+	var b bytes.Buffer
+	if err := writeBlockFile(&b, rows); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
 }
 
 // gobDecodeRows decodes a gob-encoded row slice from data.

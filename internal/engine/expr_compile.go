@@ -17,12 +17,17 @@ type CompiledExpr struct {
 	Type ColType
 	// eval produces a dense result vector for the selected rows of b.
 	// sel lists physical row positions (nil = all rows of b's columns).
-	eval func(b *Batch, sel []int32) (Vector, error)
+	// loc, when non-nil, supplies recycled buffers for the result and for
+	// intermediates; operand vectors are released back to it as soon as the
+	// node has consumed them, so expression trees run allocation-free in the
+	// steady state. With loc non-nil the result never aliases b's storage
+	// (columns are copied), so callers may release b immediately after.
+	eval func(b *Batch, sel []int32, loc *Local) (Vector, error)
 }
 
 // Eval evaluates the expression over the logical rows of a columnar batch,
 // returning a dense vector aligned with the batch's selection.
-func (c *CompiledExpr) Eval(b *Batch) (Vector, error) { return c.eval(b, b.Sel) }
+func (c *CompiledExpr) Eval(b *Batch) (Vector, error) { return c.eval(b, b.Sel, nil) }
 
 func selCount(b *Batch, sel []int32) int {
 	if sel != nil {
@@ -51,9 +56,16 @@ func Compile(e Expr, schema Schema) (*CompiledExpr, error) {
 		}
 		return &CompiledExpr{
 			Type: schema[idx].Type,
-			eval: func(b *Batch, sel []int32) (Vector, error) {
+			eval: func(b *Batch, sel []int32, loc *Local) (Vector, error) {
+				if loc != nil {
+					// Copy into recycled storage: the result must outlive b,
+					// whose (possibly pooled) columns the caller may release.
+					return loc.gatherVector(&b.Cols[idx], sel, b.nrows), nil
+				}
 				if sel == nil {
-					return b.Cols[idx], nil
+					src := &b.Cols[idx]
+					// Alias the column storage, but never the ownership flag.
+					return Vector{Type: src.Type, Ints: src.Ints, Floats: src.Floats, Strings: src.Strings}, nil
 				}
 				return b.Cols[idx].gather(sel), nil
 			},
@@ -74,31 +86,31 @@ func Compile(e Expr, schema Schema) (*CompiledExpr, error) {
 func compileConst(c Const) (*CompiledExpr, error) {
 	switch v := c.V.(type) {
 	case int64:
-		return &CompiledExpr{Type: TypeInt, eval: func(b *Batch, sel []int32) (Vector, error) {
+		return &CompiledExpr{Type: TypeInt, eval: func(b *Batch, sel []int32, loc *Local) (Vector, error) {
 			n := selCount(b, sel)
-			out := make([]int64, n)
+			out := loc.ints(n)
 			for i := range out {
 				out[i] = v
 			}
-			return Vector{Type: TypeInt, Ints: out}, nil
+			return Vector{Type: TypeInt, Ints: out, pooled: loc != nil}, nil
 		}}, nil
 	case float64:
-		return &CompiledExpr{Type: TypeFloat, eval: func(b *Batch, sel []int32) (Vector, error) {
+		return &CompiledExpr{Type: TypeFloat, eval: func(b *Batch, sel []int32, loc *Local) (Vector, error) {
 			n := selCount(b, sel)
-			out := make([]float64, n)
+			out := loc.floats(n)
 			for i := range out {
 				out[i] = v
 			}
-			return Vector{Type: TypeFloat, Floats: out}, nil
+			return Vector{Type: TypeFloat, Floats: out, pooled: loc != nil}, nil
 		}}, nil
 	case string:
-		return &CompiledExpr{Type: TypeString, eval: func(b *Batch, sel []int32) (Vector, error) {
+		return &CompiledExpr{Type: TypeString, eval: func(b *Batch, sel []int32, loc *Local) (Vector, error) {
 			n := selCount(b, sel)
-			out := make([]string, n)
+			out := loc.strs(n)
 			for i := range out {
 				out[i] = v
 			}
-			return Vector{Type: TypeString, Strings: out}, nil
+			return Vector{Type: TypeString, Strings: out, pooled: loc != nil}, nil
 		}}, nil
 	default:
 		// Plain ints and other boxed types have no vector representation;
@@ -134,17 +146,17 @@ func compileCmp(c Cmp, schema Schema) (*CompiledExpr, error) {
 	}
 	op := c.Op
 	lt, rt := l.Type, r.Type
-	return &CompiledExpr{Type: TypeInt, eval: func(b *Batch, sel []int32) (Vector, error) {
-		lv, err := l.eval(b, sel)
+	return &CompiledExpr{Type: TypeInt, eval: func(b *Batch, sel []int32, loc *Local) (Vector, error) {
+		lv, err := l.eval(b, sel, loc)
 		if err != nil {
 			return Vector{}, err
 		}
-		rv, err := r.eval(b, sel)
+		rv, err := r.eval(b, sel, loc)
 		if err != nil {
 			return Vector{}, err
 		}
 		n := selCount(b, sel)
-		out := make([]int64, n)
+		out := loc.ints(n)
 		switch {
 		case lt != TypeString && rt != TypeString:
 			for i := 0; i < n; i++ {
@@ -178,7 +190,9 @@ func compileCmp(c Cmp, schema Schema) (*CompiledExpr, error) {
 				return Vector{}, fmt.Errorf("engine: cannot compare string with %s", goTypeName(rt))
 			}
 		}
-		return Vector{Type: TypeInt, Ints: out}, nil
+		lv.Release(loc)
+		rv.Release(loc)
+		return Vector{Type: TypeInt, Ints: out, pooled: loc != nil}, nil
 	}}, nil
 }
 
@@ -217,9 +231,10 @@ func compileAnd(a And, schema Schema) (*CompiledExpr, error) {
 		}
 		parts[i] = c
 	}
-	return &CompiledExpr{Type: TypeInt, eval: func(b *Batch, sel []int32) (Vector, error) {
+	return &CompiledExpr{Type: TypeInt, eval: func(b *Batch, sel []int32, loc *Local) (Vector, error) {
 		n := selCount(b, sel)
-		out := make([]int64, n)
+		out := loc.ints(n)
+		clear(out) // recycled buffers carry stale values
 		// active maps the still-true rows: phys[i] is the physical position
 		// to evaluate, orig[i] the index in the dense output.
 		phys := sel
@@ -229,7 +244,7 @@ func compileAnd(a And, schema Schema) (*CompiledExpr, error) {
 			if active == 0 {
 				break
 			}
-			v, err := c.eval(b, phys)
+			v, err := c.eval(b, phys, loc)
 			if err != nil {
 				return Vector{}, err
 			}
@@ -255,6 +270,7 @@ func compileAnd(a And, schema Schema) (*CompiledExpr, error) {
 				nextPhys = append(nextPhys, p)
 				nextOrig = append(nextOrig, o)
 			}
+			v.Release(loc)
 			phys, orig = nextPhys, nextOrig
 			active = len(nextPhys)
 		}
@@ -269,7 +285,7 @@ func compileAnd(a And, schema Schema) (*CompiledExpr, error) {
 				out[o] = 1
 			}
 		}
-		return Vector{Type: TypeInt, Ints: out}, nil
+		return Vector{Type: TypeInt, Ints: out, pooled: loc != nil}, nil
 	}}, nil
 }
 
@@ -287,12 +303,12 @@ func compileArith(a Arith, schema Schema) (*CompiledExpr, error) {
 	}
 	op := a.Op
 	lt, rt := l.Type, r.Type
-	return &CompiledExpr{Type: TypeFloat, eval: func(b *Batch, sel []int32) (Vector, error) {
-		lv, err := l.eval(b, sel)
+	return &CompiledExpr{Type: TypeFloat, eval: func(b *Batch, sel []int32, loc *Local) (Vector, error) {
+		lv, err := l.eval(b, sel, loc)
 		if err != nil {
 			return Vector{}, err
 		}
-		rv, err := r.eval(b, sel)
+		rv, err := r.eval(b, sel, loc)
 		if err != nil {
 			return Vector{}, err
 		}
@@ -305,7 +321,7 @@ func compileArith(a Arith, schema Schema) (*CompiledExpr, error) {
 				return Vector{}, fmt.Errorf("engine: arithmetic over string")
 			}
 		}
-		out := make([]float64, n)
+		out := loc.floats(n)
 		switch op {
 		case Add:
 			for i := 0; i < n; i++ {
@@ -328,7 +344,9 @@ func compileArith(a Arith, schema Schema) (*CompiledExpr, error) {
 				out[i] = numAt(&lv, i) / fr
 			}
 		}
-		return Vector{Type: TypeFloat, Floats: out}, nil
+		lv.Release(loc)
+		rv.Release(loc)
+		return Vector{Type: TypeFloat, Floats: out, pooled: loc != nil}, nil
 	}}, nil
 }
 
@@ -378,7 +396,7 @@ func (p *CompiledPredicate) Filter(b *Batch) ([]int32, error) {
 		if !first && len(sel) == 0 {
 			break
 		}
-		v, err := c.eval(b, sel)
+		v, err := c.eval(b, sel, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -412,6 +430,68 @@ func (p *CompiledPredicate) Filter(b *Batch) ([]int32, error) {
 		for i := range sel {
 			sel[i] = int32(i)
 		}
+	}
+	return sel, nil
+}
+
+// filterInto is Filter with arena-recycled selection buffers: the returned
+// selection is always a fresh buffer owned by loc (never b.Sel, so the caller
+// may mark it pooled and release it independently of the input), and conjunct
+// result vectors are recycled as soon as each narrowing pass consumes them.
+// Selection order and error semantics match Filter exactly.
+func (p *CompiledPredicate) filterInto(b *Batch, loc *Local) ([]int32, error) {
+	sel := b.Sel
+	owned := false // whether sel is a loc-owned buffer we may recycle
+	n := selCount(b, sel)
+	if n == 0 {
+		return loc.sel(0), nil
+	}
+	first := true
+	for _, c := range p.conjuncts {
+		if !first && len(sel) == 0 {
+			break
+		}
+		v, err := c.eval(b, sel, loc)
+		if err != nil {
+			return nil, err
+		}
+		if c.Type == TypeString {
+			if p.fromAnd {
+				return nil, fmt.Errorf("engine: AND over non-numeric string")
+			}
+			return nil, fmt.Errorf("engine: predicate returned non-numeric string")
+		}
+		cnt := selCount(b, sel)
+		next := loc.sel(cnt)[:0]
+		for i := 0; i < cnt; i++ {
+			if numAt(&v, i) == 0 {
+				continue
+			}
+			if sel != nil {
+				next = append(next, sel[i])
+			} else {
+				next = append(next, int32(i))
+			}
+		}
+		v.Release(loc)
+		if owned {
+			loc.putSel(sel)
+		}
+		sel, owned = next, true
+		first = false
+	}
+	if !owned {
+		// No conjunct ran (or none at all): copy the identity / inherited
+		// selection into an owned buffer so the caller never frees b.Sel.
+		out := loc.sel(n)
+		if sel == nil {
+			for i := range out {
+				out[i] = int32(i)
+			}
+		} else {
+			copy(out, sel)
+		}
+		return out, nil
 	}
 	return sel, nil
 }

@@ -126,7 +126,7 @@ func FuzzCompiledExpr(f *testing.F) {
 		if err != nil {
 			t.Fatalf("generated rows are not strictly typed: %v", err)
 		}
-		vec, cerr := ce.eval(b, nil)
+		vec, cerr := ce.eval(b, nil, nil)
 		if wantErr != nil {
 			if cerr == nil {
 				t.Fatalf("interpreted failed (%v) but compiled succeeded\nexpr=%#v rows=%v", wantErr, e, rows)

@@ -24,15 +24,25 @@ type BatchKernel interface {
 // has no batch kernel (wide or multi-input operators compute whole
 // partitions).
 func NewOperatorKernel(op Operator) (BatchKernel, bool) {
+	return NewOperatorKernelLocal(op, nil)
+}
+
+// NewOperatorKernelLocal is NewOperatorKernel with an arena Local attached:
+// the kernel draws its output buffers from loc and consumes (releases) each
+// input batch it successfully processes, so a pipelined chain of kernels
+// recycles its buffers batch over batch. A nil loc disables recycling — the
+// kernel then neither pools outputs nor releases inputs, which is the staged
+// executor's mode.
+func NewOperatorKernelLocal(op Operator, loc *Local) (BatchKernel, bool) {
 	switch o := op.(type) {
 	case *Select:
-		return &filterKernel{op: o}, true
+		return &filterKernel{op: o, loc: loc}, true
 	case *Project:
-		return &projectKernel{op: o}, true
+		return &projectKernel{op: o, loc: loc}, true
 	case *HashAggregate:
-		return newAggKernel(o), true
+		return newAggKernelLocal(o, loc), true
 	case *Limit:
-		return &limitKernel{remaining: o.n}, true
+		return &limitKernel{remaining: o.n, loc: loc}, true
 	default:
 		return nil, false
 	}
@@ -66,6 +76,44 @@ func kernelRows(k BatchKernel, inSchema Schema, parts ...[]Row) ([]Row, error) {
 	return out, nil
 }
 
+// kernelBatches feeds whole input batches through a kernel and concatenates
+// the outputs — the batch-native analogue of kernelRows, used by wide
+// operators' ComputeBatch (final aggregation merge, limit over all parts).
+// Inputs are only read; single-batch outputs pass through without copying.
+func kernelBatches(k BatchKernel, outSchema Schema, ins ...*Batch) (*Batch, error) {
+	var outs []*Batch
+	for _, in := range ins {
+		if in.Len() == 0 {
+			continue
+		}
+		ob, err := k.Process(in)
+		if err != nil {
+			return nil, err
+		}
+		if ob.Len() > 0 {
+			outs = append(outs, ob)
+		}
+	}
+	fb, err := k.Flush()
+	if err != nil {
+		return nil, err
+	}
+	if fb.Len() > 0 {
+		outs = append(outs, fb)
+	}
+	switch len(outs) {
+	case 0:
+		return nil, nil
+	case 1:
+		return outs[0], nil
+	}
+	bb := NewBatchBuilder(outSchema)
+	for _, ob := range outs {
+		bb.Append(ob)
+	}
+	return bb.Finish(), nil
+}
+
 // rawRows exposes the batch's logical rows for interpreted fallback paths.
 func (b *Batch) rawRows() []Row {
 	if b.raw != nil {
@@ -78,16 +126,35 @@ func (b *Batch) rawRows() []Row {
 // predicate narrows the selection vector without touching column data; raw
 // batches (or uncompilable predicates) run the interpreted row loop.
 type filterKernel struct {
-	op *Select
+	op  *Select
+	loc *Local
 }
 
 func (k *filterKernel) Process(b *Batch) (*Batch, error) {
 	if !b.IsRaw() && k.op.cpred != nil {
-		sel, err := k.op.cpred.Filter(b)
+		sel, err := k.op.cpred.filterInto(b, k.loc)
 		if err != nil {
 			return nil, err
 		}
-		return &Batch{Schema: b.Schema, Cols: b.Cols, Sel: sel, nrows: b.nrows}, nil
+		if k.loc == nil {
+			// Staged mode: the input may be a shared committed batch, so it is
+			// only read — the output aliases its columns under a new shell.
+			return &Batch{Schema: b.Schema, Cols: b.Cols, Sel: sel, nrows: b.nrows}, nil
+		}
+		// Transfer the input's column storage to the output and recycle the
+		// input's shell before drawing the output's, so in the steady state
+		// the same shell cycles between input and output.
+		cols, colsPooled := b.takeCols()
+		schema, nrows := b.Schema, b.nrows
+		b.releaseShell(k.loc)
+		out := k.loc.newBatch()
+		out.Schema = schema
+		out.Cols = cols
+		out.colsPooled = colsPooled
+		out.Sel = sel
+		out.selPooled = true
+		out.nrows = nrows
+		return out, nil
 	}
 	var out []Row
 	for _, r := range b.rawRows() {
@@ -107,20 +174,31 @@ func (k *filterKernel) Flush() (*Batch, error) { return nil, nil }
 // projectKernel evaluates Project expressions. Compiled expressions produce
 // output vectors directly; otherwise the interpreted per-row loop runs.
 type projectKernel struct {
-	op *Project
+	op  *Project
+	loc *Local
 }
 
 func (k *projectKernel) Process(b *Batch) (*Batch, error) {
 	if !b.IsRaw() && k.op.cexprs != nil {
-		cols := make([]Vector, len(k.op.cexprs))
+		n := b.Len()
+		cols := k.loc.cols(len(k.op.cexprs))
 		for i, ce := range k.op.cexprs {
-			v, err := ce.eval(b, b.Sel)
+			v, err := ce.eval(b, b.Sel, k.loc)
 			if err != nil {
 				return nil, err
 			}
 			cols[i] = v
 		}
-		return &Batch{Schema: k.op.schema, Cols: cols, nrows: b.Len()}, nil
+		// With an arena attached the evaluated vectors are copies, so the
+		// input (storage and shell) recycles before the output shell is
+		// drawn; without one they may alias b, which stays untouched.
+		b.Release(k.loc)
+		out := k.loc.newBatch()
+		out.Schema = k.op.schema
+		out.Cols = cols
+		out.colsPooled = k.loc != nil
+		out.nrows = n
+		return out, nil
 	}
 	in := b.rawRows()
 	out := make([]Row, 0, len(in))
@@ -147,13 +225,16 @@ func (k *projectKernel) Flush() (*Batch, error) { return nil, nil }
 // render values the same way on both paths).
 type aggKernel struct {
 	op     *HashAggregate
+	loc    *Local
 	groups map[string]*aggState
 	order  []string
 	sig    []byte // reused per-row signature buffer
 }
 
-func newAggKernel(op *HashAggregate) *aggKernel {
-	return &aggKernel{op: op, groups: make(map[string]*aggState)}
+func newAggKernel(op *HashAggregate) *aggKernel { return newAggKernelLocal(op, nil) }
+
+func newAggKernelLocal(op *HashAggregate, loc *Local) *aggKernel {
+	return &aggKernel{op: op, loc: loc, groups: make(map[string]*aggState)}
 }
 
 // appendSigValue renders one group-key value exactly like the interpreted
@@ -172,6 +253,7 @@ func appendSigValue(dst []byte, v *Vector, p int) []byte {
 
 func (k *aggKernel) Process(b *Batch) (*Batch, error) {
 	if b.Len() == 0 {
+		b.Release(k.loc)
 		return nil, nil
 	}
 	if b.IsRaw() {
@@ -236,6 +318,9 @@ func (k *aggKernel) Process(b *Batch) (*Batch, error) {
 			}
 		}
 	}
+	// The group state boxes its own copies of the key values, so the input's
+	// storage is no longer referenced and can recycle.
+	b.Release(k.loc)
 	return nil, nil
 }
 
@@ -316,10 +401,12 @@ func (k *aggKernel) Flush() (*Batch, error) {
 // zero-copy slice of each batch until the budget runs out.
 type limitKernel struct {
 	remaining int
+	loc       *Local
 }
 
 func (k *limitKernel) Process(b *Batch) (*Batch, error) {
 	if k.remaining <= 0 {
+		b.Release(k.loc)
 		return nil, nil
 	}
 	n := b.Len()
@@ -327,7 +414,9 @@ func (k *limitKernel) Process(b *Batch) (*Batch, error) {
 		k.remaining -= n
 		return b, nil
 	}
-	out := b.Slice(0, k.remaining)
+	// The slice shares b's column storage, so b itself is not released — it
+	// leaks to the GC once at the limit boundary, which is always safe.
+	out := b.SliceLocal(0, k.remaining, k.loc)
 	k.remaining = 0
 	return out, nil
 }

@@ -118,19 +118,20 @@ func (s *Scan) Compiled() bool { return s.filter == nil || s.cpred != nil }
 
 // Compute implements Operator (the row face of ComputeBatch).
 func (s *Scan) Compute(part int, _ []*PartitionedResult) ([]Row, error) {
-	b, err := s.ComputeBatch(part)
+	b, err := s.ComputeBatch(part, nil)
 	if err != nil || b == nil {
 		return nil, err
 	}
 	return b.ToRows(), nil
 }
 
-// ComputeBatch produces one partition natively as a batch. Columnar table
-// partitions flow through the compiled predicate (a selection-vector filter,
-// no row boxing) and a zero-copy column projection; tables without a columnar
-// representation — or filters that did not compile — run the interpreted row
-// loop and return a raw batch.
-func (s *Scan) ComputeBatch(part int) (*Batch, error) {
+// ComputeBatch implements BatchOperator, producing one partition natively as
+// a batch (the inputs argument is unused: base tables have no producers).
+// Columnar table partitions flow through the compiled predicate (a
+// selection-vector filter, no row boxing) and a zero-copy column projection;
+// tables without a columnar representation — or filters that did not
+// compile — run the interpreted row loop and return a raw batch.
+func (s *Scan) ComputeBatch(part int, _ []*BatchResult) (*Batch, error) {
 	if part < 0 || part >= len(s.table.Parts) {
 		return nil, fmt.Errorf("engine: scan %s partition %d out of range", s.name, part)
 	}

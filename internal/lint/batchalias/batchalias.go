@@ -16,14 +16,21 @@ import (
 )
 
 // Analyzer flags mutations of input Batch/Vector backing storage in the
-// engine's kernel code.
+// engine's kernel code, and writes to batches after their Release — a
+// released batch's buffers belong to the arena and may already back another
+// batch.
 var Analyzer = &analysis.Analyzer{
 	Name: "batchalias",
 	Doc: "kernels in internal/engine must not mutate the backing slices of " +
 		"input Batch/Vector values; allocate fresh output vectors or narrow " +
-		"rows through a new selection vector",
+		"rows through a new selection vector. Batches and vectors must not be " +
+		"written after Release/releaseShell returned their buffers to the arena",
 	Run: run,
 }
+
+// releaseMethods are the arena ownership sinks: after one of these is called
+// on a Batch/Vector variable, the variable's buffers may be reused elsewhere.
+var releaseMethods = map[string]bool{"Release": true, "releaseShell": true}
 
 // batchTypes are the parameter type names whose storage is shared.
 var batchTypes = map[string]bool{"Batch": true, "Vector": true}
@@ -55,13 +62,26 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 			}
 		}
 	}
-	if len(tainted) == 0 {
-		return
+	// The receiver is exempt from both rules: a *Batch method owns its
+	// receiver, including the release machinery itself.
+	recv := make(map[types.Object]bool)
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					recv[obj] = true
+				}
+			}
+		}
 	}
 	// killed records value-copy fields that were re-pointed at fresh storage
 	// (vec := b.Cols[0]; vec.Ints = make(...)): writes through them no longer
 	// reach the input.
 	killed := make(map[types.Object]map[string]bool)
+	// released records Batch/Vector variables whose buffers have been returned
+	// to the arena (b.Release(loc) / b.releaseShell(loc)); any later write
+	// through them races with whoever the arena hands the buffers to next.
+	released := make(map[types.Object]bool)
 
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch s := n.(type) {
@@ -91,6 +111,9 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 					if obj == nil {
 						continue
 					}
+					// Re-binding the variable itself (b = next, b := loc.newBatch())
+					// supersedes a prior release.
+					delete(released, obj)
 					if fresh || !aliasType(pass, rhs) {
 						// Strong update: re-pointing the variable at fresh
 						// storage (sel = make(...), sel = next) ends its
@@ -106,7 +129,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 				}
 			}
 			for _, lhs := range s.Lhs {
-				checkWrite(pass, tainted, killed, lhs)
+				checkWrite(pass, tainted, killed, released, lhs)
 			}
 		case *ast.RangeStmt:
 			if rootTainted(pass, tainted, s.X) {
@@ -117,11 +140,22 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 				}
 			}
 		case *ast.IncDecStmt:
-			checkWrite(pass, tainted, killed, s.X)
+			checkWrite(pass, tainted, killed, released, s.X)
 		case *ast.CallExpr:
 			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok && id.Name == "append" && len(s.Args) > 0 {
 				if rootTainted(pass, tainted, s.Args[0]) {
 					pass.Reportf(s.Pos(), "append to an input batch's backing slice may write in place past len; build the output in a fresh slice")
+				}
+				if obj := rootObj(pass, s.Args[0]); obj != nil && released[obj] {
+					pass.Reportf(s.Pos(), "append through a released batch's storage; the arena may already have handed its buffers to another batch")
+				}
+			}
+			if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok && releaseMethods[sel.Sel.Name] {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					obj := identObj(pass, id)
+					if obj != nil && !recv[obj] && batchTypes[analysis.NamedTypeName(obj.Type())] {
+						released[obj] = true
+					}
 				}
 			}
 		}
@@ -129,10 +163,17 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 	})
 }
 
-// checkWrite flags an assignment target that reaches tainted backing storage:
-// an element write anywhere along the path, or a field write through a
-// pointer to a tainted value.
-func checkWrite(pass *analysis.Pass, tainted map[types.Object]bool, killed map[types.Object]map[string]bool, lhs ast.Expr) {
+// checkWrite flags an assignment target that reaches tainted backing storage
+// (an element write anywhere along the path, or a field write through a
+// pointer to a tainted value) or any write through a released Batch/Vector.
+func checkWrite(pass *analysis.Pass, tainted map[types.Object]bool, killed map[types.Object]map[string]bool, released map[types.Object]bool, lhs ast.Expr) {
+	if obj := rootObj(pass, lhs); obj != nil && released[obj] {
+		switch ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr:
+			pass.Reportf(lhs.Pos(), "write to a released batch; Release transferred its buffers to the arena, which may already back another batch")
+			return
+		}
+	}
 	if !rootTainted(pass, tainted, lhs) {
 		return
 	}
@@ -158,6 +199,13 @@ func checkWrite(pass *analysis.Pass, tainted map[types.Object]bool, killed map[t
 // address-of, slicing) down to the base identifier and reports whether it is
 // tainted.
 func rootTainted(pass *analysis.Pass, tainted map[types.Object]bool, e ast.Expr) bool {
+	obj := rootObj(pass, e)
+	return obj != nil && tainted[obj]
+}
+
+// rootObj walks an access path down to its base identifier's object (nil when
+// the path does not bottom out in an identifier).
+func rootObj(pass *analysis.Pass, e ast.Expr) types.Object {
 	for {
 		switch x := e.(type) {
 		case *ast.ParenExpr:
@@ -173,13 +221,9 @@ func rootTainted(pass *analysis.Pass, tainted map[types.Object]bool, e ast.Expr)
 		case *ast.UnaryExpr:
 			e = x.X
 		case *ast.Ident:
-			obj := pass.TypesInfo.Uses[x]
-			if obj == nil {
-				obj = pass.TypesInfo.Defs[x]
-			}
-			return obj != nil && tainted[obj]
+			return identObj(pass, x)
 		default:
-			return false
+			return nil
 		}
 	}
 }

@@ -103,3 +103,94 @@ func suppressed(b *Batch) {
 	//lint:ignore batchalias fixture exercises suppression
 	b.Cols[0].Ints[0] = 1
 }
+
+// Local mirrors the arena's per-goroutine freelist; Release and releaseShell
+// are the ownership sinks the write-after-release rule tracks.
+type Local struct{}
+
+// Release mirrors the arena ownership sink on Batch.
+func (b *Batch) Release(l *Local) {}
+
+// releaseShell mirrors the shell-only sink.
+func (b *Batch) releaseShell(l *Local) {}
+
+// Release mirrors the vector-level sink.
+func (v *Vector) Release(l *Local) {}
+
+// badWriteAfterRelease uses a LOCAL batch, so only the release rule can fire:
+// the write races with whoever the arena hands the buffers to next.
+func badWriteAfterRelease(l *Local) {
+	b := &Batch{Sel: make([]int32, 4)}
+	b.Release(l)
+	b.Sel = nil // want `write to a released batch`
+}
+
+func badIndexWriteAfterRelease(l *Local) {
+	b := &Batch{Cols: []Vector{{Ints: make([]int64, 4)}}}
+	b.Release(l)
+	b.Cols[0].Ints[0] = 1 // want `write to a released batch`
+}
+
+func badWriteAfterReleaseShell(l *Local) {
+	b := &Batch{Sel: make([]int32, 4)}
+	b.releaseShell(l)
+	b.Sel = nil // want `write to a released batch`
+}
+
+func badAppendAfterRelease(l *Local) []int32 {
+	b := &Batch{Sel: make([]int32, 4)}
+	b.Release(l)
+	return append(b.Sel, 1) // want `append through a released batch`
+}
+
+func badVectorWriteAfterRelease(l *Local) {
+	v := Vector{Ints: make([]int64, 4)}
+	v.Release(l)
+	v.Ints[0] = 2 // want `write to a released batch`
+}
+
+// badParamWriteAfterRelease releases a shared input and then writes it — the
+// release rule outranks the plain aliasing rule for the same statement.
+func badParamWriteAfterRelease(b *Batch, l *Local) {
+	b.Release(l)
+	b.Sel = nil // want `write to a released batch`
+}
+
+// goodRebindAfterRelease re-points the variable at a fresh batch, which
+// supersedes the release — the steady-state kernel shape (release input,
+// draw a fresh shell, populate it).
+func goodRebindAfterRelease(l *Local) {
+	b := &Batch{Sel: make([]int32, 4)}
+	b.Release(l)
+	b = &Batch{}
+	b.Sel = make([]int32, 2)
+	_ = b
+}
+
+// goodReleaseLast mirrors the join-probe gather: both inputs are read into a
+// fresh output, and the consumed side is released only after its last read.
+func goodProbeGather(probe, build *Batch, l *Local) Vector {
+	out := Vector{Ints: make([]int64, len(probe.Sel))}
+	for i, p := range probe.Sel {
+		out.Ints[i] = build.Cols[0].Ints[p]
+	}
+	probe.Release(l)
+	return out
+}
+
+// badJoinBuildWrite mirrors a join kernel writing into its build side — the
+// classic aliasing violation on a wide operator.
+func badJoinBuildWrite(probe, build *Batch) {
+	build.Cols[0].Ints[0] = probe.Cols[0].Ints[0] // want `write into an input batch's backing storage`
+}
+
+// goodExchangeScatter mirrors exchange's hash+scatter: shared input columns
+// are only read; each partition gets a freshly built selection.
+func goodExchangeScatter(b *Batch, parts int) [][]int32 {
+	sels := make([][]int32, parts)
+	for i, v := range b.Cols[0].Ints {
+		p := int(v) % parts
+		sels[p] = append(sels[p], int32(i))
+	}
+	return sels
+}

@@ -62,7 +62,9 @@ type OpObservation struct {
 	Recoveries   int           `json:"recoveries"`
 	RecoveryWall time.Duration `json:"recovery_wall"`
 	// CheckpointBytes / CheckpointWall aggregate the group's materialization
-	// writes.
+	// writes. Bytes are the exact on-disk size after FTCB per-column
+	// compression — the realized tm(o) footprint, not the in-memory row
+	// volume the cost model predicts from.
 	CheckpointBytes int64         `json:"checkpoint_bytes"`
 	CheckpointWall  time.Duration `json:"checkpoint_wall"`
 	// Rows is the number of rows committed at the group's stage sinks.

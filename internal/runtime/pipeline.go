@@ -65,9 +65,13 @@ func (a *attempts) peek(op string, part int) int {
 // connected by buffered channels of typed columnar batches: the source
 // computes its output and streams it batch-at-a-time; every chained operator
 // transforms batches concurrently through a fresh kernel; the calling
-// goroutine is the sink. An injected failure kills the worker mid-stream by
-// cancelling the partition context, which tears down the whole chain.
-func (rn *run) runPipeline(ctx context.Context, s *stage, part int, inputs []*engine.PartitionedResult) ([]engine.Row, error) {
+// goroutine is the sink, draining the stream column-wise into one committed
+// batch. Sending a batch down a channel transfers ownership: each stage of
+// the chain releases consumed batches into its own arena Local, so buffers
+// recycle batch over batch. An injected failure kills the worker mid-stream
+// by cancelling the partition context, which tears down the whole chain
+// (batches in flight then simply leak to the GC, which is always safe).
+func (rn *run) runPipeline(ctx context.Context, s *stage, part int, inputs []*engine.BatchResult) (*engine.Batch, error) {
 	pctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -84,7 +88,9 @@ func (rn *run) runPipeline(ctx context.Context, s *stage, part int, inputs []*en
 		in = out
 	}
 
-	var rows []engine.Row
+	loc := rn.cfg.Arena.Local()
+	defer loc.Close()
+	bb := engine.NewBatchBuilder(s.terminal().OutSchema())
 	for open := true; open; {
 		select {
 		case b, ok := <-in:
@@ -92,7 +98,8 @@ func (rn *run) runPipeline(ctx context.Context, s *stage, part int, inputs []*en
 				open = false
 				break
 			}
-			rows = b.AppendRows(rows)
+			bb.Append(b)
+			b.Release(loc)
 		case <-pctx.Done():
 			open = false
 		}
@@ -126,28 +133,27 @@ func (rn *run) runPipeline(ctx context.Context, s *stage, part int, inputs []*en
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return rows, nil
+	return bb.Finish(), nil
 }
 
 // sourceBatch computes the source operator's output for one partition as a
-// single batch. Scans produce columnar batches natively; other sources
-// compute rows and convert — strictly columnar when the stage has chained
-// kernels to feed, a zero-cost raw wrapper when the sink is next.
-func (rn *run) sourceBatch(s *stage, part int, inputs []*engine.PartitionedResult) (*engine.Batch, error) {
+// single batch. Every in-tree operator is batch-native (engine.BatchOperator)
+// and produces its partition columnar straight from the input batch results;
+// row-only operators from outside the tree compute rows and convert once.
+func (rn *run) sourceBatch(s *stage, part int, inputs []*engine.BatchResult) (*engine.Batch, error) {
 	op := s.source()
-	if sc, ok := op.(*engine.Scan); ok {
-		return sc.ComputeBatch(part)
+	if bo, ok := op.(engine.BatchOperator); ok {
+		return bo.ComputeBatch(part, inputs)
 	}
-	rows, err := op.Compute(part, inputs)
+	rowInputs := make([]*engine.PartitionedResult, len(inputs))
+	for i, in := range inputs {
+		rowInputs[i] = in.ToPartitioned()
+	}
+	rows, err := op.Compute(part, rowInputs)
 	if err != nil {
 		return nil, err
 	}
-	if len(s.ops) > 1 {
-		if cb, cerr := engine.RowsToBatch(op.OutSchema(), rows); cerr == nil {
-			return cb, nil
-		}
-	}
-	return engine.RawBatch(op.OutSchema(), rows), nil
+	return engine.BatchFromRows(op.OutSchema(), rows), nil
 }
 
 // runSource computes the stage's source operator for one partition and
@@ -156,7 +162,7 @@ func (rn *run) sourceBatch(s *stage, part int, inputs []*engine.PartitionedResul
 // failure events surface as a nodeFailure the stage worker resolves.
 //
 //lint:spanpair recoverFine
-func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *stage, part int, inputs []*engine.PartitionedResult, out chan<- *engine.Batch) error {
+func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *stage, part int, inputs []*engine.BatchResult, out chan<- *engine.Batch) error {
 	op := s.source()
 	n := rn.attempts.take(op.Name(), part)
 	if n > maxAttemptsPerPartition {
@@ -169,10 +175,12 @@ func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *sta
 		cancel()
 		return err
 	}
-	total := 0
-	if b != nil {
-		total = b.Len()
-	}
+	total := b.Len()
+	// Slices share the source batch's column storage (which may itself be a
+	// shared table partition or committed input), so only their shells draw
+	// from the arena; the storage is never released downstream.
+	loc := rn.cfg.Arena.Local()
+	defer loc.Close()
 	size := rn.cfg.BatchSize
 	for start, i := 0, 0; start < total; start, i = start+size, i+1 {
 		if fail && i >= 1 {
@@ -187,7 +195,7 @@ func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *sta
 		}
 		rn.metrics.Batches.Add(1)
 		select {
-		case out <- b.Slice(start, end):
+		case out <- b.SliceLocal(start, end, loc):
 		case <-pctx.Done():
 			return pctx.Err()
 		}
@@ -216,7 +224,12 @@ func (rn *run) runChainOp(pctx context.Context, cancel context.CancelFunc, op en
 		cancel()
 		return fmt.Errorf("runtime: partition %d of %s exceeded %d attempts", part, op.Name(), maxAttemptsPerPartition)
 	}
-	kern, ok := engine.NewOperatorKernel(op)
+	// The kernel owns every batch it consumes: it recycles input buffers into
+	// this goroutine's Local and draws its outputs from the same freelists,
+	// so a steady-state chain reuses one working set of buffers.
+	loc := rn.cfg.Arena.Local()
+	defer loc.Close()
+	kern, ok := engine.NewOperatorKernelLocal(op, loc)
 	if !ok {
 		cancel()
 		return fmt.Errorf("runtime: operator %s has no batch kernel", op.Name())
@@ -261,7 +274,8 @@ func (rn *run) runChainOp(pctx context.Context, cancel context.CancelFunc, op en
 			}
 			processed++
 			rn.metrics.Batches.Add(1)
-			if res == nil || res.Len() == 0 {
+			if res.Len() == 0 {
+				res.Release(loc)
 				continue
 			}
 			select {

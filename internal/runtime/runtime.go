@@ -61,7 +61,15 @@ type Config struct {
 	// Tracer receives execution spans and failure/recovery events; nil
 	// disables tracing (the no-op fast path never reads the clock).
 	Tracer *obs.Tracer
+	// Arena recycles batch and vector buffers across pipeline batches; nil
+	// uses a process-wide shared arena so concurrent queries feed each
+	// other's freelists.
+	Arena *engine.Arena
 }
+
+// sharedArena is the process-wide default buffer arena. Sharing it across
+// runtimes lets the freelists stay warm between queries.
+var sharedArena = engine.NewArena()
 
 // Runtime executes operator DAGs with the pipelined concurrent runtime.
 type Runtime struct {
@@ -97,6 +105,10 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.MaxRestarts == 0 {
 		cfg.MaxRestarts = 100
 	}
+	if cfg.Arena == nil {
+		cfg.Arena = sharedArena
+	}
+	engine.RegisterArenaMetrics(cfg.Metrics.Registry(), cfg.Arena)
 	return &Runtime{cfg: cfg}, nil
 }
 
@@ -130,15 +142,11 @@ func (r *Runtime) Execute(ctx context.Context, root engine.Operator) (*engine.Pa
 			tracer:   r.cfg.Tracer,
 			writer:   writer,
 			pool:     r.cfg.Pool,
-			results:  make(map[*stage]*engine.PartitionedResult, len(plan.stages)),
+			results:  make(map[*stage]*engine.BatchResult, len(plan.stages)),
 			done:     make(map[*stage][]bool, len(plan.stages)),
 		}
 		for _, s := range plan.stages {
-			rn.results[s] = &engine.PartitionedResult{
-				Schema: s.terminal().OutSchema(),
-				Parts:  make([][]engine.Row, r.cfg.Nodes),
-				Lost:   make([]bool, r.cfg.Nodes),
-			}
+			rn.results[s] = engine.NewBatchResult(s.terminal().OutSchema(), r.cfg.Nodes)
 			rn.done[s] = make([]bool, r.cfg.Nodes)
 		}
 		res, err := rn.execute(ctx)
@@ -152,7 +160,9 @@ func (r *Runtime) Execute(ctx context.Context, root engine.Operator) (*engine.Pa
 			if ferr != nil {
 				return nil, report, ferr
 			}
-			return res, report, nil
+			// The public contract stays row-partitioned; the root result is
+			// materialized once, at the very edge.
+			return res.ToPartitioned(), report, nil
 		}
 		if nf, ok := asNodeFailure(err); ok && r.cfg.Recovery == schemes.CoarseRestart {
 			report.Failures++
@@ -186,7 +196,7 @@ type run struct {
 	pool     *Pool // bounded worker pool, possibly shared across queries
 
 	mu      sync.Mutex // guards results, done and report
-	results map[*stage]*engine.PartitionedResult
+	results map[*stage]*engine.BatchResult
 	done    map[*stage][]bool
 
 	// recoveryMu serializes fine-grained recoveries: drops of volatile
@@ -197,7 +207,7 @@ type run struct {
 
 // execute schedules the stage DAG: every stage gets a goroutine that waits
 // for its producer stages, then fans its partitions out to the worker pool.
-func (rn *run) execute(ctx context.Context) (*engine.PartitionedResult, error) {
+func (rn *run) execute(ctx context.Context) (*engine.BatchResult, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -324,11 +334,11 @@ func (rn *run) computePartition(ctx context.Context, s *stage, part int, recover
 			return err
 		}
 		if rows, ok := rn.cfg.Store.Get(s.name(), part); ok {
-			rn.commit(s, part, rows, true)
+			rn.commit(s, part, engine.BatchFromRows(s.terminal().OutSchema(), rows), true)
 			return nil
 		}
 	}
-	var inputs []*engine.PartitionedResult
+	var inputs []*engine.BatchResult
 	if recovery {
 		inputs = rn.snapshotInputs(s)
 	} else {
@@ -349,15 +359,15 @@ func (rn *run) computePartition(ctx context.Context, s *stage, part int, recover
 		}
 	}
 	sp := rn.tracer.Begin(obs.KindTask, s.name(), part, rn.attempts.peek(s.name(), part))
-	rows, err := rn.runPipeline(ctx, s, part, inputs)
+	b, err := rn.runPipeline(ctx, s, part, inputs)
 	if err != nil {
 		sp.Fail(err.Error())
 		sp.End()
 		return err
 	}
-	sp.SetRows(int64(len(rows)))
+	sp.SetRows(int64(b.Len()))
 	sp.End()
-	rn.commit(s, part, rows, false)
+	rn.commit(s, part, b, false)
 	if recovery {
 		rn.mu.Lock()
 		rn.report.RecomputedPartitions++
@@ -381,31 +391,36 @@ func (rn *run) stageRows(s *stage) int64 {
 	var n int64
 	for part, ok := range rn.done[s] {
 		if ok {
-			n += int64(len(rn.results[s].Parts[part]))
+			n += int64(rn.results[s].Parts[part].Len())
 		}
 	}
 	return n
 }
 
 // commit records a computed partition and, for materialization points,
-// hands it to the asynchronous checkpoint writer.
-func (rn *run) commit(s *stage, part int, rows []engine.Row, fromStore bool) {
+// hands it to the asynchronous checkpoint writer. The batch must be plain
+// (unpooled) — it becomes a shared, immutable stage result that consumers
+// and the async checkpoint encoder read concurrently.
+func (rn *run) commit(s *stage, part int, b *engine.Batch, fromStore bool) {
+	if b.Len() == 0 {
+		b = nil // canonical empty-partition representation
+	}
 	rn.mu.Lock()
 	if rn.done[s][part] {
 		rn.mu.Unlock()
 		return
 	}
 	res := rn.results[s]
-	res.Parts[part] = rows
+	res.Parts[part] = b
 	res.Lost[part] = false
 	rn.done[s][part] = true
 	rn.mu.Unlock()
 	if !fromStore {
-		rn.metrics.Rows.Add(int64(len(rows)))
-		rn.metrics.AddStageRows(s.name(), int64(len(rows)))
+		rn.metrics.Rows.Add(int64(b.Len()))
+		rn.metrics.AddStageRows(s.name(), int64(b.Len()))
 	}
 	if s.checkpoint && !fromStore {
-		if rn.writer.enqueue(s.name(), part, rows, rn.cfg.Nodes) {
+		if rn.writer.enqueue(s.name(), part, b, rn.cfg.Nodes) {
 			rn.mu.Lock()
 			rn.report.MaterializedPartitions++
 			rn.mu.Unlock()
@@ -415,7 +430,7 @@ func (rn *run) commit(s *stage, part int, rows []engine.Row, fromStore bool) {
 
 // snapshotInputs copies the input results' partition tables under the lock,
 // so pipeline workers never race with recovery mutating the originals.
-func (rn *run) snapshotInputs(s *stage) []*engine.PartitionedResult {
+func (rn *run) snapshotInputs(s *stage) []*engine.BatchResult {
 	rn.mu.Lock()
 	defer rn.mu.Unlock()
 	return rn.snapshotInputsLocked(s)
@@ -424,7 +439,7 @@ func (rn *run) snapshotInputs(s *stage) []*engine.PartitionedResult {
 // snapshotInputsReady additionally verifies that every input partition this
 // stage partition reads is present (a concurrent recovery may have dropped
 // some); ready=false means the caller must re-ensure the inputs.
-func (rn *run) snapshotInputsReady(s *stage, part int) ([]*engine.PartitionedResult, bool) {
+func (rn *run) snapshotInputsReady(s *stage, part int) ([]*engine.BatchResult, bool) {
 	rn.mu.Lock()
 	defer rn.mu.Unlock()
 	for _, d := range s.deps {
@@ -444,14 +459,14 @@ func (rn *run) snapshotInputsReady(s *stage, part int) ([]*engine.PartitionedRes
 	return rn.snapshotInputsLocked(s), true
 }
 
-func (rn *run) snapshotInputsLocked(s *stage) []*engine.PartitionedResult {
+func (rn *run) snapshotInputsLocked(s *stage) []*engine.BatchResult {
 	ins := s.source().Inputs()
-	out := make([]*engine.PartitionedResult, len(ins))
+	out := make([]*engine.BatchResult, len(ins))
 	for i, in := range ins {
 		res := rn.results[rn.plan.byOp[in]]
-		out[i] = &engine.PartitionedResult{
+		out[i] = &engine.BatchResult{
 			Schema: res.Schema,
-			Parts:  append([][]engine.Row(nil), res.Parts...),
+			Parts:  append([]*engine.Batch(nil), res.Parts...),
 			Lost:   append([]bool(nil), res.Lost...),
 		}
 	}

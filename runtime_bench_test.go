@@ -161,6 +161,36 @@ func benchPipelinedQ3(b *testing.B, withFailure bool) {
 func BenchmarkRuntimePipelinedQ3(b *testing.B)         { benchPipelinedQ3(b, false) }
 func BenchmarkRuntimePipelinedQ3Recovery(b *testing.B) { benchPipelinedQ3(b, true) }
 
+// TPC-H Q1 end to end on the pipelined runtime — the alloc-budget anchor:
+// scan → select → aggregate over lineitem with the arena recycling batch
+// buffers across the pipeline. Plan construction happens outside the timed
+// loop so the measurement is pure execution.
+func BenchmarkRuntimePipelinedQ1(b *testing.B) {
+	cat, err := tpch.Generate(0.002, 4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q1, err := tpch.EngineQ1(cat, 2500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := runtime.New(runtime.Config{Nodes: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, _, err := r.Execute(context.Background(), q1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.AllRows()) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
 // Scan→filter→project through the shared operator kernels, columnar vs. the
 // []Row baseline. The baseline table carries a plain-int key column, which
 // defeats strict typing: the same kernel objects then execute their
@@ -205,7 +235,7 @@ func benchScanFilterProject(b *testing.B, columnar bool) {
 	for i := 0; i < b.N; i++ {
 		rows := 0
 		for p := 0; p < benchParts; p++ {
-			batch, err := scan.ComputeBatch(p)
+			batch, err := scan.ComputeBatch(p, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -314,6 +344,64 @@ func q1CheckpointBytes(t *testing.T) (rowGob, colBlock int64) {
 		colBlock += n
 	}
 	return rowGob, colBlock
+}
+
+// allocCeiling is one entry of alloc_budget.json: the hard upper bound a
+// benchmark's per-op allocation profile must stay under.
+type allocCeiling struct {
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// TestAllocBudget enforces the checked-in allocation ceilings in
+// alloc_budget.json: scan→filter→project through the columnar kernels and
+// TPC-H Q1 end to end on the pipelined runtime must not allocate past the
+// budget. The ceilings carry ~2x headroom over the measured steady state
+// (Q1 ~1000 allocs/op, scan-filter-project ~24), so a trip means the arena
+// or a kernel lost its recycling path, not timing noise — allocation counts
+// are deterministic in a way wall time is not. Gated behind ALLOC_BUDGET=1
+// because testing.Benchmark reruns each workload until timing stabilizes,
+// which is too slow for the default test sweep.
+func TestAllocBudget(t *testing.T) {
+	if os.Getenv("ALLOC_BUDGET") == "" {
+		t.Skip("set ALLOC_BUDGET=1 to enforce the allocation ceilings")
+	}
+	data, err := os.ReadFile("alloc_budget.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var budget map[string]allocCeiling
+	if err := json.Unmarshal(data, &budget); err != nil {
+		t.Fatal(err)
+	}
+	measured := map[string]allocPoint{
+		"scan_filter_project_columnar": toAllocPoint(testing.Benchmark(func(b *testing.B) {
+			benchScanFilterProject(b, true)
+		})),
+		"pipelined_q1": toAllocPoint(testing.Benchmark(BenchmarkRuntimePipelinedQ1)),
+	}
+	for name, ceiling := range budget {
+		got, ok := measured[name]
+		if !ok {
+			t.Errorf("alloc_budget.json names %q but no benchmark measures it", name)
+			continue
+		}
+		t.Logf("%s: %d allocs/op (budget %d), %d B/op (budget %d)",
+			name, got.AllocsPerOp, ceiling.AllocsPerOp, got.BytesPerOp, ceiling.BytesPerOp)
+		if got.AllocsPerOp > ceiling.AllocsPerOp {
+			t.Errorf("%s allocates %d objects/op, over the %d budget — a recycling path regressed",
+				name, got.AllocsPerOp, ceiling.AllocsPerOp)
+		}
+		if got.BytesPerOp > ceiling.BytesPerOp {
+			t.Errorf("%s allocates %d B/op, over the %d budget",
+				name, got.BytesPerOp, ceiling.BytesPerOp)
+		}
+	}
+	for name := range measured {
+		if _, ok := budget[name]; !ok {
+			t.Errorf("benchmark %q has no ceiling in alloc_budget.json", name)
+		}
+	}
 }
 
 // TestWriteRuntimeBenchJSON measures staged vs pipelined on the multi-branch

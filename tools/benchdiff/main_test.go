@@ -29,6 +29,7 @@ func TestDirectionClassification(t *testing.T) {
 	cases := map[string]int{
 		"scaling.0.pipelined_seconds_per_op":        -1,
 		"scaling.2.pipelined_allocs_per_op":         -1,
+		"scaling.1.pipelined_bytes_per_op":          -1,
 		"scan_filter_project_columnar.bytes_per_op": -1,
 		"checkpoint_q1_column_block_bytes":          -1,
 		"pipelined_speedup":                         1,
