@@ -75,7 +75,7 @@ func main() {
 	if *debug != "" {
 		srv, err := obs.StartDebug(*debug, tracer, func() any {
 			return map[string]any{"experiments_total": len(runners), "experiments_done": done}
-		}, reg)
+		}, reg, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

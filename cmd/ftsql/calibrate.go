@@ -250,6 +250,9 @@ func metricsTable() string {
 	em := &runtime.Metrics{}
 	reg := em.Registry()
 	obs.RegisterTraceMetrics(reg, nil)
+	obs.RegisterProgressMetrics(reg, nil)
+	obs.RegisterDriftMetrics(reg, nil)
+	obs.RegisterForensicsMetrics(reg, nil)
 	engine.RegisterArenaMetrics(reg, nil)
 	return metrics.DescribeTable(reg.Describe())
 }

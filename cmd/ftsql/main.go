@@ -49,9 +49,10 @@ func main() {
 		showStat = flag.Bool("stats", false, "print runtime metrics (counters, per-stage wall, wasted work) after execution")
 		analyze  = flag.Bool("explain-analyze", false, "execute with tracing and print the cost model's predicted-vs-actual audit")
 		traceOut = flag.String("trace-out", "", "write the execution timeline to this file in Chrome trace_event format")
-		debug    = flag.String("debug-addr", "", "serve live introspection (/metrics, /debug/vars, /debug/timeline, /debug/trace, /debug/pprof) on this address during execution")
+		debug    = flag.String("debug-addr", "", "serve live introspection (/metrics, /debug/vars, /debug/queries, /debug/timeline, /debug/trace, /debug/pprof) on this address during execution")
 		metOut   = flag.String("metrics-out", "", "write the final metrics registry snapshot to this file as JSON")
 		listMet  = flag.Bool("list-metrics", false, "print every metric family this binary can expose, then exit")
+		replay   = flag.String("replay-bundle", "", "pretty-print a failure forensics bundle (JSON file written by ftserve -forensics-dir), then exit")
 		cal      = flag.Bool("calibrate", false, "run the calibration loop: execute rounds of TPC-H Q1/Q3/Q5 under injected Poisson failures, estimate MTBF/MTTR and tr/tm correction factors, and re-plan with the calibrated model")
 		calRuns  = flag.Int("calibrate-runs", 3, "rounds of Q1/Q3/Q5 executed while calibrating")
 		calMTBF  = flag.Float64("calibrate-mtbf", 2, "per-node MTBF (seconds) of the Poisson failures injected while calibrating")
@@ -61,6 +62,14 @@ func main() {
 
 	if *listMet {
 		fmt.Print(metricsTable())
+		return
+	}
+	if *replay != "" {
+		b, err := obs.ReadBundle(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(b.String())
 		return
 	}
 	if *cal {
@@ -185,8 +194,20 @@ func main() {
 	// One Exec aggregates counters, histograms and the wasted-work ledger for
 	// whichever runtime executes the query; the debug server reads it live.
 	em := &runtime.Metrics{}
+	var (
+		progReg *obs.ProgressRegistry
+		prog    *obs.Progress
+	)
+	if tracer != nil {
+		obs.RegisterTraceMetrics(em.Registry(), tracer)
+		progReg = obs.NewProgressRegistry(8)
+		prog = progReg.Begin("cli", pp.Root.Name())
+		if audit != nil {
+			prog.SetPrediction(audit.Pred.DominantRuntime, obs.StagePredictions(audit.Pred))
+		}
+	}
 	if *debug != "" {
-		srv, derr := obs.StartDebug(*debug, tracer, func() any { return em.Snapshot() }, em.Registry())
+		srv, derr := obs.StartDebug(*debug, tracer, func() any { return em.Snapshot() }, em.Registry(), progReg)
 		if derr != nil {
 			fatal(derr)
 		}
@@ -200,19 +221,23 @@ func main() {
 	)
 	switch *rt {
 	case "staged":
-		co := &engine.Coordinator{Nodes: *nodes, Injector: injector, Tracer: tracer, Metrics: em}
+		co := &engine.Coordinator{Nodes: *nodes, Injector: injector, Tracer: tracer, Metrics: em, Progress: prog}
 		res, rep, err = co.Execute(pp.Root)
 	case "pipelined":
 		var r *runtime.Runtime
-		r, err = runtime.New(runtime.Config{Nodes: *nodes, Injector: injector, BatchSize: *batch, Tracer: tracer, Metrics: em})
+		r, err = runtime.New(runtime.Config{Nodes: *nodes, Injector: injector, BatchSize: *batch, Tracer: tracer, Metrics: em, Progress: prog})
 		if err == nil {
 			res, rep, err = r.Execute(context.Background(), pp.Root)
 		}
 	default:
 		err = fmt.Errorf("unknown -runtime %q (want pipelined or staged)", *rt)
 	}
+	progReg.End(prog, err)
 	if err != nil {
 		fatal(err)
+	}
+	if tracer != nil && tracer.Dropped() > 0 {
+		fmt.Fprintf(os.Stderr, "ftsql: WARNING: tracer dropped %d spans (ring buffer wrapped); audit and timeline are incomplete — raise the tracer capacity\n", tracer.Dropped())
 	}
 	if *showStat {
 		fmt.Fprintf(os.Stderr, "runtime metrics: %s\n\n", em.Snapshot())

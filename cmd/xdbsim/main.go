@@ -125,7 +125,7 @@ func main() {
 	if *debug != "" {
 		tracer := obs.NewTracer(len(res.Spans) * 2)
 		tracer.Ingest(res.Spans)
-		srv, err := obs.StartDebug(*debug, tracer, func() any { return res }, simRegistry(res))
+		srv, err := obs.StartDebug(*debug, tracer, func() any { return res }, simRegistry(res), nil)
 		if err != nil {
 			fatal(err)
 		}

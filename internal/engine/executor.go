@@ -134,6 +134,9 @@ type Coordinator struct {
 	// entries; nil disables metrics (every method is nil-safe). The type is
 	// shared with the pipelined runtime, so one Exec can aggregate both.
 	Metrics *metrics.Exec
+	// Progress receives live per-operator completion for /debug/queries; nil
+	// disables tracking (every hook is a nil-tolerant atomic handle).
+	Progress *obs.Progress
 }
 
 const maxAttemptsPerPartition = 1000
@@ -145,6 +148,7 @@ type execState struct {
 	attempts map[string]int
 	report   *Report
 	order    []Operator
+	prog     map[Operator]*obs.StageProgress
 }
 
 // Execute runs the query rooted at root and returns its partitioned result.
@@ -170,6 +174,13 @@ func (co *Coordinator) Execute(root Operator) (*PartitionedResult, *Report, erro
 	qspan := co.Tracer.Begin(obs.KindQuery, root.Name(), -1, -1)
 	defer qspan.End()
 
+	// Progress handles are resolved once so the per-partition hot path is a
+	// pair of atomic adds.
+	prog := make(map[Operator]*obs.StageProgress, len(order))
+	for _, op := range order {
+		prog[op] = co.Progress.EnsureStage(op.Name(), co.Nodes)
+	}
+
 	// Attempts persist across coarse restarts so scripted failure traces
 	// advance (a restarted query re-runs every operator, but the trace has
 	// moved on).
@@ -183,6 +194,7 @@ func (co *Coordinator) Execute(root Operator) (*PartitionedResult, *Report, erro
 			attempts: attempts,
 			report:   report,
 			order:    order,
+			prog:     prog,
 		}
 		res, err := st.run(root)
 		if err == nil {
@@ -194,6 +206,8 @@ func (co *Coordinator) Execute(root Operator) (*PartitionedResult, *Report, erro
 			report.Restarts++
 			co.Metrics.AddFailures(1)
 			co.Metrics.AddRestarts(1)
+			co.Progress.Failure()
+			co.Progress.Restart()
 			co.Tracer.Event(obs.KindRestart, rf.op, rf.part, report.Restarts)
 			// The aborted attempt's elapsed time is the realized coarse w(c).
 			co.Metrics.Ledger().Attribute(metrics.CauseRestart, rf.op, rf.part, time.Since(attemptStart))
@@ -338,6 +352,7 @@ func (st *execState) computeAll(op Operator) error {
 		}
 		st.report.Failures++
 		st.co.Metrics.AddFailures(1)
+		st.co.Progress.Failure()
 		st.dropVolatileOnNode(part)
 		rsp := st.co.Tracer.Begin(obs.KindRecovery, op.Name(), part, -1)
 		recStart := time.Now()
@@ -401,6 +416,7 @@ func (st *execState) ensure(op Operator, part int) error {
 			}
 			st.report.Failures++
 			st.co.Metrics.AddFailures(1)
+			st.co.Progress.Failure()
 			st.dropVolatileOnNode(part)
 			// Inputs may have been lost again; recover them before retrying.
 			for _, in := range op.Inputs() {
@@ -441,6 +457,9 @@ func (st *execState) commit(op Operator, part int, rows []Row) error {
 	res := st.ensureResult(op)
 	res.Parts[part] = rows
 	res.Lost[part] = false
+	if !st.done[op][part] {
+		st.prog[op].PartDone(int64(len(rows)))
+	}
 	st.done[op][part] = true
 	if op.Materialize() {
 		if _, already := st.co.Store.Get(op.Name(), part); !already {
@@ -454,6 +473,7 @@ func (st *execState) commit(op Operator, part int, rows []Row) error {
 			st.co.Metrics.ObserveCheckpointWrite(metrics.RuntimeStaged, time.Since(start))
 			n := EncodedSize(rows)
 			st.co.Metrics.AddCheckpoint(n)
+			st.prog[op].AddCheckpointBytes(n)
 			sp.SetBytes(n)
 			sp.SetRows(int64(len(rows)))
 			sp.End()
@@ -476,9 +496,11 @@ func (st *execState) dropVolatileOnNode(node int) {
 			// is nonetheless lost.
 		}
 		if st.done[op][node] {
+			rows := int64(len(res.Parts[node]))
 			res.Parts[node] = nil
 			res.Lost[node] = true
 			st.done[op][node] = false
+			st.prog[op].PartUndone(rows)
 		}
 	}
 }

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ftpde/internal/obs/metrics"
+)
+
+func testBundle(id int64) *Bundle {
+	return &Bundle{
+		ID: id, Tenant: "t1", Query: "SELECT * FROM lineitem",
+		Reason: "recovery_exhausted", Error: "aborted after 3 restarts",
+		MatConfig: "{join-1}",
+		Pred: Prediction{DominantRuntime: 1.5, Ops: []OpPrediction{
+			{Name: "{1}", Ops: []string{"scan"}, TR: 1, Runtime: 1.5, Dominant: true},
+		}},
+		Progress: &ProgressSnapshot{
+			Frac: 0.5, Attempts: 3, Failures: 4,
+			Stages: []StageSnapshot{{Name: "scan", DoneParts: 2, TotalParts: 4, Rows: 100}},
+		},
+		Drift:     DriftSnapshot{Queries: 7, Terms: []TermDrift{{Term: "mtbf", Model: 6, Estimate: 2, Flagged: true}}},
+		CreatedAt: time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestBundleWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewBundleWriter(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := w.Write(testBundle(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "bundle-000001.json" {
+		t.Errorf("path = %s", path)
+	}
+	got, err := ReadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 42 || got.Reason != "recovery_exhausted" || got.Tenant != "t1" {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if got.Progress == nil || got.Progress.Stages[0].Name != "scan" {
+		t.Errorf("progress lost: %+v", got.Progress)
+	}
+	if w.Written() != 1 {
+		t.Errorf("Written = %d", w.Written())
+	}
+}
+
+func TestBundleRingPrunesOldest(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewBundleWriter(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		if _, err := w.Write(testBundle(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, _ := os.ReadDir(dir)
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 3 {
+		t.Fatalf("ring holds %d bundles, want 3: %v", len(names), names)
+	}
+	// Oldest pruned: 000003..000005 survive.
+	for _, want := range []string{"bundle-000003.json", "bundle-000004.json", "bundle-000005.json"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing %s: %v", want, err)
+		}
+	}
+}
+
+func TestBundleWriterResumesSeqAndGCsTemps(t *testing.T) {
+	dir := t.TempDir()
+	// A crashed writer left a bundle and a torn temp file behind.
+	if err := os.WriteFile(filepath.Join(dir, "bundle-000007.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "bundle-tmp-123")
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewBundleWriter(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("temp file not garbage-collected")
+	}
+	path, err := w.Write(testBundle(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "bundle-000008.json" {
+		t.Errorf("seq did not resume: %s", path)
+	}
+}
+
+func TestBundleString(t *testing.T) {
+	b := testBundle(42)
+	b.Spans = []Span{
+		{Kind: KindFailure, Name: "scan"},
+		{Kind: KindFailure, Name: "scan"},
+		{Kind: KindTask, Name: "scan"},
+	}
+	out := b.String()
+	for _, want := range []string{
+		"forensics bundle: query 42 tenant=t1 reason=recovery_exhausted",
+		"query: SELECT * FROM lineitem",
+		"mat config: {join-1}",
+		"error: aborted after 3 restarts",
+		"progress at death: 50% (3 attempts, 4 failures)",
+		"span timeline: 3 spans failure=2 task=1",
+		"cost-model drift after 7 queries",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilBundleWriter(t *testing.T) {
+	var w *BundleWriter
+	if path, err := w.Write(testBundle(1)); err != nil || path != "" {
+		t.Errorf("nil writer Write = %q, %v", path, err)
+	}
+	if w.Written() != 0 {
+		t.Error("nil writer reports writes")
+	}
+}
+
+func TestRegisterForensicsMetrics(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewBundleWriter(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	RegisterForensicsMetrics(reg, w)
+	RegisterForensicsMetrics(reg, w) // idempotent
+	if _, err := w.Write(testBundle(1)); err != nil {
+		t.Fatal(err)
+	}
+	fam := reg.Snapshot().Family("ftpde_forensics_bundles_total")
+	if fam == nil || len(fam.Series) != 1 || fam.Series[0].Value != 1 {
+		t.Errorf("ftpde_forensics_bundles_total = %+v", fam)
+	}
+}

@@ -17,6 +17,7 @@ import (
 //	/metrics         the metric registry in Prometheus text exposition format
 //	/debug/vars      expvar-style JSON snapshot (caller-supplied metrics +
 //	                 tracer counters + the registry snapshot)
+//	/debug/queries   live per-query progress (in-flight + recently finished)
 //	/debug/timeline  the merged span timeline as JSON
 //	/debug/trace     the timeline in Chrome trace_event format
 //	/debug/pprof/*   net/http/pprof
@@ -30,18 +31,22 @@ type DebugServer struct {
 // background. metricsFn may be nil; when set, its return value is embedded in
 // /debug/vars under "metrics". reg may be nil; when set it backs /metrics and
 // the "registry" key of /debug/vars, and the tracer's span/dropped counters
-// are registered into it as metric families.
-func StartDebug(addr string, tracer *Tracer, metricsFn func() any, reg *metrics.Registry) (*DebugServer, error) {
-	return StartMux(addr, DebugMux(tracer, metricsFn, reg))
+// are registered into it as metric families. progress may be nil; when set it
+// backs /debug/queries and its counters join the registry.
+func StartDebug(addr string, tracer *Tracer, metricsFn func() any, reg *metrics.Registry, progress *ProgressRegistry) (*DebugServer, error) {
+	return StartMux(addr, DebugMux(tracer, metricsFn, reg, progress))
 }
 
 // DebugMux builds the introspection mux StartDebug serves, so other servers
 // (the ftserve HTTP front door) can mount their own handlers next to the
 // debug vocabulary instead of running a second listener. Semantics of the
-// tracer/metricsFn/reg parameters match StartDebug.
-func DebugMux(tracer *Tracer, metricsFn func() any, reg *metrics.Registry) *http.ServeMux {
+// tracer/metricsFn/reg/progress parameters match StartDebug.
+func DebugMux(tracer *Tracer, metricsFn func() any, reg *metrics.Registry, progress *ProgressRegistry) *http.ServeMux {
 	if reg != nil {
 		RegisterTraceMetrics(reg, tracer)
+		if progress != nil {
+			RegisterProgressMetrics(reg, progress)
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -69,6 +74,9 @@ func DebugMux(tracer *Tracer, metricsFn func() any, reg *metrics.Registry) *http
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(vars)
+	})
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		progress.ServeHTTP(w, r)
 	})
 	mux.HandleFunc("/debug/timeline", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -25,7 +25,7 @@ func TestDebugServerEndpoints(t *testing.T) {
 	h.With("scan").Observe(0.01)
 	srv, err := StartDebug("127.0.0.1:0", tr, func() any {
 		return map[string]int{"rows": 7}
-	}, reg)
+	}, reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestMetricsEndpointServesPrometheus(t *testing.T) {
 	h.With("pipelined", "scan").Observe(0.002)
 	h.With("staged", "scan").Observe(0.004)
 
-	srv, err := StartDebug("127.0.0.1:0", tr, nil, reg)
+	srv, err := StartDebug("127.0.0.1:0", tr, nil, reg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestMetricsEndpointServesPrometheus(t *testing.T) {
 // TestMetricsEndpointNilRegistry pins that /metrics stays a 200 with an empty
 // body when no registry was wired up.
 func TestMetricsEndpointNilRegistry(t *testing.T) {
-	srv, err := StartDebug("127.0.0.1:0", nil, nil, nil)
+	srv, err := StartDebug("127.0.0.1:0", nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,5 +196,72 @@ func TestMetricsEndpointNilRegistry(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	if len(body) != 0 {
 		t.Errorf("nil-registry /metrics body = %q, want empty", body)
+	}
+}
+
+// TestDebugQueriesEndpoint pins the /debug/queries contract: live progress as
+// JSON, progress metric families registered into the shared registry, and a
+// nil progress registry degrading to an empty snapshot instead of a 404.
+func TestDebugQueriesEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	pr := NewProgressRegistry(4)
+	p := pr.Begin("tenant-a", "q1")
+	p.EnsureStage("scan", 4).PartDone(25)
+	p.SetPrediction(2, map[string]float64{"scan": 2})
+
+	srv, err := StartDebug("127.0.0.1:0", nil, nil, reg, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/queries status %d", resp.StatusCode)
+	}
+	var snap QueriesSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Active) != 1 || snap.Active[0].Tenant != "tenant-a" {
+		t.Fatalf("active = %+v", snap.Active)
+	}
+	if snap.Active[0].Stages[0].DoneParts != 1 || snap.Active[0].Stages[0].Rows != 25 {
+		t.Errorf("stage = %+v", snap.Active[0].Stages[0])
+	}
+	if snap.Active[0].EtaSeconds <= 0 {
+		t.Errorf("eta = %g, want > 0", snap.Active[0].EtaSeconds)
+	}
+
+	// StartDebug with a registry must have wired the progress families.
+	mresp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mbody, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{"ftpde_queries_inflight 1", "ftpde_queries_tracked_total 1"} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, mbody)
+		}
+	}
+
+	// Nil progress registry: the endpoint still answers with an empty doc.
+	srv2, err := StartDebug("127.0.0.1:0", nil, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	resp2, err := http.Get("http://" + srv2.Addr() + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("nil-progress /debug/queries status %d", resp2.StatusCode)
 	}
 }

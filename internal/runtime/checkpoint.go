@@ -40,11 +40,12 @@ type encodedReq struct {
 // the barrier: recovery and query completion wait for all enqueued writes to
 // land before reading the store.
 type checkpointWriter struct {
-	store   engine.Store
-	metrics *Metrics
-	tracer  *obs.Tracer
-	queue   chan checkpointReq
-	writeCh chan encodedReq
+	store    engine.Store
+	metrics  *Metrics
+	tracer   *obs.Tracer
+	progress *obs.Progress
+	queue    chan checkpointReq
+	writeCh  chan encodedReq
 	// stop unblocks enqueuers and terminates both stage goroutines once the
 	// writer is closed, so no caller can park forever on a full queue.
 	stop chan struct{}
@@ -60,15 +61,16 @@ type checkpointWriter struct {
 	err error
 }
 
-func newCheckpointWriter(store engine.Store, metrics *Metrics, tracer *obs.Tracer) *checkpointWriter {
+func newCheckpointWriter(store engine.Store, metrics *Metrics, tracer *obs.Tracer, progress *obs.Progress) *checkpointWriter {
 	w := &checkpointWriter{
-		store:   store,
-		metrics: metrics,
-		tracer:  tracer,
-		queue:   make(chan checkpointReq, 64),
-		writeCh: make(chan encodedReq, 1),
-		stop:    make(chan struct{}),
-		written: make(map[string]bool),
+		store:    store,
+		metrics:  metrics,
+		tracer:   tracer,
+		progress: progress,
+		queue:    make(chan checkpointReq, 64),
+		writeCh:  make(chan encodedReq, 1),
+		stop:     make(chan struct{}),
+		written:  make(map[string]bool),
 	}
 	w.cond = sync.NewCond(&w.mu)
 	go w.encodeLoop()
@@ -149,6 +151,7 @@ func (w *checkpointWriter) write(req encodedReq) {
 	w.metrics.CheckpointParts.Add(1)
 	n := int64(len(req.data))
 	w.metrics.CheckpointBytes.Add(n)
+	w.progress.AddCheckpointBytesFor(req.op, n)
 	sp.SetBytes(n)
 	sp.SetRows(int64(req.nrows))
 	sp.End()

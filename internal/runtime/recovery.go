@@ -22,6 +22,7 @@ func (rn *run) recoverFine(ctx context.Context, s *stage, part int, nf *nodeFail
 		rn.report.Failures++
 		rn.mu.Unlock()
 		rn.metrics.Failures.Add(1)
+		rn.cfg.Progress.Failure()
 		rn.dropLineageOnNode(s, nf.part)
 
 		sp := rn.tracer.Begin(obs.KindRecovery, nf.op, nf.part, -1)
@@ -99,9 +100,11 @@ func (rn *run) dropLineageOnNode(s *stage, node int) {
 		}
 		if rn.done[a][node] {
 			res := rn.results[a]
+			rows := int64(res.Parts[node].Len())
 			res.Parts[node] = nil
 			res.Lost[node] = true
 			rn.done[a][node] = false
+			rn.prog[a].PartUndone(rows)
 		}
 	}
 }

@@ -61,6 +61,9 @@ type Config struct {
 	// Tracer receives execution spans and failure/recovery events; nil
 	// disables tracing (the no-op fast path never reads the clock).
 	Tracer *obs.Tracer
+	// Progress receives live per-stage completion for /debug/queries; nil
+	// disables tracking (every hook is a nil-tolerant atomic handle).
+	Progress *obs.Progress
 	// Arena recycles batch and vector buffers across pipeline batches; nil
 	// uses a process-wide shared arena so concurrent queries feed each
 	// other's freelists.
@@ -125,11 +128,18 @@ func (r *Runtime) Execute(ctx context.Context, root engine.Operator) (*engine.Pa
 	}
 	report := &engine.Report{}
 	attempts := newAttempts()
-	writer := newCheckpointWriter(r.cfg.Store, r.cfg.Metrics, r.cfg.Tracer)
+	writer := newCheckpointWriter(r.cfg.Store, r.cfg.Metrics, r.cfg.Tracer, r.cfg.Progress)
 	defer writer.close()
 
 	qspan := r.cfg.Tracer.Begin(obs.KindQuery, root.Name(), -1, -1)
 	defer qspan.End()
+
+	// Progress handles are resolved once here so the per-partition hot path
+	// is a pair of atomic adds.
+	prog := make(map[*stage]*obs.StageProgress, len(plan.stages))
+	for _, s := range plan.stages {
+		prog[s] = r.cfg.Progress.EnsureStage(s.name(), r.cfg.Nodes)
+	}
 
 	for {
 		attemptStart := time.Now()
@@ -142,6 +152,7 @@ func (r *Runtime) Execute(ctx context.Context, root engine.Operator) (*engine.Pa
 			tracer:   r.cfg.Tracer,
 			writer:   writer,
 			pool:     r.cfg.Pool,
+			prog:     prog,
 			results:  make(map[*stage]*engine.BatchResult, len(plan.stages)),
 			done:     make(map[*stage][]bool, len(plan.stages)),
 		}
@@ -169,6 +180,8 @@ func (r *Runtime) Execute(ctx context.Context, root engine.Operator) (*engine.Pa
 			report.Restarts++
 			r.cfg.Metrics.Failures.Add(1)
 			r.cfg.Metrics.Restarts.Add(1)
+			r.cfg.Progress.Failure()
+			r.cfg.Progress.Restart()
 			r.cfg.Tracer.Event(obs.KindRestart, nf.op, nf.part, report.Restarts)
 			// The aborted attempt's elapsed time is pure waste: everything it
 			// computed (minus surviving checkpoints) is thrown away.
@@ -194,6 +207,7 @@ type run struct {
 	tracer   *obs.Tracer
 	writer   *checkpointWriter
 	pool     *Pool // bounded worker pool, possibly shared across queries
+	prog     map[*stage]*obs.StageProgress
 
 	mu      sync.Mutex // guards results, done and report
 	results map[*stage]*engine.BatchResult
@@ -415,6 +429,7 @@ func (rn *run) commit(s *stage, part int, b *engine.Batch, fromStore bool) {
 	res.Lost[part] = false
 	rn.done[s][part] = true
 	rn.mu.Unlock()
+	rn.prog[s].PartDone(int64(b.Len()))
 	if !fromStore {
 		rn.metrics.Rows.Add(int64(b.Len()))
 		rn.metrics.AddStageRows(s.name(), int64(b.Len()))

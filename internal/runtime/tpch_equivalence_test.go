@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ftpde/internal/engine"
+	"ftpde/internal/obs"
 	"ftpde/internal/tpch"
 )
 
@@ -184,5 +185,78 @@ func TestTPCHSharedStoreAcrossRuntimes(t *testing.T) {
 	}
 	if rep.MaterializedPartitions != 0 {
 		t.Errorf("staged engine re-materialized %d partitions, want 0 (restored)", rep.MaterializedPartitions)
+	}
+}
+
+// TestTPCHProgressTrackedEquivalence is the PR's no-interference acceptance
+// bar: with live progress tracking attached to BOTH runtimes (and scripted
+// failures exercising the undo/reset paths), staged and pipelined runs of the
+// TPC-H queries stay byte-identical, and the trackers converge to a complete
+// snapshot.
+func TestTPCHProgressTrackedEquivalence(t *testing.T) {
+	cat, err := tpch.Generate(eqSF, eqNodes, eqSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts := map[string]func() *engine.ScriptedFailures{
+		"q1": func() *engine.ScriptedFailures {
+			return engine.NewScriptedFailures().Add("q1-agg", 0, 0)
+		},
+		"q3": func() *engine.ScriptedFailures {
+			return engine.NewScriptedFailures().Add("q3-join-orders-lineitem", 1, 0)
+		},
+		"q5": func() *engine.ScriptedFailures {
+			return engine.NewScriptedFailures().Add("q5-join4", 3, 0)
+		},
+	}
+	for _, name := range []string{"q1", "q3", "q5"} {
+		build := tpchQueries()[name]
+		t.Run(name, func(t *testing.T) {
+			reg := obs.NewProgressRegistry(8)
+
+			sp := reg.Begin("test", name+"-staged")
+			co := &engine.Coordinator{Nodes: eqNodes, Progress: sp}
+			sres, _, err := co.Execute(build(t, cat))
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg.End(sp, nil)
+			want := sres.AllRows()
+
+			pp := reg.Begin("test", name+"-pipelined")
+			got, rep := pipelinedRows(t, cat, build,
+				Config{Nodes: eqNodes, BatchSize: 16, Injector: scripts[name](), Progress: pp})
+			reg.End(pp, nil)
+
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("progress-tracked pipelined result differs from staged (%d vs %d rows)",
+					len(got), len(want))
+			}
+			if rep.Failures == 0 {
+				t.Error("scripted failure did not fire")
+			}
+			// The clean staged run must be tracked as fully complete. The
+			// failure run's scans may legitimately end below total: lineage
+			// dropped on the failed node is only recomputed when no downstream
+			// checkpoint covers it, and the tracker reports what actually ran.
+			ssnap := sp.Snapshot()
+			if len(ssnap.Stages) == 0 || ssnap.Frac != 1 {
+				t.Errorf("staged: final frac = %g over %d stages, want 1", ssnap.Frac, len(ssnap.Stages))
+			}
+			psnap := pp.Snapshot()
+			if len(psnap.Stages) == 0 {
+				t.Fatal("pipelined: no stages tracked")
+			}
+			root := psnap.Stages[len(psnap.Stages)-1]
+			if root.DoneParts != root.TotalParts {
+				t.Errorf("pipelined: root stage %s finished %d/%d parts", root.Name, root.DoneParts, root.TotalParts)
+			}
+			if psnap.Failures == 0 {
+				t.Error("pipelined: tracker recorded no failures")
+			}
+			if !psnap.Done || !ssnap.Done {
+				t.Error("completed queries not marked done")
+			}
+		})
 	}
 }

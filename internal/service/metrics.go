@@ -15,6 +15,8 @@ type svcMetrics struct {
 	recovered *metrics.CounterVec   // ftserve_recovered_partitions_total{tenant}
 	latency   *metrics.HistogramVec // ftserve_latency_seconds{tenant}
 	wasted    *metrics.GaugeVec     // ftserve_wasted_seconds_total{tenant}
+
+	bundleErrors *metrics.Counter // ftserve_forensics_errors_total
 }
 
 // newSvcMetrics registers the service families. Queue depth, in-flight count
@@ -38,6 +40,8 @@ func newSvcMetrics(reg *metrics.Registry, s *Server) *svcMetrics {
 			"End-to-end latency of completed queries.", "seconds",
 			[]string{"tenant"}, metrics.DefaultLatencyBuckets()),
 		wasted: metrics.NewGaugeVec([]string{"tenant"}),
+		bundleErrors: reg.NewCounter("ftserve_forensics_errors_total",
+			"Forensics bundles that failed to persist (the query error itself is never masked)."),
 	}
 	// Wasted seconds accumulate fractional values, which Counter (int64)
 	// cannot hold; a monotone GaugeVec exposed with counter semantics keeps

@@ -82,10 +82,10 @@ func (s *Server) handle(ctx context.Context, req Request) *Response {
 }
 
 // HTTPMux returns the HTTP front door: the full obs debug vocabulary
-// (/metrics, /debug/vars, /debug/timeline, /debug/trace, /debug/pprof/*)
-// plus POST /query and GET /healthz.
+// (/metrics, /debug/vars, /debug/queries, /debug/timeline, /debug/trace,
+// /debug/pprof/*) plus POST /query and GET /healthz.
 func (s *Server) HTTPMux() *http.ServeMux {
-	mux := obs.DebugMux(s.cfg.Tracer, func() any { return s.Stats() }, s.cfg.Registry)
+	mux := obs.DebugMux(s.cfg.Tracer, func() any { return s.Stats() }, s.cfg.Registry, s.progress)
 	mux.HandleFunc("/query", s.handleHTTPQuery)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if s.Draining() {

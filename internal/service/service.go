@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	goruntime "runtime"
@@ -14,6 +15,7 @@ import (
 	"ftpde/internal/obs"
 	"ftpde/internal/obs/metrics"
 	"ftpde/internal/runtime"
+	"ftpde/internal/schemes"
 	"ftpde/internal/sql"
 	"ftpde/internal/stats"
 	"ftpde/internal/tpch"
@@ -69,10 +71,35 @@ type Config struct {
 	InjectMTBF float64
 	// InjectSeed seeds the failure injector (default 1).
 	InjectSeed int64
+	// Injector overrides the Poisson injector built from InjectMTBF —
+	// deterministic failure drills (engine.ScriptedFailures) use this.
+	Injector engine.FailureInjector
+
+	// Coarse switches every query to coarse whole-query restarts and
+	// MaxRestarts bounds them (0 = the runtime default of 100). Together
+	// with a scripted Injector these make recovery exhaustion — and the
+	// forensics bundle it dumps — deterministic.
+	Coarse      bool
+	MaxRestarts int
+
+	// ForensicsDir, when non-empty, enables failure forensics: a query that
+	// exhausts recovery or dies mid-flight dumps a diagnostic bundle to a
+	// bounded on-disk ring there. ForensicsMax bounds the ring (default 32).
+	ForensicsDir string
+	ForensicsMax int
+
+	// DriftWindow/DriftThreshold/DriftK parameterize the online drift
+	// detector (defaults: 64 samples, 0.5 relative error, 3 consecutive
+	// queries). See obs.DriftConfig.
+	DriftWindow    int
+	DriftThreshold float64
+	DriftK         int
 
 	// Registry receives the service metric families; nil allocates one.
 	Registry *metrics.Registry
-	// Tracer receives execution spans; nil allocates a small ring.
+	// Tracer receives execution spans; nil allocates a small ring. Queries
+	// execute against private tracers whose spans are folded in here tagged
+	// with the query ID, so concurrent tenants' timelines stay separable.
 	Tracer *obs.Tracer
 }
 
@@ -136,6 +163,10 @@ type Server struct {
 	injector engine.FailureInjector
 	met      *svcMetrics
 
+	progress  *obs.ProgressRegistry
+	drift     *obs.DriftDetector
+	forensics *obs.BundleWriter
+
 	slots chan struct{} // execution-slot semaphore (MaxConcurrent)
 	queue waitQueue
 	stop  chan struct{} // closed when draining begins
@@ -182,12 +213,39 @@ func New(cfg Config) (*Server, error) {
 		tstats:  make(map[string]sql.TableStats),
 		conns:   make(map[net.Conn]bool),
 	}
-	if cfg.InjectMTBF > 0 {
+	switch {
+	case cfg.Injector != nil:
+		s.injector = cfg.Injector
+	case cfg.InjectMTBF > 0:
 		s.injector = engine.NewPoissonFailures(cfg.InjectMTBF, cfg.Nodes, cfg.InjectSeed)
+	}
+	s.progress = obs.NewProgressRegistry(32)
+	s.drift = obs.NewDriftDetector(obs.DriftConfig{
+		Nodes:     cfg.Nodes,
+		ModelMTBF: cfg.ModelMTBF,
+		ModelMTTR: cfg.ModelMTTR,
+		Window:    cfg.DriftWindow,
+		Threshold: cfg.DriftThreshold,
+		K:         cfg.DriftK,
+	})
+	obs.RegisterDriftMetrics(cfg.Registry, s.drift)
+	if cfg.ForensicsDir != "" {
+		w, err := obs.NewBundleWriter(cfg.ForensicsDir, cfg.ForensicsMax)
+		if err != nil {
+			return nil, err
+		}
+		s.forensics = w
+		obs.RegisterForensicsMetrics(cfg.Registry, w)
 	}
 	s.met = newSvcMetrics(cfg.Registry, s)
 	return s, nil
 }
+
+// Progress exposes the live-query registry backing /debug/queries.
+func (s *Server) Progress() *obs.ProgressRegistry { return s.progress }
+
+// Drift exposes the online drift detector (tests and /debug/vars read it).
+func (s *Server) Drift() *obs.DriftDetector { return s.drift }
 
 // Pool exposes the shared worker pool (tests observe utilization).
 func (s *Server) Pool() *runtime.Pool { return s.pool }
@@ -249,7 +307,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 	defer release()
 	s.met.admitted.With(tenantName).Inc()
 
-	resp, err := s.execute(ctx, req)
+	resp, err := s.execute(ctx, req, tenantName)
 	if err != nil {
 		s.met.failed.With(tenantName).Inc()
 		return nil, err
@@ -264,10 +322,14 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 }
 
 // planModel samples pool utilization and returns the cost model queries are
-// planned with: load-aware unless disabled.
+// planned with: drift-corrected when the online detector has flagged a
+// failure term, then load-aware unless disabled. The correction is the
+// online analogue of re-planning after `ftsql -calibrate`: once the rolling
+// MTBF/MTTR estimates disagree with the configured model for K consecutive
+// queries, new MatConfigs price against observed reality.
 func (s *Server) planModel() (cost.Model, float64) {
 	util := s.pool.Utilization()
-	m := s.base
+	m := s.drift.CorrectedModel(s.base)
 	if !s.cfg.DisableLoadAware {
 		m = m.UnderLoad(util)
 	}
@@ -298,10 +360,14 @@ func (s *Server) stats(stmt *sql.SelectStmt) (map[string]sql.TableStats, error) 
 // execute plans and runs one admitted query on the shared pool. A fresh
 // per-query metric set keeps the wasted-work ledger attributable to this
 // query's tenant (a shared ledger would interleave failure/recovery pairs
-// from concurrently recovering queries).
-func (s *Server) execute(ctx context.Context, req Request) (*Response, error) {
+// from concurrently recovering queries), and a fresh per-query tracer keeps
+// the span slice attributable to this query — its spans are folded into the
+// shared tracer tagged with the query ID, feed the drift detector on
+// success, and freeze into a forensics bundle on death.
+func (s *Server) execute(ctx context.Context, req Request, tenant string) (*Response, error) {
 	start := time.Now()
 	m, util := s.planModel()
+	cp := s.drift.CorrectedParams(s.cp)
 
 	stmt, err := sql.Parse(req.Query)
 	if err != nil {
@@ -311,27 +377,44 @@ func (s *Server) execute(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		return nil, &QueryError{Phase: "plan", Err: err}
 	}
-	audit, err := sql.BuildAuditPlan(stmt, s.cat, tstats, s.cp, m)
+	audit, err := sql.BuildAuditPlan(stmt, s.cat, tstats, cp, m)
 	if err != nil {
 		return nil, &QueryError{Phase: "plan", Err: err}
 	}
 
+	qt := obs.NewTracer(1 << 12)
+	prog := s.progress.Begin(tenant, audit.Phys.Root.Name())
+	prog.SetPrediction(audit.Pred.DominantRuntime, obs.StagePredictions(audit.Pred))
+
 	exec := &runtime.Metrics{}
-	rt, err := runtime.New(runtime.Config{
-		Nodes:     s.cfg.Nodes,
-		BatchSize: s.cfg.BatchSize,
-		Pool:      s.pool,
-		Injector:  s.injector,
-		Metrics:   exec,
-		Tracer:    s.cfg.Tracer,
-	})
+	rcfg := runtime.Config{
+		Nodes:       s.cfg.Nodes,
+		BatchSize:   s.cfg.BatchSize,
+		Pool:        s.pool,
+		Injector:    s.injector,
+		Metrics:     exec,
+		Tracer:      qt,
+		Progress:    prog,
+		MaxRestarts: s.cfg.MaxRestarts,
+	}
+	if s.cfg.Coarse {
+		rcfg.Recovery = schemes.CoarseRestart
+	}
+	rt, err := runtime.New(rcfg)
 	if err != nil {
+		s.progress.End(prog, err)
 		return nil, &QueryError{Phase: "exec", Err: err}
 	}
 	res, report, err := rt.Execute(ctx, audit.Phys.Root)
+	spans := qt.Snapshot()
+	s.ingestSpans(prog.ID(), spans)
 	if err != nil {
+		s.progress.End(prog, err)
+		s.dumpForensics(req, tenant, prog, audit, spans, exec, report, err)
 		return nil, &QueryError{Phase: "exec", Err: err}
 	}
+	s.progress.End(prog, nil)
+	s.drift.ObserveQuery(audit.Pred, spans)
 
 	rows, total := formatRows(res, req.MaxRows)
 	cols := make([]string, len(audit.Phys.Output))
@@ -353,6 +436,68 @@ func (s *Server) execute(ctx context.Context, req Request) (*Response, error) {
 		Utilization:    util,
 		MatConfig:      audit.Opt.Config.String(),
 	}, nil
+}
+
+// ingestSpans folds a finished query's private span slice into the shared
+// tracer, tagged with the query ID so concurrent tenants stay separable on
+// /debug/timeline.
+func (s *Server) ingestSpans(qid int64, spans []obs.Span) {
+	if len(spans) == 0 {
+		return
+	}
+	tagged := make([]obs.Span, len(spans))
+	for i, sp := range spans {
+		sp.Query = int(qid)
+		tagged[i] = sp
+	}
+	s.cfg.Tracer.Ingest(tagged)
+}
+
+// dumpForensics freezes a dead query into a diagnostic bundle on the
+// forensics ring: the plan and its MatConfig, the audit of whatever spans
+// landed before death, the wasted-work ledger, the per-query metrics
+// snapshot and the server's drift state. Bundle-write failures must not mask
+// the query error; they are surfaced as a failed-bundle counter instead.
+func (s *Server) dumpForensics(req Request, tenant string, prog *obs.Progress,
+	audit *sql.AuditPlan, spans []obs.Span, exec *runtime.Metrics,
+	report *engine.Report, execErr error) {
+	if s.forensics == nil {
+		return
+	}
+	reason := "exec_error"
+	switch {
+	case report != nil && report.Aborted:
+		reason = "recovery_exhausted"
+	case execErr != nil && errorsIsContext(execErr):
+		reason = "rejected"
+	}
+	psnap := prog.Snapshot()
+	b := &obs.Bundle{
+		ID:        prog.ID(),
+		Tenant:    tenant,
+		Query:     req.Query,
+		Reason:    reason,
+		Error:     execErr.Error(),
+		MatConfig: audit.Opt.Config.String(),
+		Pred:      audit.Pred,
+		Audit:     obs.BuildAudit(audit.Pred, spans, 0),
+		Spans:     spans,
+		Progress:  &psnap,
+		Ledger:    exec.Ledger().Snapshot(),
+		Registry:  exec.Registry().Snapshot(),
+		Drift:     s.drift.Snapshot(),
+		CreatedAt: time.Now(),
+	}
+	if _, err := s.forensics.Write(b); err != nil {
+		s.met.bundleErrors.Add(1)
+	}
+}
+
+// errorsIsContext reports whether the error chain ends in a context
+// cancellation or deadline — a query killed mid-flight rather than by
+// exhausted recovery.
+func errorsIsContext(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // formatRows renders result rows as strings, truncated to max (0 = all).

@@ -107,25 +107,37 @@ func (m MTBFEstimate) Valid() bool { return m.Samples > 0 && m.PerNode > 0 }
 // degrees of freedom, giving the exact confidence interval
 // θ ∈ [2T/χ²(1−α/2, 2n), 2T/χ²(α/2, 2n)].
 func (e *Estimator) MTBF() MTBFEstimate {
-	n := len(e.interarrivals)
+	return FitMTBF(e.interarrivals, e.nodes)
+}
+
+// FitMTBF runs the exponential MLE fit over a cluster-level inter-arrival
+// sample (seconds) for a cluster of the given size. Exported so streaming
+// estimators (the obs drift detector's rolling window) reuse exactly the
+// same math as the offline calibrator; negative samples are the caller's
+// responsibility to filter.
+func FitMTBF(interarrivals []float64, nodes int) MTBFEstimate {
+	if nodes < 1 {
+		nodes = 1
+	}
+	n := len(interarrivals)
 	if n == 0 {
 		return MTBFEstimate{}
 	}
 	var total float64
-	for _, d := range e.interarrivals {
+	for _, d := range interarrivals {
 		total += d
 	}
 	mean := total / float64(n)
 	est := MTBFEstimate{
 		Cluster: mean,
-		PerNode: mean * float64(e.nodes),
+		PerNode: mean * float64(nodes),
 		Samples: n,
 	}
 	k := 2 * float64(n)
 	lo := 2 * total / chiSquareQuantile(0.975, k)
 	hi := 2 * total / chiSquareQuantile(0.025, k)
-	est.Lo = lo * float64(e.nodes)
-	est.Hi = hi * float64(e.nodes)
+	est.Lo = lo * float64(nodes)
+	est.Hi = hi * float64(nodes)
 	return est
 }
 

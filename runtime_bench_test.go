@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"ftpde/internal/engine"
+	"ftpde/internal/obs"
 	"ftpde/internal/runtime"
 	"ftpde/internal/tpch"
 )
@@ -191,6 +192,40 @@ func BenchmarkRuntimePipelinedQ1(b *testing.B) {
 	}
 }
 
+// BenchmarkRuntimePipelinedQ1Progress is the same workload with a live
+// obs.Progress attached, the way ftserve runs every query. The delta against
+// BenchmarkRuntimePipelinedQ1 is the whole cost of introspection; the
+// alloc_budget.json ceiling for pipelined_q1_progress keeps that delta from
+// growing silently, and BENCH_runtime.json records it as obs_overhead_ns.
+func BenchmarkRuntimePipelinedQ1Progress(b *testing.B) {
+	cat, err := tpch.Generate(0.002, 4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q1, err := tpch.EngineQ1(cat, 2500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := obs.NewProgressRegistry(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog := reg.Begin("bench", "q1")
+		r, err := runtime.New(runtime.Config{Nodes: 4, Progress: prog})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, _, err := r.Execute(context.Background(), q1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.AllRows()) == 0 {
+			b.Fatal("empty result")
+		}
+		reg.End(prog, nil)
+	}
+}
+
 // Scan→filter→project through the shared operator kernels, columnar vs. the
 // []Row baseline. The baseline table carries a plain-int key column, which
 // defeats strict typing: the same kernel objects then execute their
@@ -300,11 +335,20 @@ type benchReport struct {
 	AllocsReduction           float64    `json:"scan_filter_project_allocs_reduction"`
 	// CheckpointQ1 sizes the materialized Q1 scan intermediate in the legacy
 	// row-gob serialization vs. the column-block format DiskStore now writes.
-	CheckpointQ1RowGobBytes  int64            `json:"checkpoint_q1_row_gob_bytes"`
-	CheckpointQ1ColumnBytes  int64            `json:"checkpoint_q1_column_block_bytes"`
-	CheckpointBytesReduction float64          `json:"checkpoint_q1_bytes_reduction"`
-	Speedup                  float64          `json:"pipelined_speedup"`
-	Metrics                  runtime.Snapshot `json:"pipelined_metrics"`
+	CheckpointQ1RowGobBytes  int64   `json:"checkpoint_q1_row_gob_bytes"`
+	CheckpointQ1ColumnBytes  int64   `json:"checkpoint_q1_column_block_bytes"`
+	CheckpointBytesReduction float64 `json:"checkpoint_q1_bytes_reduction"`
+	// PipelinedQ1 vs PipelinedQ1Progress isolates the cost of live progress
+	// tracking on the end-to-end Q1 run. ObsOverheadNs is the per-op wall
+	// delta in nanoseconds (clamped at zero: timing jitter can make the
+	// tracked run measure faster), ObsOverheadFrac the same relative to the
+	// untracked baseline — the PR-level bar is staying under 2%.
+	PipelinedQ1         allocPoint       `json:"pipelined_q1"`
+	PipelinedQ1Progress allocPoint       `json:"pipelined_q1_progress"`
+	ObsOverheadNs       float64          `json:"obs_overhead_ns"`
+	ObsOverheadFrac     float64          `json:"obs_overhead_frac"`
+	Speedup             float64          `json:"pipelined_speedup"`
+	Metrics             runtime.Snapshot `json:"pipelined_metrics"`
 }
 
 func toAllocPoint(r testing.BenchmarkResult) allocPoint {
@@ -378,7 +422,8 @@ func TestAllocBudget(t *testing.T) {
 		"scan_filter_project_columnar": toAllocPoint(testing.Benchmark(func(b *testing.B) {
 			benchScanFilterProject(b, true)
 		})),
-		"pipelined_q1": toAllocPoint(testing.Benchmark(BenchmarkRuntimePipelinedQ1)),
+		"pipelined_q1":          toAllocPoint(testing.Benchmark(BenchmarkRuntimePipelinedQ1)),
+		"pipelined_q1_progress": toAllocPoint(testing.Benchmark(BenchmarkRuntimePipelinedQ1Progress)),
 	}
 	for name, ceiling := range budget {
 		got, ok := measured[name]
@@ -461,6 +506,17 @@ func TestWriteRuntimeBenchJSON(t *testing.T) {
 
 	rowGob, colBlock := q1CheckpointBytes(t)
 
+	q1Point := toAllocPoint(testing.Benchmark(BenchmarkRuntimePipelinedQ1))
+	q1ProgPoint := toAllocPoint(testing.Benchmark(BenchmarkRuntimePipelinedQ1Progress))
+	overheadNs := (q1ProgPoint.SecondsPerOp - q1Point.SecondsPerOp) * 1e9
+	if overheadNs < 0 {
+		overheadNs = 0
+	}
+	overheadFrac := 0.0
+	if q1Point.SecondsPerOp > 0 {
+		overheadFrac = overheadNs / 1e9 / q1Point.SecondsPerOp
+	}
+
 	last := scaling[len(scaling)-1]
 	report := benchReport{
 		GOMAXPROCS:                hostProcs,
@@ -475,6 +531,10 @@ func TestWriteRuntimeBenchJSON(t *testing.T) {
 		CheckpointQ1RowGobBytes:   rowGob,
 		CheckpointQ1ColumnBytes:   colBlock,
 		CheckpointBytesReduction:  1 - float64(colBlock)/float64(rowGob),
+		PipelinedQ1:               q1Point,
+		PipelinedQ1Progress:       q1ProgPoint,
+		ObsOverheadNs:             overheadNs,
+		ObsOverheadFrac:           overheadFrac,
 		Speedup:                   last.Speedup,
 		Metrics:                   m.Snapshot(),
 	}
@@ -493,6 +553,8 @@ func TestWriteRuntimeBenchJSON(t *testing.T) {
 		rowPoint.AllocsPerOp, colPoint.AllocsPerOp, 100*report.AllocsReduction)
 	t.Logf("Q1 checkpoint bytes: row-gob=%d column-block=%d (%.0f%% reduction)",
 		rowGob, colBlock, 100*report.CheckpointBytesReduction)
+	t.Logf("Q1 progress-tracking overhead: %.0fns/op (%.2f%% of %.3fs baseline)",
+		overheadNs, 100*overheadFrac, q1Point.SecondsPerOp)
 	if report.AllocsReduction < 0.5 {
 		t.Errorf("columnar allocs reduction %.2f below the 0.5 acceptance bar", report.AllocsReduction)
 	}

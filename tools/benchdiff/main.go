@@ -102,6 +102,8 @@ func direction(key string) int {
 		strings.HasSuffix(leaf, "allocs_per_op"),
 		strings.HasSuffix(leaf, "bytes_per_op"),
 		strings.HasSuffix(leaf, "_bytes"),
+		// Progress-tracking overhead on pipelined Q1 (BENCH_runtime.json).
+		leaf == "obs_overhead_ns",
 		// BENCH_service.json latency percentiles (p50_ms, p99_ms).
 		leaf == "p50_ms", leaf == "p99_ms":
 		return -1

@@ -32,8 +32,11 @@ func TestDirectionClassification(t *testing.T) {
 		"scaling.1.pipelined_bytes_per_op":          -1,
 		"scan_filter_project_columnar.bytes_per_op": -1,
 		"checkpoint_q1_column_block_bytes":          -1,
+		"obs_overhead_ns":                           -1,
+		"pipelined_q1_progress.allocs_per_op":       -1,
 		"pipelined_speedup":                         1,
 		"checkpoint_q1_bytes_reduction":             1,
+		"obs_overhead_frac":                         0,
 		"scaling.0.workers":                         0,
 		"gomaxprocs":                                0,
 		// BENCH_service.json sweep series.
