@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -48,9 +49,44 @@ func TestListFlag(t *testing.T) {
 		t.Fatalf("-list exited %d", code)
 	}
 	listing := readBack(t, stdout)
-	for _, name := range []string{"batchalias", "ckpterr", "costfloat", "ctxleak", "spanpair"} {
+	for _, name := range []string{"arenaown", "batchalias", "chanproto", "ckpterr", "costfloat", "ctxleak", "determin", "spanpair"} {
 		if !strings.Contains(listing, name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, listing)
+		}
+	}
+}
+
+// TestJSONFlag runs the real arenaown analyzer over its own fixture package
+// (which contains deliberate violations) and checks the machine-readable
+// output shape plus the exit-code contract: findings still exit 1.
+func TestJSONFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks a fixture package; skipped in -short")
+	}
+	fixture := filepath.Join(moduleRoot(t), "internal", "lint", "arenaown", "testdata", "src", "internal", "engine")
+	t.Chdir(fixture)
+	stdout := tempFile(t)
+	stderr := tempFile(t)
+	code := run([]string{"-run", "arenaown", "-json", "."}, stdout, stderr)
+	if code != 1 {
+		t.Fatalf("-json over fixture exited %d, want 1 (stderr: %s)", code, readBack(t, stderr))
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(readBack(t, stdout)), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, readBack(t, stdout))
+	}
+	if len(findings) == 0 {
+		t.Fatal("expected findings from the arenaown fixture, got none")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line <= 0 || f.Col <= 0 || f.Analyzer != "arenaown" || f.Message == "" {
+			t.Errorf("malformed finding: %+v", f)
 		}
 	}
 }

@@ -45,24 +45,10 @@ func (p *Pass) FuncDecls() map[*types.Func]*ast.FuncDecl {
 
 // CalleeFunc resolves a call expression to the function or method object it
 // statically invokes, or nil for dynamic calls (function values, interface
-// methods resolve to the interface method object).
+// methods resolve to the interface method object). Generic calls resolve to
+// their origin function.
 func (p *Pass) CalleeFunc(call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		if f, ok := p.TypesInfo.Uses[fun].(*types.Func); ok {
-			return f
-		}
-	case *ast.SelectorExpr:
-		if sel, ok := p.TypesInfo.Selections[fun]; ok {
-			if f, ok := sel.Obj().(*types.Func); ok {
-				return f
-			}
-		}
-		if f, ok := p.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
-			return f
-		}
-	}
-	return nil
+	return CalleeOf(p.TypesInfo, call)
 }
 
 // LocalCalls returns the same-package functions a function body statically

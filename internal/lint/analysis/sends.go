@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SendFindingKind classifies how a blocking channel send escapes the
+// done/stop discipline.
+type SendFindingKind int
+
+const (
+	// SendNaked is a bare `ch <- v` statement with no enclosing select.
+	SendNaked SendFindingKind = iota
+	// SendSelectNoDone is a send inside a select that has neither a
+	// done/stop receive case nor a default clause.
+	SendSelectNoDone
+)
+
+// SendFinding is one channel send that blocks without a cancellation path.
+type SendFinding struct {
+	Pos  token.Pos
+	Kind SendFindingKind
+}
+
+// UnguardedSends walks root (a function body) and returns every channel send
+// that can block forever when the peer goroutine is gone: a send is fine
+// when it sits in a select with a done/stop receive case or a default
+// clause, or when it targets a channel provably buffered at its creation
+// site (searched across files) and sent to at most once outside any loop
+// (the bounded "result slot" pattern). The walk does not descend into nested
+// function literals — their bodies are separate scopes with their own guard
+// structure; pass them as their own roots.
+//
+// This is the analysis behind the ctxleak analyzer and the NakedSends field
+// of function summaries, shared so the per-function rule and the
+// interprocedural one can never drift apart.
+func UnguardedSends(info *types.Info, files []*ast.File, root ast.Node) []SendFinding {
+	var out []SendFinding
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != root {
+			return false // separate scope
+		}
+		if send, ok := n.(*ast.SendStmt); ok {
+			if f, bad := classifySend(info, files, send, stack); bad {
+				out = append(out, f)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return out
+}
+
+// classifySend decides whether one send is unguarded, given the stack of its
+// ancestors inside the current function scope.
+func classifySend(info *types.Info, files []*ast.File, send *ast.SendStmt, stack []ast.Node) (SendFinding, bool) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.CommClause:
+			sel, ok := outerSelect(stack, i)
+			if ok && (SelectHasDoneCase(sel) || SelectHasDefault(sel)) {
+				return SendFinding{}, false
+			}
+			return SendFinding{Pos: send.Pos(), Kind: SendSelectNoDone}, true
+		case *ast.FuncLit, *ast.FuncDecl:
+			i = -1
+		}
+		if i < 0 {
+			break
+		}
+	}
+	if bufferedSlotSend(info, files, send, stack) {
+		return SendFinding{}, false
+	}
+	return SendFinding{Pos: send.Pos(), Kind: SendNaked}, true
+}
+
+// outerSelect finds the SelectStmt owning the CommClause at stack[i].
+func outerSelect(stack []ast.Node, i int) (*ast.SelectStmt, bool) {
+	for j := i - 1; j >= 0; j-- {
+		if sel, ok := stack[j].(*ast.SelectStmt); ok {
+			return sel, true
+		}
+	}
+	return nil, false
+}
+
+// SelectHasDoneCase reports whether the select has a receive case on a
+// done-like channel: <-ctx.Done(), or a channel whose name suggests shutdown
+// (done/stop/quit/closed/cancel).
+func SelectHasDoneCase(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		clause, ok := c.(*ast.CommClause)
+		if !ok || clause.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch s := clause.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = s.X
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				recv = s.Rhs[0]
+			}
+		}
+		un, ok := ast.Unparen(recv).(*ast.UnaryExpr)
+		if !ok || un.Op != token.ARROW {
+			continue
+		}
+		if doneLike(un.X) {
+			return true
+		}
+	}
+	return false
+}
+
+// SelectHasDefault reports whether the select has a default clause, making
+// every case non-blocking.
+func SelectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if clause, ok := c.(*ast.CommClause); ok && clause.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func doneLike(ch ast.Expr) bool {
+	switch e := ast.Unparen(ch).(type) {
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Done"
+		}
+	case *ast.Ident:
+		return doneName(e.Name)
+	case *ast.SelectorExpr:
+		return doneName(e.Sel.Name)
+	}
+	return false
+}
+
+func doneName(name string) bool {
+	l := strings.ToLower(name)
+	for _, hint := range []string{"done", "stop", "quit", "closed", "cancel"} {
+		if strings.Contains(l, hint) {
+			return true
+		}
+	}
+	return false
+}
+
+// bufferedSlotSend reports whether the send targets a channel created with a
+// visible non-zero capacity in an enclosing function and the send is not
+// inside a loop — the error-slot pattern `errCh := make(chan error, n)`
+// where every goroutine sends exactly once and the buffer absorbs it.
+func bufferedSlotSend(info *types.Info, files []*ast.File, send *ast.SendStmt, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.FuncLit, *ast.FuncDecl:
+			// Loops outside the goroutine body do not repeat the send.
+			i = -1
+		}
+		if i < 0 {
+			break
+		}
+	}
+	ident, ok := ast.Unparen(send.Chan).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[ident].(*types.Var)
+	if !ok {
+		return false
+	}
+	buffered := false
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if buffered {
+				return false
+			}
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || info.Defs[lid] != obj {
+					continue
+				}
+				if isBufferedMake(info, assign.Rhs[i]) {
+					buffered = true
+				}
+			}
+			return true
+		})
+	}
+	return buffered
+}
+
+// isBufferedMake matches make(chan T, cap) with cap not constant zero.
+func isBufferedMake(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "make" {
+		return false
+	}
+	if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(tv.Value); exact && v == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,35 @@
+// Package arena is the summary-engine fixture's miniature allocator: the
+// same structural vocabulary (Local, Batch, Vector, Release) the real engine
+// arena uses, so acquisition and release detection can be exercised without
+// importing the engine.
+package arena
+
+// Local mirrors the per-goroutine freelist.
+type Local struct{}
+
+// Batch mirrors the engine's columnar batch.
+type Batch struct {
+	Rows int
+	Sel  []int32
+}
+
+// Vector mirrors the engine's column storage.
+type Vector struct {
+	Ints []int64
+}
+
+// NewBatch hands out an owned batch.
+func (l *Local) NewBatch() *Batch { return &Batch{} }
+
+// Ints hands out an owned vector.
+func (l *Local) Ints(n int) *Vector { return &Vector{Ints: make([]int64, n)} }
+
+// Release returns the batch's storage to the arena.
+func (b *Batch) Release(l *Local) {}
+
+// Release returns the vector's storage to the arena.
+func (v *Vector) Release(l *Local) {}
+
+// SliceLocal is a package function threading a *Local through — the
+// acquisition heuristic's non-method shape.
+func SliceLocal(l *Local, rows int) *Batch { return &Batch{Rows: rows} }

@@ -1,0 +1,69 @@
+// Package own exercises ownership-effect summaries across call levels and
+// package boundaries: release and transfer effects must survive two levels
+// of helpers and a generic instantiation.
+package own
+
+import (
+	"ftpde/internal/lint/analysis/testdata/src/summarydemo/arena"
+)
+
+// ReleaseIt releases its parameter directly: Params[1] = EffReleases.
+func ReleaseIt(l *arena.Local, b *arena.Batch) {
+	b.Release(l)
+}
+
+// ReleaseDeep releases through one helper level: the effect must propagate.
+func ReleaseDeep(l *arena.Local, b *arena.Batch) {
+	ReleaseIt(l, b)
+}
+
+// ReleaseDeeper releases through two helper levels.
+func ReleaseDeeper(l *arena.Local, b *arena.Batch) {
+	ReleaseDeep(l, b)
+}
+
+// Forward transfers ownership by channel send: Params[1] = EffTransfers.
+func Forward(out chan *arena.Batch, b *arena.Batch) {
+	out <- b
+}
+
+// Stash transfers ownership by storing into a longer-lived structure.
+type holder struct{ b *arena.Batch }
+
+var kept holder
+
+func Stash(b *arena.Batch) {
+	kept.b = b
+}
+
+// Acquire returns owned storage: OwnedResults[0] = true.
+func Acquire(l *arena.Local) *arena.Batch {
+	return l.NewBatch()
+}
+
+// AcquireDeep returns owned storage through a helper.
+func AcquireDeep(l *arena.Local) *arena.Batch {
+	return Acquire(l)
+}
+
+// AcquireSlice exercises the *Local-argument acquisition shape.
+func AcquireSlice(l *arena.Local) *arena.Batch {
+	return arena.SliceLocal(l, 16)
+}
+
+// DropGeneric releases through a generic helper: the summary is keyed on the
+// origin function, so every instantiation shares it.
+func DropGeneric[T any](l *arena.Local, b *arena.Batch, tag T) {
+	b.Release(l)
+}
+
+// ReleaseViaGeneric calls an instantiation; the release effect must resolve
+// through Origin normalization.
+func ReleaseViaGeneric(l *arena.Local, b *arena.Batch) {
+	DropGeneric(l, b, "tag")
+}
+
+// ReleaseViaGenericExplicit uses explicit type arguments (IndexExpr callee).
+func ReleaseViaGenericExplicit(l *arena.Local, b *arena.Batch) {
+	DropGeneric[int](l, b, 7)
+}

@@ -1,0 +1,32 @@
+// Package rec exercises the fixed-point iteration inside a strongly
+// connected component: mutually recursive functions whose ownership effects
+// only stabilize after propagating around the cycle.
+package rec
+
+import (
+	"ftpde/internal/lint/analysis/testdata/src/summarydemo/arena"
+)
+
+// PingRelease and PongRelease form a two-node SCC; the release effect on the
+// batch parameter exists only on Ping's base case and must reach Pong
+// through the cycle.
+func PingRelease(l *arena.Local, b *arena.Batch, n int) {
+	if n <= 0 {
+		b.Release(l)
+		return
+	}
+	PongRelease(l, b, n-1)
+}
+
+func PongRelease(l *arena.Local, b *arena.Batch, n int) {
+	PingRelease(l, b, n)
+}
+
+// SelfRelease is a one-node cycle (direct recursion).
+func SelfRelease(l *arena.Local, b *arena.Batch, n int) {
+	if n == 0 {
+		b.Release(l)
+		return
+	}
+	SelfRelease(l, b, n-1)
+}

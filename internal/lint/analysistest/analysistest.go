@@ -37,12 +37,18 @@ func TestData() string {
 
 // Run loads every fixture package named by pkgs (paths relative to
 // testdata/src) and reports mismatches between the analyzer's findings and
-// the fixtures' want comments.
+// the fixtures' want comments. A path ending in "/..." loads the whole
+// fixture tree as one multi-package universe: summaries are computed across
+// all of its packages, so interprocedural fixtures can split caller and
+// helper across package boundaries.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	for _, rel := range pkgs {
-		dir := filepath.Join(testdata, "src", rel)
-		loaded, err := analysis.Load(dir, ".")
+		dir, pattern := filepath.Join(testdata, "src", rel), "."
+		if sub, ok := strings.CutSuffix(rel, "/..."); ok {
+			dir, pattern = filepath.Join(testdata, "src", sub), "./..."
+		}
+		loaded, err := analysis.Load(dir, pattern)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", rel, err)
 		}
@@ -104,7 +110,7 @@ func checkWants(t *testing.T, pkgs []*analysis.Package, findings []analysis.Find
 	}
 }
 
-// parseWant extracts the quoted regexps of a `// want` expectation ("" or ``
+// parseWant extracts the quoted regexps of a `// want` expectation ("" or “
 // quoting), returning nil when the comment carries none. The marker may
 // appear mid-comment so that directive lines (e.g. //lint:spanpair) can hold
 // expectations about themselves.

@@ -1,0 +1,15 @@
+package arenaown_test
+
+import (
+	"testing"
+
+	"ftpde/internal/lint/analysistest"
+	"ftpde/internal/lint/arenaown"
+)
+
+func TestArenaOwn(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), arenaown.Analyzer,
+		"internal/engine", // single-package: helpers, generics, branches
+		"interp/...",      // cross-package: effects through export data
+	)
+}

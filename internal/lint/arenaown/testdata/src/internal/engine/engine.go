@@ -1,0 +1,182 @@
+// Package engine is the arenaown fixture: a miniature arena with kernels
+// that respect and kernels that violate the release-exactly-once-or-transfer
+// discipline, including violations only visible through helper functions.
+package engine
+
+import "errors"
+
+// Local mirrors the arena's per-goroutine freelist.
+type Local struct{}
+
+// Batch mirrors the engine's columnar batch.
+type Batch struct{ Sel []int32 }
+
+// Vector mirrors the engine's column storage.
+type Vector struct{ Ints []int64 }
+
+// NewBatch hands out an owned batch.
+func (l *Local) NewBatch() *Batch { return &Batch{} }
+
+// Ints hands out an owned vector.
+func (l *Local) Ints(n int) *Vector { return &Vector{Ints: make([]int64, n)} }
+
+// Release returns the batch's buffers to the arena.
+func (b *Batch) Release(l *Local) {}
+
+// Release returns the vector's buffer to the arena.
+func (v *Vector) Release(l *Local) {}
+
+var errBoom = errors.New("boom")
+
+// consume releases its parameter — the summary carries EffReleases.
+func consume(l *Local, b *Batch) { b.Release(l) }
+
+// consumeDeep releases two call levels down.
+func consumeDeep(l *Local, b *Batch) { consume(l, b) }
+
+// forward transfers ownership by channel send.
+func forward(out chan *Batch, b *Batch) { out <- b }
+
+// dropT releases through a generic helper.
+func dropT[T any](l *Local, b *Batch, tag T) { b.Release(l) }
+
+func badDoubleRelease(l *Local) {
+	b := l.NewBatch()
+	b.Release(l)
+	b.Release(l) // want `released twice`
+}
+
+// badDoubleReleaseViaHelper only shows up interprocedurally: the first
+// release happens two helper levels down.
+func badDoubleReleaseViaHelper(l *Local) {
+	b := l.NewBatch()
+	consumeDeep(l, b)
+	b.Release(l) // want `released twice`
+}
+
+func badDoubleReleaseViaGeneric(l *Local) {
+	b := l.NewBatch()
+	dropT(l, b, 1)
+	b.Release(l) // want `released twice`
+}
+
+func badReleaseAfterSend(l *Local, out chan *Batch) {
+	b := l.NewBatch()
+	out <- b
+	b.Release(l) // want `released after its ownership was transferred`
+}
+
+// badReleaseAfterForward sends through a helper, so only the summary sees
+// the transfer.
+func badReleaseAfterForward(l *Local, out chan *Batch) {
+	b := l.NewBatch()
+	forward(out, b)
+	b.Release(l) // want `released after its ownership was transferred`
+}
+
+func badSendAfterRelease(l *Local, out chan *Batch) {
+	b := l.NewBatch()
+	b.Release(l)
+	out <- b // want `transferred after it was released`
+}
+
+func badReturnAfterRelease(l *Local) *Batch {
+	b := l.NewBatch()
+	b.Release(l)
+	return b // want `transferred after it was released`
+}
+
+func badLeakOnErrorPath(l *Local, fail bool) error {
+	b := l.NewBatch()
+	if fail {
+		return errBoom // want `neither released nor transferred`
+	}
+	b.Release(l)
+	return nil
+}
+
+func badVectorLeak(l *Local, fail bool) error {
+	v := l.Ints(8)
+	if fail {
+		return errBoom // want `neither released nor transferred`
+	}
+	v.Release(l)
+	return nil
+}
+
+func badDeferThenExplicit(l *Local) {
+	b := l.NewBatch()
+	defer b.Release(l)
+	b.Release(l) // want `released here and again by a pending deferred release`
+}
+
+func goodReleaseOnce(l *Local) {
+	b := l.NewBatch()
+	b.Release(l)
+}
+
+func goodConsumeHelper(l *Local) {
+	b := l.NewBatch()
+	consumeDeep(l, b)
+}
+
+// goodBranchRelease releases on both paths; the early-return branch must not
+// poison the fallthrough state.
+func goodBranchRelease(l *Local, early bool) {
+	b := l.NewBatch()
+	if early {
+		b.Release(l)
+		return
+	}
+	b.Release(l)
+}
+
+func goodDeferRelease(l *Local, fail bool) error {
+	b := l.NewBatch()
+	defer b.Release(l)
+	if fail {
+		return errBoom
+	}
+	return nil
+}
+
+func goodSelectSend(l *Local, out chan *Batch, done chan struct{}) {
+	b := l.NewBatch()
+	select {
+	case out <- b:
+	case <-done:
+		b.Release(l)
+	}
+}
+
+func goodReturnOwned(l *Local) *Batch {
+	b := l.NewBatch()
+	return b
+}
+
+type sink struct{ b *Batch }
+
+var global sink
+
+// goodEscape stores the batch into a longer-lived structure: ownership
+// transferred.
+func goodEscape(l *Local) {
+	b := l.NewBatch()
+	global.b = b
+}
+
+func goodLoopProduce(l *Local, out chan *Batch, n int) {
+	for i := 0; i < n; i++ {
+		b := l.NewBatch()
+		out <- b
+	}
+}
+
+// suppressed is the false-positive escape hatch: a pattern the analyzer
+// cannot prove safe, silenced with a documented directive.
+func suppressed(l *Local) {
+	b := l.NewBatch()
+	b.Release(l)
+	//lint:ignore arenaown fixture exercises suppression
+	b.Release(l)
+}

@@ -1,0 +1,15 @@
+// Package helper holds the ownership-consuming helpers the kernel fixture
+// calls across a package boundary.
+package helper
+
+import "ftpde/internal/lint/arenaown/testdata/src/interp/internal/engine/mem"
+
+// Consume releases the batch on the caller's behalf.
+func Consume(l *mem.Local, b *mem.Batch) {
+	b.Release(l)
+}
+
+// Forward transfers ownership by channel send.
+func Forward(out chan *mem.Batch, b *mem.Batch) {
+	out <- b
+}

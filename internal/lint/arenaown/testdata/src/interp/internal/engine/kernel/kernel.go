@@ -1,0 +1,31 @@
+// Package kernel exercises arenaown across package boundaries: the releases
+// and sends happen inside package helper, loaded from export data, so the
+// findings below only exist if summaries resolve through stable FuncIDs.
+package kernel
+
+import (
+	"ftpde/internal/lint/arenaown/testdata/src/interp/internal/engine/helper"
+	"ftpde/internal/lint/arenaown/testdata/src/interp/internal/engine/mem"
+)
+
+func badCrossPackageDouble(l *mem.Local) {
+	b := l.NewBatch()
+	helper.Consume(l, b)
+	b.Release(l) // want `released twice`
+}
+
+func badCrossPackageReleaseAfterForward(l *mem.Local, out chan *mem.Batch) {
+	b := l.NewBatch()
+	helper.Forward(out, b)
+	b.Release(l) // want `released after its ownership was transferred`
+}
+
+func goodCrossPackageConsume(l *mem.Local) {
+	b := l.NewBatch()
+	helper.Consume(l, b)
+}
+
+func goodCrossPackageForward(l *mem.Local, out chan *mem.Batch) {
+	b := l.NewBatch()
+	helper.Forward(out, b)
+}

@@ -1,0 +1,16 @@
+// Package mem is the cross-package arenaown fixture's arena: acquired values
+// travel into sibling packages, so every effect below must be visible to
+// callers through export-data-keyed summaries.
+package mem
+
+// Local mirrors the arena freelist.
+type Local struct{}
+
+// Batch mirrors the columnar batch.
+type Batch struct{ Rows int }
+
+// NewBatch hands out an owned batch.
+func (l *Local) NewBatch() *Batch { return &Batch{} }
+
+// Release returns the batch's buffers to the arena.
+func (b *Batch) Release(l *Local) {}

@@ -28,10 +28,6 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// releaseMethods are the arena ownership sinks: after one of these is called
-// on a Batch/Vector variable, the variable's buffers may be reused elsewhere.
-var releaseMethods = map[string]bool{"Release": true, "releaseShell": true}
-
 // batchTypes are the parameter type names whose storage is shared.
 var batchTypes = map[string]bool{"Batch": true, "Vector": true}
 
@@ -150,12 +146,30 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 					pass.Reportf(s.Pos(), "append through a released batch's storage; the arena may already have handed its buffers to another batch")
 				}
 			}
-			if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok && releaseMethods[sel.Sel.Name] {
-				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
-					obj := identObj(pass, id)
-					if obj != nil && !recv[obj] && batchTypes[analysis.NamedTypeName(obj.Type())] {
-						released[obj] = true
-					}
+			// Release detection goes through the interprocedural summaries:
+			// CallOwnEffects matches the direct b.Release(loc) pattern and
+			// also callees whose own summaries release a parameter or their
+			// receiver, so a helper that frees the batch two calls down still
+			// poisons later writes here.
+			recvEff, argEffs := pass.Summaries.CallOwnEffects(pass.TypesInfo, s)
+			markReleased := func(e ast.Expr) {
+				id, ok := ast.Unparen(e).(*ast.Ident)
+				if !ok {
+					return
+				}
+				obj := identObj(pass, id)
+				if obj != nil && !recv[obj] && batchTypes[analysis.NamedTypeName(obj.Type())] {
+					released[obj] = true
+				}
+			}
+			if recvEff&analysis.EffReleases != 0 {
+				if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok {
+					markReleased(sel.X)
+				}
+			}
+			for i, eff := range argEffs {
+				if eff&analysis.EffReleases != 0 && i < len(s.Args) {
+					markReleased(s.Args[i])
 				}
 			}
 		}

@@ -184,6 +184,39 @@ func badJoinBuildWrite(probe, build *Batch) {
 	build.Cols[0].Ints[0] = probe.Cols[0].Ints[0] // want `write into an input batch's backing storage`
 }
 
+// freeBatch releases its argument; the fact travels in its summary.
+func freeBatch(b *Batch, l *Local) {
+	b.Release(l)
+}
+
+// freeBatchDeep hides the release one more call level down.
+func freeBatchDeep(b *Batch, l *Local) {
+	freeBatch(b, l)
+}
+
+// badWriteAfterHelperRelease is interprocedural: the release happens inside
+// freeBatch, visible here only through its summary.
+func badWriteAfterHelperRelease(l *Local) {
+	b := &Batch{Sel: make([]int32, 4)}
+	freeBatch(b, l)
+	b.Sel = nil // want `write to a released batch`
+}
+
+func badAppendAfterDeepHelperRelease(l *Local) []int32 {
+	b := &Batch{Sel: make([]int32, 4)}
+	freeBatchDeep(b, l)
+	return append(b.Sel, 1) // want `append through a released batch`
+}
+
+// goodHelperReleaseThenRebind re-points the variable after the helper frees
+// it, superseding the release exactly like the direct-call shape.
+func goodHelperReleaseThenRebind(l *Local) {
+	b := &Batch{Sel: make([]int32, 4)}
+	freeBatch(b, l)
+	b = &Batch{Sel: make([]int32, 2)}
+	b.Sel[0] = 1
+}
+
 // goodExchangeScatter mirrors exchange's hash+scatter: shared input columns
 // are only read; each partition gets a freshly built selection.
 func goodExchangeScatter(b *Batch, parts int) [][]int32 {

@@ -1,0 +1,436 @@
+// Package chanproto implements the ftlint analyzer that machine-checks the
+// stage-channel protocol (DESIGN.md §7): goroutines must not reach a
+// blocking channel send that lacks a done/stop guard — even when the send is
+// buried in a helper in another package — and every channel must be closed
+// exactly once, by its unique producer, never inside a loop, and never by
+// its consumer. It generalizes ctxleak interprocedurally: ctxleak inspects
+// send sites reachable within one package, chanproto consults function
+// summaries so the violation survives any number of call hops.
+package chanproto
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"ftpde/internal/lint/analysis"
+)
+
+// Analyzer enforces the channel protocol: guarded sends in goroutines,
+// close-exactly-once by the producer.
+var Analyzer = &analysis.Analyzer{
+	Name: "chanproto",
+	Doc: "goroutines must not reach blocking channel sends without a " +
+		"done/stop guard (checked through helper calls and package " +
+		"boundaries); channels close exactly once, outside loops, by their " +
+		"producer — a double close or consumer close panics the stage",
+	Run: run,
+}
+
+// scopes are the goroutine- and channel-heavy layers.
+var scopes = []string{"internal/runtime", "internal/service"}
+
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, s := range scopes {
+		if strings.Contains(pass.Pkg.Path(), s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope || pass.Summaries == nil {
+		return nil
+	}
+
+	// A function is send-tainted when it (or any transitive callee)
+	// performs a blocking send with no done/stop guard. The taint must not
+	// cross go-launch edges: `go f()` inside g makes the SEND f's
+	// goroutine's problem (and is reported at that launch site), not a
+	// property of g that should alarm g's callers.
+	tainted := pass.Summaries.TaintedVia(
+		func(_ analysis.FuncID, sum *analysis.FuncSummary) bool {
+			return sum != nil && len(sum.NakedSends) > 0
+		},
+		func(analysis.FuncID, *analysis.FuncSummary) bool { return true },
+		func(caller *analysis.FuncSummary, callee analysis.FuncID) bool {
+			return !caller.GoOnlyCalls[callee]
+		},
+	)
+
+	for _, f := range pass.Files {
+		// Tests launch helper goroutines that outlive nothing: the process
+		// ends with the test binary, so the production leak and panic
+		// arguments do not apply there.
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoroutineSends(pass, fd, tainted)
+			checkCloses(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkGoroutineSends reports goroutine launches whose callees reach a
+// naked send. Sends lexically inside the goroutine body are ctxleak's
+// territory; this rule covers what ctxleak cannot see — the call boundary.
+func checkGoroutineSends(pass *analysis.Pass, fd *ast.FuncDecl, tainted map[analysis.FuncID]bool) {
+	// Calls that are themselves `go f(...)` launches, to avoid reporting
+	// them twice from an enclosing goroutine body scan.
+	goCalls := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			goCalls[g.Call] = true
+		}
+		return true
+	})
+	report := func(call *ast.CallExpr) {
+		callee := analysis.CalleeOf(pass.TypesInfo, call)
+		if callee == nil {
+			return
+		}
+		if tainted[analysis.IDOf(callee)] {
+			pass.Reportf(call.Pos(), "goroutine reaches a blocking channel send with no done/stop guard via %s: the worker leaks when the peer is gone", callee.Name())
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && !goCalls[call] {
+					report(call)
+				}
+				return true
+			})
+			return true
+		}
+		report(g.Call)
+		return true
+	})
+}
+
+// ---- close-exactly-once ----
+
+// pendingClose is an in-loop close that only becomes a finding if its path
+// reaches the loop's back edge — `close(ch); return` inside a loop runs
+// once and is the canonical terminal pattern, not a bug.
+type pendingClose struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// closeState is the per-path abstract state of the close tracker.
+type closeState struct {
+	// closed maps channel variables to "already closed on this path".
+	closed map[types.Object]bool
+	// pending lists in-loop closes awaiting proof that the path repeats.
+	pending []pendingClose
+}
+
+func newCloseState() *closeState {
+	return &closeState{closed: make(map[types.Object]bool)}
+}
+
+func (st *closeState) clone() *closeState {
+	c := &closeState{closed: make(map[types.Object]bool, len(st.closed))}
+	for k, v := range st.closed {
+		c.closed[k] = v
+	}
+	c.pending = append(c.pending, st.pending...)
+	return c
+}
+
+// mergeClose joins branch exit states: closed only if closed on every path;
+// pending closes from any surviving path stay pending (duplicates are
+// deduplicated by position at report time).
+func mergeClose(dst *closeState, outs ...*closeState) {
+	if len(outs) == 0 {
+		return
+	}
+	clear(dst.closed)
+	for obj, v := range outs[0].closed {
+		agree := v
+		for _, o := range outs[1:] {
+			if !o.closed[obj] {
+				agree = false
+				break
+			}
+		}
+		if agree {
+			dst.closed[obj] = true
+		}
+	}
+	dst.pending = dst.pending[:0]
+	seen := make(map[token.Pos]bool)
+	for _, o := range outs {
+		for _, p := range o.pending {
+			if !seen[p.pos] {
+				seen[p.pos] = true
+				dst.pending = append(dst.pending, p)
+			}
+		}
+	}
+}
+
+// closeWalker tracks closes through one function (and each of its function
+// literals as an independent root, since those usually run in their own
+// goroutine).
+type closeWalker struct {
+	pass      *analysis.Pass
+	sum       *analysis.FuncSummary // enclosing function's summary
+	paramIdx  map[types.Object]int
+	loopDepth int
+	reported  map[token.Pos]bool // dedupe loop findings across merged paths
+}
+
+func checkCloses(pass *analysis.Pass, fd *ast.FuncDecl) {
+	w := &closeWalker{pass: pass, paramIdx: make(map[types.Object]int), reported: make(map[token.Pos]bool)}
+	if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		w.sum = pass.Summaries.Of(obj)
+	}
+	i := 0
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					w.paramIdx[obj] = i
+				}
+				i++
+			}
+			if len(field.Names) == 0 {
+				i++
+			}
+		}
+	}
+	w.block(fd.Body.List, newCloseState())
+}
+
+// loopBody walks one loop body and settles its pending closes: a close whose
+// path flows off the end of the body reaches the back edge and repeats next
+// iteration; a close on a terminating path (return, break) runs once and is
+// fine. (A close followed by `continue` is conservatively treated like the
+// terminating case — a false negative, not a false positive.)
+func (w *closeWalker) loopBody(stmts []ast.Stmt, st *closeState) {
+	bodySt := st.clone()
+	inherited := len(bodySt.pending)
+	w.loopDepth++
+	terminated := w.block(stmts, bodySt)
+	w.loopDepth--
+	if !terminated {
+		for _, p := range bodySt.pending[inherited:] {
+			if !w.reported[p.pos] {
+				w.reported[p.pos] = true
+				w.pass.Reportf(p.pos, "%s closed inside a loop: the second iteration panics on double close", p.obj.Name())
+			}
+		}
+	}
+	bodySt.pending = bodySt.pending[:inherited]
+	mergeClose(st, st.clone(), bodySt)
+}
+
+func (w *closeWalker) block(stmts []ast.Stmt, st *closeState) bool {
+	for _, s := range stmts {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *closeWalker) stmt(s ast.Stmt, st *closeState) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, st)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan, st)
+		w.expr(s.Value, st)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.DeferStmt:
+		// A deferred close runs exactly once at exit: it still counts
+		// toward the exactly-once budget on every path from here on.
+		w.expr(s.Call, st)
+	case *ast.GoStmt:
+		// The launched body is walked as its own root below; the call's
+		// arguments cannot close anything synchronously.
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.expr(s.Cond, st)
+		thenSt := st.clone()
+		thenTerm := w.block(s.Body.List, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			mergeClose(st, elseSt)
+		case elseTerm:
+			mergeClose(st, thenSt)
+		default:
+			mergeClose(st, thenSt, elseSt)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.expr(s.Cond, st)
+		w.loopBody(s.Body.List, st)
+	case *ast.RangeStmt:
+		w.expr(s.X, st)
+		w.loopBody(s.Body.List, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		w.switchLike(s, st)
+	case *ast.SelectStmt:
+		var outs []*closeState
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseSt := st.clone()
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, caseSt)
+			}
+			if !w.block(cc.Body, caseSt) {
+				outs = append(outs, caseSt)
+			}
+		}
+		mergeClose(st, outs...)
+	case *ast.BlockStmt:
+		return w.block(s.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	}
+	return false
+}
+
+func (w *closeWalker) switchLike(s ast.Stmt, st *closeState) {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.expr(s.Tag, st)
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		body = s.Body
+	}
+	var outs []*closeState
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseSt := st.clone()
+		if !w.block(cc.Body, caseSt) {
+			outs = append(outs, caseSt)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, st.clone())
+	}
+	mergeClose(st, outs...)
+}
+
+// expr scans for close events: the close builtin, and calls whose summary
+// closes a channel argument. Function literals are walked as independent
+// roots with fresh state.
+func (w *closeWalker) expr(e ast.Expr, st *closeState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lw := &closeWalker{pass: w.pass, sum: w.sum, paramIdx: w.paramIdx, reported: make(map[token.Pos]bool)}
+			lw.block(n.Body.List, newCloseState())
+			return false
+		case *ast.CallExpr:
+			w.call(n, st)
+		}
+		return true
+	})
+}
+
+func (w *closeWalker) call(call *ast.CallExpr, st *closeState) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+		if obj := w.identObj(call.Args[0]); obj != nil {
+			w.closeEvent(obj, call.Pos(), st)
+		}
+		return
+	}
+	callee := analysis.CalleeOf(w.pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	gsum := w.pass.Summaries.ByID(analysis.IDOf(callee))
+	if gsum == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		if i < len(gsum.ClosesParams) && gsum.ClosesParams[i] {
+			if obj := w.identObj(arg); obj != nil {
+				w.closeEvent(obj, call.Pos(), st)
+			}
+		}
+	}
+}
+
+func (w *closeWalker) closeEvent(obj types.Object, pos token.Pos, st *closeState) {
+	name := obj.Name()
+	if w.loopDepth > 0 {
+		// Deferred until the loop end proves the path reaches the back edge.
+		st.pending = append(st.pending, pendingClose{obj: obj, pos: pos})
+	}
+	if st.closed[obj] {
+		w.pass.Reportf(pos, "%s closed more than once on this path: the second close panics", name)
+	}
+	st.closed[obj] = true
+	if i, ok := w.paramIdx[obj]; ok && w.sum != nil && i < len(w.sum.ReceivesFromParams) && w.sum.ReceivesFromParams[i] {
+		w.pass.Reportf(pos, "%s closed by a function that also receives from it: only the unique producer may close a stage channel", name)
+	}
+}
+
+func (w *closeWalker) identObj(e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return w.pass.TypesInfo.Defs[id]
+}

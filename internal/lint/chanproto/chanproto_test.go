@@ -1,0 +1,15 @@
+package chanproto_test
+
+import (
+	"testing"
+
+	"ftpde/internal/lint/analysistest"
+	"ftpde/internal/lint/chanproto"
+)
+
+func TestChanProto(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), chanproto.Analyzer,
+		"internal/runtime", // helpers, loops, branches, consumer close
+		"chinterp/...",     // send and close facts across packages
+	)
+}

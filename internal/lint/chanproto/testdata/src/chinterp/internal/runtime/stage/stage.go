@@ -1,0 +1,28 @@
+// Package stage exercises chanproto across a package boundary: the send and
+// close facts come from package work's summaries, keyed by stable FuncIDs.
+package stage
+
+import "ftpde/internal/lint/chanproto/testdata/src/chinterp/internal/runtime/work"
+
+func badCrossGo(out chan int) {
+	go work.Emit(out, 1) // want `no done/stop guard via Emit`
+}
+
+func badCrossLit(out chan int) {
+	go func() {
+		work.Emit(out, 1) // want `no done/stop guard via Emit`
+	}()
+}
+
+func goodCrossGuarded(out chan int, done chan struct{}) {
+	go work.EmitGuarded(out, done, 1)
+}
+
+func badCrossDoubleClose(ch chan int) {
+	close(ch)
+	work.Finish(ch) // want `closed more than once`
+}
+
+func goodFinishOnce(ch chan int) {
+	work.Finish(ch)
+}

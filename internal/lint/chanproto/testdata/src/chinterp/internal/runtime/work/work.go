@@ -1,0 +1,22 @@
+// Package work holds the cross-package helpers for the chanproto fixture:
+// the naked send and the close live here, loaded from export data by the
+// stage package.
+package work
+
+// Emit performs a naked send.
+func Emit(out chan int, v int) {
+	out <- v
+}
+
+// EmitGuarded is the safe variant.
+func EmitGuarded(out chan int, done chan struct{}, v int) {
+	select {
+	case out <- v:
+	case <-done:
+	}
+}
+
+// Finish closes the channel on the caller's behalf.
+func Finish(ch chan int) {
+	close(ch)
+}

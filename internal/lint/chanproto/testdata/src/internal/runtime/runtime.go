@@ -1,0 +1,129 @@
+// Package runtime is the chanproto fixture: goroutine launches whose sends
+// hide behind helpers, and every close-protocol violation the analyzer
+// knows, plus the clean producer patterns it must accept.
+package runtime
+
+// emit performs a naked send; its summary carries the fact.
+func emit(out chan int, v int) {
+	out <- v
+}
+
+// emitDeep hides the send one more call level down.
+func emitDeep(out chan int, v int) {
+	emit(out, v)
+}
+
+// emitGuarded pairs the send with a done receive: safe.
+func emitGuarded(out chan int, done chan struct{}, v int) {
+	select {
+	case out <- v:
+	case <-done:
+	}
+}
+
+func badGoDirect(out chan int) {
+	go emit(out, 1) // want `goroutine reaches a blocking channel send with no done/stop guard via emit`
+}
+
+func badGoDeep(out chan int) {
+	go emitDeep(out, 1) // want `no done/stop guard via emitDeep`
+}
+
+func badGoLit(out chan int) {
+	go func() {
+		emitDeep(out, 2) // want `no done/stop guard via emitDeep`
+	}()
+}
+
+func goodGoGuarded(out chan int, done chan struct{}) {
+	go emitGuarded(out, done, 1)
+}
+
+// closeHelper closes its parameter; the summary carries ClosesParams.
+func closeHelper(ch chan int) {
+	close(ch)
+}
+
+func badDoubleClose(ch chan int) {
+	close(ch)
+	close(ch) // want `closed more than once`
+}
+
+// badDoubleCloseViaHelper is interprocedural: the second close happens
+// inside closeHelper.
+func badDoubleCloseViaHelper(ch chan int) {
+	close(ch)
+	closeHelper(ch) // want `closed more than once`
+}
+
+func badCloseInLoop(chans []chan int, ch chan int) {
+	for range chans {
+		close(ch) // want `closed inside a loop`
+	}
+}
+
+func badConsumerClose(in chan int) {
+	v := <-in
+	_ = v
+	close(in) // want `closed by a function that also receives from it`
+}
+
+// launchOnly spawns the sender itself; the naked send blocks the spawned
+// goroutine, so the finding lands here at the launch site —
+func launchOnly(out chan int) {
+	go emit(out, 9) // want `no done/stop guard via emit`
+}
+
+// — and must NOT propagate to launchOnly's own callers: launching a
+// launcher does not park anybody on the send.
+func goodGoOfLauncher(out chan int) {
+	go launchOnly(out)
+}
+
+// goodCloseThenReturnInLoop is the terminal-drain shape: the close runs at
+// most once because its path leaves the loop immediately.
+func goodCloseThenReturnInLoop(chans []chan int, ch chan int, stop bool) {
+	for range chans {
+		if stop {
+			close(ch)
+			return
+		}
+	}
+}
+
+// goodCloseThenBreakInLoop leaves by break instead of return.
+func goodCloseThenBreakInLoop(chans []chan int, ch chan int) {
+	for range chans {
+		close(ch)
+		break
+	}
+}
+
+// goodProducerClose is the canonical stage producer: send everything, close
+// once at exit.
+func goodProducerClose(out chan int, done chan struct{}, vals []int) {
+	defer close(out)
+	for _, v := range vals {
+		select {
+		case out <- v:
+		case <-done:
+			return
+		}
+	}
+}
+
+// goodBranchClose closes on both paths of a branch — exactly once per path.
+func goodBranchClose(ch chan int, early bool) {
+	if early {
+		close(ch)
+		return
+	}
+	close(ch)
+}
+
+// suppressed is the false-positive escape hatch with a documented reason.
+func suppressed(ch chan int) {
+	close(ch)
+	//lint:ignore chanproto fixture exercises suppression
+	close(ch)
+}

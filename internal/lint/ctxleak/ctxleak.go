@@ -4,12 +4,17 @@
 // channel send with a done/stop select case, so a cancelled partition
 // context (or a draining server) can always tear the stage chain down
 // instead of leaking workers.
+//
+// The send classification itself (select guards, done-like channel names,
+// the buffered result-slot exemption) lives in analysis.UnguardedSends and
+// is shared with the interprocedural chanproto analyzer, so the two rules
+// cannot drift apart; ctxleak contributes the goroutine-root discovery and
+// same-package reachability that scope the per-send rule.
 package ctxleak
 
 import (
 	"go/ast"
-	"go/constant"
-	"go/types"
+	"go/token"
 	"strings"
 
 	"ftpde/internal/lint/analysis"
@@ -87,8 +92,27 @@ func run(pass *analysis.Pass) error {
 		}
 	}
 
+	// Classify every send under every reachable scope. UnguardedSends stops
+	// at nested function literals (their guard structure is their own), so
+	// each nested literal body is checked as a root of its own; reported
+	// positions are deduplicated because a go-statement literal inside a
+	// reachable declaration appears both as a root and as a nested scope.
+	reported := make(map[token.Pos]bool)
 	check := func(root ast.Node) {
-		checkSends(pass, root)
+		for _, scope := range sendScopes(root) {
+			for _, f := range analysis.UnguardedSends(pass.TypesInfo, pass.Files, scope) {
+				if reported[f.Pos] {
+					continue
+				}
+				reported[f.Pos] = true
+				switch f.Kind {
+				case analysis.SendSelectNoDone:
+					pass.Reportf(f.Pos, "select with a channel send has no done/stop receive case; add one so cancellation can interrupt the send")
+				default:
+					pass.Reportf(f.Pos, "blocking channel send without a done/stop select; wrap it in select { case ch <- v: case <-done: } so cancellation cannot leak this goroutine")
+				}
+			}
+		}
 	}
 	for _, body := range rootBodies {
 		check(body)
@@ -99,187 +123,15 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// checkSends reports naked blocking sends under root.
-func checkSends(pass *analysis.Pass, root ast.Node) {
-	var stack []ast.Node
+// sendScopes returns root plus the body of every function literal nested
+// under it, each to be classified as an independent send scope.
+func sendScopes(root ast.Node) []ast.Node {
+	out := []ast.Node{root}
 	ast.Inspect(root, func(n ast.Node) bool {
-		if n == nil {
-			stack = stack[:len(stack)-1]
-			return true
-		}
-		if send, ok := n.(*ast.SendStmt); ok {
-			checkOneSend(pass, send, stack)
-		}
-		stack = append(stack, n)
-		return true
-	})
-}
-
-func checkOneSend(pass *analysis.Pass, send *ast.SendStmt, stack []ast.Node) {
-	// A send that is a select case is fine when a sibling case receives from
-	// a done/stop channel.
-	for i := len(stack) - 1; i >= 0; i-- {
-		switch anc := stack[i].(type) {
-		case *ast.CommClause:
-			sel, ok := outerSelect(stack, i)
-			if ok && (hasDoneCase(pass, sel) || hasDefault(sel)) {
-				return
-			}
-			pass.Reportf(send.Pos(), "select with a channel send has no done/stop receive case; add one so cancellation can interrupt the send")
-			return
-		case *ast.FuncLit:
-			// Leaving the enclosing function: the send is naked within it.
-			i = -1
-			_ = anc
-		}
-		if i < 0 {
-			break
-		}
-	}
-	// Naked send: allowed only on a channel that is provably buffered at its
-	// creation site in the same function chain and sent to at most once
-	// (outside any loop) — the bounded "result slot" pattern.
-	if bufferedSlotSend(pass, send, stack) {
-		return
-	}
-	pass.Reportf(send.Pos(), "blocking channel send without a done/stop select; wrap it in select { case ch <- v: case <-done: } so cancellation cannot leak this goroutine")
-}
-
-// outerSelect finds the SelectStmt owning the CommClause at stack[i].
-func outerSelect(stack []ast.Node, i int) (*ast.SelectStmt, bool) {
-	for j := i - 1; j >= 0; j-- {
-		if sel, ok := stack[j].(*ast.SelectStmt); ok {
-			return sel, true
-		}
-	}
-	return nil, false
-}
-
-// hasDoneCase reports whether the select has a receive case on a done-like
-// channel: <-ctx.Done(), or a channel whose name suggests shutdown
-// (done/stop/quit/closed/cancel).
-func hasDoneCase(pass *analysis.Pass, sel *ast.SelectStmt) bool {
-	for _, c := range sel.Body.List {
-		clause, ok := c.(*ast.CommClause)
-		if !ok || clause.Comm == nil {
-			continue
-		}
-		var recv ast.Expr
-		switch s := clause.Comm.(type) {
-		case *ast.ExprStmt:
-			recv = s.X
-		case *ast.AssignStmt:
-			if len(s.Rhs) == 1 {
-				recv = s.Rhs[0]
-			}
-		}
-		un, ok := ast.Unparen(recv).(*ast.UnaryExpr)
-		if !ok || un.Op.String() != "<-" {
-			continue
-		}
-		if doneLike(un.X) {
-			return true
-		}
-	}
-	return false
-}
-
-// hasDefault reports whether the select has a default clause, making every
-// case non-blocking.
-func hasDefault(sel *ast.SelectStmt) bool {
-	for _, c := range sel.Body.List {
-		if clause, ok := c.(*ast.CommClause); ok && clause.Comm == nil {
-			return true
-		}
-	}
-	return false
-}
-
-func doneLike(ch ast.Expr) bool {
-	switch e := ast.Unparen(ch).(type) {
-	case *ast.CallExpr:
-		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
-			return sel.Sel.Name == "Done"
-		}
-	case *ast.Ident:
-		return doneName(e.Name)
-	case *ast.SelectorExpr:
-		return doneName(e.Sel.Name)
-	}
-	return false
-}
-
-func doneName(name string) bool {
-	l := strings.ToLower(name)
-	for _, hint := range []string{"done", "stop", "quit", "closed", "cancel"} {
-		if strings.Contains(l, hint) {
-			return true
-		}
-	}
-	return false
-}
-
-// bufferedSlotSend reports whether the send targets a channel created with a
-// visible non-zero capacity in an enclosing function and the send is not
-// inside a loop — the error-slot pattern `errCh := make(chan error, n)`
-// where every goroutine sends exactly once and the buffer absorbs it.
-func bufferedSlotSend(pass *analysis.Pass, send *ast.SendStmt, stack []ast.Node) bool {
-	for i := len(stack) - 1; i >= 0; i-- {
-		switch stack[i].(type) {
-		case *ast.ForStmt, *ast.RangeStmt:
-			return false
-		case *ast.FuncLit, *ast.FuncDecl:
-			// Loops outside the goroutine body do not repeat the send.
-			i = -1
-		}
-		if i < 0 {
-			break
-		}
-	}
-	ident, ok := ast.Unparen(send.Chan).(*ast.Ident)
-	if !ok {
-		return false
-	}
-	obj, ok := pass.TypesInfo.Uses[ident].(*types.Var)
-	if !ok {
-		return false
-	}
-	buffered := false
-	pass.WithStack(func(n ast.Node, _ []ast.Node) bool {
-		if buffered {
-			return false
-		}
-		assign, ok := n.(*ast.AssignStmt)
-		if !ok || len(assign.Lhs) != len(assign.Rhs) {
-			return true
-		}
-		for i, lhs := range assign.Lhs {
-			lid, ok := lhs.(*ast.Ident)
-			if !ok || pass.TypesInfo.Defs[lid] != obj {
-				continue
-			}
-			if isBufferedMake(pass, assign.Rhs[i]) {
-				buffered = true
-			}
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != root {
+			out = append(out, lit.Body)
 		}
 		return true
 	})
-	return buffered
-}
-
-// isBufferedMake matches make(chan T, cap) with cap not constant zero.
-func isBufferedMake(pass *analysis.Pass, e ast.Expr) bool {
-	call, ok := ast.Unparen(e).(*ast.CallExpr)
-	if !ok || len(call.Args) != 2 {
-		return false
-	}
-	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "make" {
-		return false
-	}
-	if tv, ok := pass.TypesInfo.Types[call.Args[1]]; ok && tv.Value != nil {
-		if v, exact := constant.Int64Val(tv.Value); exact && v == 0 {
-			return false
-		}
-	}
-	return true
+	return out
 }

@@ -1,0 +1,16 @@
+package determin_test
+
+import (
+	"testing"
+
+	"ftpde/internal/lint/analysistest"
+	"ftpde/internal/lint/determin"
+)
+
+func TestDetermin(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determin.Analyzer,
+		"internal/cost",   // strict scope: direct + helper taint, map order
+		"internal/engine", // compute-path reachability, exact-name roots
+		"dinterp/...",     // cross-package taint and ordered results
+	)
+}

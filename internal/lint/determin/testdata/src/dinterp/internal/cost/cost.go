@@ -1,0 +1,26 @@
+// Package cost is the cross-package determin fixture: the violations live in
+// package util, loaded from export data, so these findings exist only if
+// taint and ordered-result facts resolve through stable FuncIDs.
+package cost
+
+import (
+	"fmt"
+	"io"
+
+	"ftpde/internal/lint/determin/testdata/src/dinterp/internal/obs"
+	"ftpde/internal/lint/determin/testdata/src/dinterp/util"
+)
+
+func badCrossJitter() float64 {
+	return util.Jitter() // want `call to Jitter reaches time.Now/math/rand`
+}
+
+func badCrossOrder(w io.Writer, m map[string]int) {
+	ks := util.Keys(m)
+	fmt.Fprintln(w, ks) // want `map-iteration-ordered data reaches Fprintln`
+}
+
+// goodObsSpan: timing through the tracer is sanctioned.
+func goodObsSpan() *obs.Span {
+	return obs.Start()
+}

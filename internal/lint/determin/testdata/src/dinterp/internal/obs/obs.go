@@ -1,0 +1,13 @@
+// Package obs mirrors the tracer: wall-clock reads here are its job, and
+// the determin taint closure must not propagate through it.
+package obs
+
+import "time"
+
+// Span records a start time.
+type Span struct{ start time.Time }
+
+// Start reads the clock — sanctioned.
+func Start() *Span {
+	return &Span{start: time.Now()}
+}

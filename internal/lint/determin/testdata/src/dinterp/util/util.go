@@ -1,0 +1,23 @@
+// Package util holds out-of-scope helpers for the cross-package determin
+// fixture: nothing here is reported directly (util is not a deterministic
+// package), but the taint must travel to in-scope callers through summaries.
+package util
+
+import (
+	"math/rand"
+)
+
+// Jitter reaches math/rand: callers in strict scope inherit the taint.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Keys returns map-iteration-ordered content; the OrderedResults fact must
+// cross the package boundary.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

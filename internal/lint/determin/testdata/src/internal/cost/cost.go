@@ -1,0 +1,82 @@
+// Package cost is the determin fixture for the strict scope: the cost model
+// must price identical plans identically, so wall clock, randomness, and
+// map-iteration-ordered output are all violations here.
+package cost
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func badNow() int64 {
+	return time.Now().UnixNano() // want `wall clock read in deterministic package`
+}
+
+func badRand() float64 {
+	return rand.Float64() // want `math/rand call in deterministic package`
+}
+
+// helperClock hides the clock one level down; it is flagged directly (it
+// lives in the strict scope) and taints its callers.
+func helperClock() int64 {
+	return time.Now().Unix() // want `wall clock read in deterministic package`
+}
+
+func badViaHelper() int64 {
+	return helperClock() // want `call to helperClock reaches time.Now/math/rand`
+}
+
+// badEnumerate emits plan costs in map-iteration order: byte layout varies
+// run to run.
+func badEnumerate(w io.Writer, plans map[string]float64) {
+	for name, c := range plans {
+		fmt.Fprintf(w, "%s=%f\n", name, c) // want `map-iteration-ordered data reaches Fprintf`
+	}
+}
+
+// goodEnumerate sorts the keys first: deterministic output.
+func goodEnumerate(w io.Writer, plans map[string]float64) {
+	names := make([]string, 0, len(plans))
+	for name := range plans {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%s=%f\n", n, plans[n])
+	}
+}
+
+// keys accumulates in map order with no sink of its own; the taint lives in
+// its summary's OrderedResults.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// badEncodeKeys is only a violation through keys' summary.
+func badEncodeKeys(w io.Writer, m map[string]int) {
+	ks := keys(m)
+	fmt.Fprintln(w, ks) // want `map-iteration-ordered data reaches Fprintln`
+}
+
+// goodEncodeSorted kills the taint before the sink.
+func goodEncodeSorted(w io.Writer, m map[string]int) {
+	ks := keys(m)
+	sort.Strings(ks)
+	fmt.Fprintln(w, ks)
+}
+
+// suppressed documents a provably safe case: single-entry map, order
+// irrelevant.
+func suppressed(w io.Writer, one map[string]int) {
+	for k := range one {
+		//lint:ignore determin fixture exercises suppression
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,35 @@
+// Package engine is the determin fixture for the compute-path rule: wall
+// clock and randomness are banned only in code reachable from kernel entry
+// points (Compute/ComputeBatch/Process/Flush methods), matched by exact
+// name so deliberately nondeterministic members like failure injectors stay
+// out of scope.
+package engine
+
+import "time"
+
+// Kern is a miniature kernel.
+type Kern struct{ acc int64 }
+
+// Process is a compute root: everything it reaches is in scope.
+func (k *Kern) Process(n int) int64 {
+	return step(n) // want `call to step reaches time.Now/math/rand`
+}
+
+func step(n int) int64 {
+	return int64(n) + tick() // want `call to tick reaches time.Now/math/rand`
+}
+
+func tick() int64 {
+	return time.Now().UnixNano() // want `wall clock read in engine compute path`
+}
+
+// FailCompute is NOT a root (exact-name matching): a deliberate failure
+// injector may read the clock.
+func (k *Kern) FailCompute() int64 {
+	return time.Now().UnixNano()
+}
+
+// Flush is a root but calls nothing nondeterministic: clean.
+func (k *Kern) Flush() int64 {
+	return k.acc
+}

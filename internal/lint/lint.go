@@ -5,19 +5,25 @@ package lint
 
 import (
 	"ftpde/internal/lint/analysis"
+	"ftpde/internal/lint/arenaown"
 	"ftpde/internal/lint/batchalias"
+	"ftpde/internal/lint/chanproto"
 	"ftpde/internal/lint/ckpterr"
 	"ftpde/internal/lint/costfloat"
 	"ftpde/internal/lint/ctxleak"
+	"ftpde/internal/lint/determin"
 	"ftpde/internal/lint/spanpair"
 )
 
 // Analyzers lists every analyzer ftlint runs, in report order.
 var Analyzers = []*analysis.Analyzer{
+	arenaown.Analyzer,
 	batchalias.Analyzer,
+	chanproto.Analyzer,
 	ckpterr.Analyzer,
 	costfloat.Analyzer,
 	ctxleak.Analyzer,
+	determin.Analyzer,
 	spanpair.Analyzer,
 }
 

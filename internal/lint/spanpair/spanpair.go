@@ -11,6 +11,7 @@ import (
 	"go/ast"
 	"go/constant"
 	"go/token"
+	"go/types"
 	"strings"
 
 	"ftpde/internal/lint/analysis"
@@ -80,8 +81,54 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 
+	// idResolves: does the function behind a summary FuncID emit
+	// recovery/restart, transitively through its statically resolved callees?
+	// This is the interprocedural arm of emitsResolve: the span facts travel
+	// in summaries, so a recovery emitted two packages away still pairs a
+	// failure here.
+	const (
+		stVisiting = 1
+		stYes      = 2
+		stNo       = 3
+	)
+	idState := make(map[analysis.FuncID]int)
+	var idResolves func(id analysis.FuncID) bool
+	idResolves = func(id analysis.FuncID) bool {
+		switch idState[id] {
+		case stVisiting, stNo:
+			return false
+		case stYes:
+			return true
+		}
+		sum := pass.Summaries.ByID(id)
+		if sum == nil {
+			idState[id] = stNo
+			return false
+		}
+		idState[id] = stVisiting
+		yes := false
+		for k := range sum.SpanKinds {
+			if resolveKinds[k] {
+				yes = true
+				break
+			}
+		}
+		for _, callee := range sum.Calls {
+			if yes {
+				break
+			}
+			yes = idResolves(callee)
+		}
+		if yes {
+			idState[id] = stYes
+		} else {
+			idState[id] = stNo
+		}
+		return yes
+	}
+
 	// emitsResolve: does fd emit recovery/restart, transitively through
-	// same-package calls?
+	// same-package calls or through the cross-package summary graph?
 	memo := make(map[*ast.FuncDecl]bool)
 	visiting := make(map[*ast.FuncDecl]bool)
 	var emitsResolve func(fd *ast.FuncDecl) bool
@@ -100,6 +147,16 @@ func run(pass *analysis.Pass) error {
 				if resolveKinds[k] {
 					memo[fd] = true
 					return true
+				}
+			}
+		}
+		if f, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			if sum := pass.Summaries.Of(f); sum != nil {
+				for _, callee := range sum.Calls {
+					if idResolves(callee) {
+						memo[fd] = true
+						return true
+					}
 				}
 			}
 		}

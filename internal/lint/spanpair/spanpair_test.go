@@ -8,5 +8,8 @@ import (
 )
 
 func TestSpanpair(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), spanpair.Analyzer, "spans")
+	analysistest.Run(t, analysistest.TestData(), spanpair.Analyzer,
+		"spans",        // paired, delegated, directive, literal-kind emissions
+		"spinterp/...", // resolution across package boundaries via summaries
+	)
 }

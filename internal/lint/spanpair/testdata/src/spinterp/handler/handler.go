@@ -1,0 +1,20 @@
+// Package handler holds the recovery emissions for the cross-package
+// spanpair fixture; callers in package app see them only through summaries.
+package handler
+
+import "ftpde/internal/lint/spanpair/testdata/src/spinterp/trace"
+
+// Resolve emits the recovery span directly.
+func Resolve(tr trace.Tracer) {
+	tr.Event(trace.KindRecovery, "rebuilt")
+}
+
+// ResolveDeep hides the recovery one more call level down.
+func ResolveDeep(tr trace.Tracer) {
+	Resolve(tr)
+}
+
+// Nothing emits no resolving span at all.
+func Nothing(tr trace.Tracer) {
+	tr.Event(trace.KindStage, "scan")
+}

@@ -1,0 +1,17 @@
+// Package trace is the shared tracer for the cross-package spanpair fixture.
+package trace
+
+// Kind mirrors the internal/obs span vocabulary.
+type Kind string
+
+const (
+	KindFailure  Kind = "failure"
+	KindRecovery Kind = "recovery"
+	KindStage    Kind = "stage"
+)
+
+// Tracer mirrors the internal/obs tracer surface.
+type Tracer struct{}
+
+// Event records one span.
+func (Tracer) Event(kind Kind, name string) {}

@@ -73,6 +73,7 @@ func newCheckpointWriter(store engine.Store, metrics *Metrics, tracer *obs.Trace
 		written:  make(map[string]bool),
 	}
 	w.cond = sync.NewCond(&w.mu)
+	//lint:ignore chanproto encodeLoop's writeCh send always completes: close() drains the write stage before the stop channel fires (see the ctxleak ignore at the send site)
 	go w.encodeLoop()
 	go w.writeLoop()
 	return w

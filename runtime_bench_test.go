@@ -21,6 +21,8 @@ import (
 	"time"
 
 	"ftpde/internal/engine"
+	"ftpde/internal/lint"
+	lintanalysis "ftpde/internal/lint/analysis"
 	"ftpde/internal/obs"
 	"ftpde/internal/runtime"
 	"ftpde/internal/tpch"
@@ -349,6 +351,12 @@ type benchReport struct {
 	ObsOverheadFrac     float64          `json:"obs_overhead_frac"`
 	Speedup             float64          `json:"pipelined_speedup"`
 	Metrics             runtime.Snapshot `json:"pipelined_metrics"`
+	// LintWallMs is the wall time of one full ftlint sweep (load + all
+	// analyzers over the whole module). Interprocedural summaries make the
+	// suite quadratic-ish in the worst case, so the trajectory is tracked
+	// here; benchdiff only flags it past 2x because a single cold `go list
+	// -export` can dominate the measurement.
+	LintWallMs float64 `json:"lint_wall_ms"`
 }
 
 func toAllocPoint(r testing.BenchmarkResult) allocPoint {
@@ -449,6 +457,29 @@ func TestAllocBudget(t *testing.T) {
 	}
 }
 
+// lintWallMs times one full ftlint sweep — export-data load plus every
+// registered analyzer over the whole module, the exact work the CI gate does.
+// One run, not testing.Benchmark: the dominant cost is `go list -export`,
+// whose build cache makes repeat iterations measure a different (warmer)
+// workload than CI sees.
+func lintWallMs(t *testing.T) float64 {
+	t.Helper()
+	start := time.Now()
+	pkgs, err := lintanalysis.Load(".", "./...")
+	if err != nil {
+		t.Fatalf("lint load: %v", err)
+	}
+	findings, err := lintanalysis.Run(pkgs, lint.Analyzers)
+	if err != nil {
+		t.Fatalf("lint run: %v", err)
+	}
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	if len(findings) > 0 {
+		t.Errorf("lint sweep found %d findings on the bench tree; run ./cmd/ftlint for details", len(findings))
+	}
+	return ms
+}
+
 // TestWriteRuntimeBenchJSON measures staged vs pipelined on the multi-branch
 // plan across a pinned 1/2/4-worker scaling series, the columnar vs []Row
 // kernel comparison, and the Q1 checkpoint sizes, then writes
@@ -506,6 +537,8 @@ func TestWriteRuntimeBenchJSON(t *testing.T) {
 
 	rowGob, colBlock := q1CheckpointBytes(t)
 
+	lintMs := lintWallMs(t)
+
 	q1Point := toAllocPoint(testing.Benchmark(BenchmarkRuntimePipelinedQ1))
 	q1ProgPoint := toAllocPoint(testing.Benchmark(BenchmarkRuntimePipelinedQ1Progress))
 	overheadNs := (q1ProgPoint.SecondsPerOp - q1Point.SecondsPerOp) * 1e9
@@ -537,6 +570,7 @@ func TestWriteRuntimeBenchJSON(t *testing.T) {
 		ObsOverheadFrac:           overheadFrac,
 		Speedup:                   last.Speedup,
 		Metrics:                   m.Snapshot(),
+		LintWallMs:                lintMs,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -555,6 +589,7 @@ func TestWriteRuntimeBenchJSON(t *testing.T) {
 		rowGob, colBlock, 100*report.CheckpointBytesReduction)
 	t.Logf("Q1 progress-tracking overhead: %.0fns/op (%.2f%% of %.3fs baseline)",
 		overheadNs, 100*overheadFrac, q1Point.SecondsPerOp)
+	t.Logf("ftlint full-module sweep: %.0fms", lintMs)
 	if report.AllocsReduction < 0.5 {
 		t.Errorf("columnar allocs reduction %.2f below the 0.5 acceptance bar", report.AllocsReduction)
 	}

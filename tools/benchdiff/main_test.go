@@ -33,6 +33,7 @@ func TestDirectionClassification(t *testing.T) {
 		"scan_filter_project_columnar.bytes_per_op": -1,
 		"checkpoint_q1_column_block_bytes":          -1,
 		"obs_overhead_ns":                           -1,
+		"lint_wall_ms":                              -1,
 		"pipelined_q1_progress.allocs_per_op":       -1,
 		"pipelined_speedup":                         1,
 		"checkpoint_q1_bytes_reduction":             1,
@@ -87,6 +88,31 @@ func TestDiffFlagsRegressions(t *testing.T) {
 	}
 	if !strings.Contains(reportAll, "b.allocs_per_op") {
 		t.Errorf("-all report missing improved series:\n%s", reportAll)
+	}
+}
+
+func TestLintWallMsRegressesOnlyPastDouble(t *testing.T) {
+	oldM := map[string]float64{"lint_wall_ms": 100}
+
+	// +80% is well past the default 10% threshold but under the 2x bar the
+	// noisy go-list-backed measurement gets: not a regression.
+	report, n := Diff(oldM, map[string]float64{"lint_wall_ms": 180}, 0.10, false)
+	if n != 0 {
+		t.Errorf("+80%% lint_wall_ms flagged as regression:\n%s", report)
+	}
+
+	// A >2x blowup is the super-linear-analyzer signature and must trip.
+	report, n = Diff(oldM, map[string]float64{"lint_wall_ms": 250}, 0.10, false)
+	if n != 1 {
+		t.Errorf("2.5x lint_wall_ms not flagged (n=%d):\n%s", n, report)
+	}
+	if !strings.Contains(report, "lint_wall_ms") {
+		t.Errorf("report missing lint_wall_ms series:\n%s", report)
+	}
+
+	// An explicit -threshold wider than 2x still wins.
+	if _, n := Diff(oldM, map[string]float64{"lint_wall_ms": 250}, 3.0, false); n != 0 {
+		t.Errorf("explicit -threshold 3.0 overridden for lint_wall_ms")
 	}
 }
 
