@@ -1,12 +1,14 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"ftpde/internal/obs"
 	"ftpde/internal/obs/metrics"
+	"ftpde/internal/obs/prof"
 )
 
 // FailureInjector decides whether the node hosting partition `part` dies
@@ -137,6 +139,11 @@ type Coordinator struct {
 	// Progress receives live per-operator completion for /debug/queries; nil
 	// disables tracking (every hook is a nil-tolerant atomic handle).
 	Progress *obs.Progress
+	// ProfLabels are the query-level pprof labels (query, tenant) every
+	// worker goroutine runs under when continuous profiling is on; the
+	// executor adds per-operator stage/op/attempt labels on top. Zero cost
+	// while no sampler is running.
+	ProfLabels prof.Labels
 }
 
 const maxAttemptsPerPartition = 1000
@@ -149,6 +156,9 @@ type execState struct {
 	report   *Report
 	order    []Operator
 	prog     map[Operator]*obs.StageProgress
+	// pctx carries the query-level pprof labels; partition workers re-apply
+	// them (labels are goroutine-local) and refine with per-operator labels.
+	pctx context.Context
 }
 
 // Execute runs the query rooted at root and returns its partitioned result.
@@ -196,7 +206,14 @@ func (co *Coordinator) Execute(root Operator) (*PartitionedResult, *Report, erro
 			order:    order,
 			prog:     prog,
 		}
-		res, err := st.run(root)
+		// The coordinator goroutine itself does real work (commit, checkpoint
+		// encode, recovery), so it runs labeled too; workers inherit the
+		// query-level labels through st.pctx.
+		var res *PartitionedResult
+		prof.Do(context.Background(), co.ProfLabels, func(ctx context.Context) {
+			st.pctx = ctx
+			res, err = st.run(root)
+		})
 		if err == nil {
 			return res, report, nil
 		}
@@ -297,27 +314,34 @@ func (st *execState) computeAll(op Operator) error {
 		wg.Add(1)
 		go func(part int) {
 			defer wg.Done()
-			if rows, ok := st.co.Store.Get(op.Name(), part); ok && op.Materialize() {
-				out[part] = outcome{part: part, rows: rows, fromStore: true}
-				return
-			}
+			// Worker goroutines do not inherit the coordinator's pprof
+			// labels; re-apply them from the query context with this task's
+			// operator and attempt on top.
 			attempt := st.attempts[attemptKey(op, part)]
-			sp := st.co.Tracer.Begin(obs.KindTask, op.Name(), part, attempt)
-			if st.co.Injector.FailCompute(op.Name(), part, attempt) {
-				st.co.Tracer.Event(obs.KindFailure, op.Name(), part, attempt)
-				st.co.Metrics.Ledger().Fail(op.Name(), part)
-				sp.Fail("node failure")
+			prof.Do(st.pctx, prof.Labels{
+				Stage: op.Name(), Op: op.Name(), Attempt: prof.AttemptLabel(attempt),
+			}, func(context.Context) {
+				if rows, ok := st.co.Store.Get(op.Name(), part); ok && op.Materialize() {
+					out[part] = outcome{part: part, rows: rows, fromStore: true}
+					return
+				}
+				sp := st.co.Tracer.Begin(obs.KindTask, op.Name(), part, attempt)
+				if st.co.Injector.FailCompute(op.Name(), part, attempt) {
+					st.co.Tracer.Event(obs.KindFailure, op.Name(), part, attempt)
+					st.co.Metrics.Ledger().Fail(op.Name(), part)
+					sp.Fail("node failure")
+					sp.End()
+					out[part] = outcome{part: part, failed: true}
+					return
+				}
+				rows, err := op.Compute(part, st.inputResults(op))
+				sp.SetRows(int64(len(rows)))
+				if err != nil {
+					sp.Fail(err.Error())
+				}
 				sp.End()
-				out[part] = outcome{part: part, failed: true}
-				return
-			}
-			rows, err := op.Compute(part, st.inputResults(op))
-			sp.SetRows(int64(len(rows)))
-			if err != nil {
-				sp.Fail(err.Error())
-			}
-			sp.End()
-			out[part] = outcome{part: part, rows: rows, err: err}
+				out[part] = outcome{part: part, rows: rows, err: err}
+			})
 		}(part)
 	}
 	wg.Wait()
@@ -433,7 +457,13 @@ func (st *execState) ensure(op Operator, part int) error {
 			continue
 		}
 		sp := st.co.Tracer.Begin(obs.KindTask, op.Name(), part, attempt)
-		rows, err := op.Compute(part, st.inputResults(op))
+		var rows []Row
+		var err error
+		prof.Do(st.pctx, prof.Labels{
+			Stage: op.Name(), Op: op.Name(), Attempt: prof.AttemptLabel(attempt),
+		}, func(context.Context) {
+			rows, err = op.Compute(part, st.inputResults(op))
+		})
 		if err != nil {
 			sp.Fail(err.Error())
 			sp.End()
@@ -463,21 +493,30 @@ func (st *execState) commit(op Operator, part int, rows []Row) error {
 	st.done[op][part] = true
 	if op.Materialize() {
 		if _, already := st.co.Store.Get(op.Name(), part); !already {
-			sp := st.co.Tracer.Begin(obs.KindCheckpoint, op.Name(), part, -1)
-			start := time.Now()
-			if err := st.co.Store.Put(op.Name(), part, rows, st.co.Nodes); err != nil {
-				sp.Fail(err.Error())
+			// Checkpoint encode + write is CPU the operator caused; label it
+			// so the profiler's join books it against the right op.
+			var perr error
+			prof.Do(st.pctx, prof.Labels{Stage: op.Name(), Op: op.Name()}, func(context.Context) {
+				sp := st.co.Tracer.Begin(obs.KindCheckpoint, op.Name(), part, -1)
+				start := time.Now()
+				if err := st.co.Store.Put(op.Name(), part, rows, st.co.Nodes); err != nil {
+					sp.Fail(err.Error())
+					sp.End()
+					perr = fmt.Errorf("engine: materialize %s/%d: %w", op.Name(), part, err)
+					return
+				}
+				st.co.Metrics.ObserveCheckpointWrite(metrics.RuntimeStaged, time.Since(start))
+				n := EncodedSize(rows)
+				st.co.Metrics.AddCheckpoint(n)
+				st.prog[op].AddCheckpointBytes(n)
+				sp.SetBytes(n)
+				sp.SetRows(int64(len(rows)))
 				sp.End()
-				return fmt.Errorf("engine: materialize %s/%d: %w", op.Name(), part, err)
+				st.report.MaterializedPartitions++
+			})
+			if perr != nil {
+				return perr
 			}
-			st.co.Metrics.ObserveCheckpointWrite(metrics.RuntimeStaged, time.Since(start))
-			n := EncodedSize(rows)
-			st.co.Metrics.AddCheckpoint(n)
-			st.prog[op].AddCheckpointBytes(n)
-			sp.SetBytes(n)
-			sp.SetRows(int64(len(rows)))
-			sp.End()
-			st.report.MaterializedPartitions++
 		}
 	}
 	return nil

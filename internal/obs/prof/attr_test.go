@@ -1,0 +1,128 @@
+package prof
+
+import "testing"
+
+// fakeCPUProfile builds a decoded CPU profile directly (bypassing the wire
+// format, which proto_test covers) so attribution semantics are deterministic.
+func fakeCPUProfile(samples []Sample, funcs map[uint64]string, locs map[uint64][]uint64) *Profile {
+	return &Profile{
+		SampleTypes: []ValueType{{Type: "samples", Unit: "count"}, {Type: "cpu", Unit: "nanoseconds"}},
+		Samples:     samples,
+		funcName:    funcs,
+		locFuncs:    locs,
+	}
+}
+
+func TestAttributionCPUJoin(t *testing.T) {
+	a := newAttribution("ftpde/")
+	funcs := map[uint64]string{1: "ftpde/internal/engine.scanKernel", 2: "runtime.mallocgc"}
+	locs := map[uint64][]uint64{10: {1}, 20: {2}}
+	p := fakeCPUProfile([]Sample{
+		{Locations: []uint64{10}, Values: []int64{3, 30e6},
+			Labels: map[string]string{LabelQuery: "5", LabelTenant: "acme", LabelOp: "scan"}},
+		{Locations: []uint64{10}, Values: []int64{1, 10e6},
+			Labels: map[string]string{LabelQuery: "5", LabelTenant: "acme", LabelStage: "stage-scan"}},
+		{Locations: []uint64{20}, Values: []int64{2, 20e6}}, // unlabeled (GC worker)
+	}, funcs, locs)
+	a.AddCPU(p)
+
+	st := a.Stats()
+	if st.Samples != 3 || st.Joined != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.JoinFrac(); got <= 0.66 || got >= 0.67 {
+		t.Fatalf("join frac = %v, want 40/60", got)
+	}
+	if cpu := a.OpCPUSeconds(); cpu["scan"] != 0.03 || cpu["stage-scan"] != 0.01 {
+		t.Fatalf("op cpu = %v", cpu)
+	}
+	if ten := a.TenantCPUSeconds(); ten["acme"] != 0.04 {
+		t.Fatalf("tenant cpu = %v", ten)
+	}
+	if win := a.LastWindowOpCPUSeconds(); win["scan"] != 0.03 {
+		t.Fatalf("last window = %v", win)
+	}
+	if q := a.TakeQueryCPUSeconds("5"); q["scan"] != 0.03 {
+		t.Fatalf("query cpu = %v", q)
+	}
+}
+
+// TestAttributionDutyScale pins the duty-cycle correction: a window sampled
+// at 25% duty is folded with scale 4, so attributed seconds extrapolate the
+// dark phases while sample counts and the join fraction stay raw.
+func TestAttributionDutyScale(t *testing.T) {
+	a := newAttribution("ftpde/")
+	funcs := map[uint64]string{1: "ftpde/internal/engine.scanKernel"}
+	locs := map[uint64][]uint64{10: {1}}
+	p := fakeCPUProfile([]Sample{
+		{Locations: []uint64{10}, Values: []int64{3, 30e6},
+			Labels: map[string]string{LabelQuery: "5", LabelTenant: "acme", LabelOp: "scan"}},
+		{Locations: []uint64{10}, Values: []int64{1, 10e6}}, // unlabeled
+	}, funcs, locs)
+	a.AddCPUScaled(p, 4)
+
+	if st := a.Stats(); st.Samples != 2 || st.Joined != 1 {
+		t.Fatalf("stats = %+v, want raw counts", st)
+	}
+	if cpu := a.OpCPUSeconds(); cpu["scan"] != 0.12 {
+		t.Fatalf("op cpu = %v, want scan extrapolated to 0.12s", cpu)
+	}
+	if ten := a.TenantCPUSeconds(); ten["acme"] != 0.12 {
+		t.Fatalf("tenant cpu = %v", ten)
+	}
+	if got := a.Stats().JoinFrac(); got != 0.75 {
+		t.Fatalf("join frac = %v, want 0.75 (scale cancels)", got)
+	}
+}
+
+func TestAttributionHeapJoinViaFuncMap(t *testing.T) {
+	a := newAttribution("ftpde/")
+	funcs := map[uint64]string{1: "ftpde/internal/engine.hashJoinKernel", 2: "runtime.makeslice"}
+	locs := map[uint64][]uint64{10: {1}, 20: {2, 1}} // loc 20: runtime frame over the kernel
+	// Teach the func map: hashJoinKernel is dominated by op "join".
+	a.AddCPU(fakeCPUProfile([]Sample{
+		{Locations: []uint64{10}, Values: []int64{8, 80e6}, Labels: map[string]string{LabelOp: "join"}},
+		{Locations: []uint64{10}, Values: []int64{1, 10e6}, Labels: map[string]string{LabelOp: "scan"}},
+	}, funcs, locs))
+
+	heap := &Profile{
+		SampleTypes: []ValueType{
+			{Type: "alloc_objects", Unit: "count"}, {Type: "alloc_space", Unit: "bytes"},
+			{Type: "inuse_objects", Unit: "count"}, {Type: "inuse_space", Unit: "bytes"},
+		},
+		Samples: []Sample{
+			{Locations: []uint64{20}, Values: []int64{10, 4096, 1, 512}},
+			{Locations: []uint64{99}, Values: []int64{5, 9999, 0, 0}}, // unknown stack: dropped
+		},
+		funcName: funcs,
+		locFuncs: locs,
+	}
+	a.AddHeap(heap)
+	if got := a.OpAllocBytes(); got["join"] != 4096 {
+		t.Fatalf("alloc bytes = %v, want join=4096 (majority winner)", got)
+	}
+	// Heap totals are cumulative: a second snapshot with the same totals must
+	// book no new growth, and growth books only the delta.
+	a.AddHeap(heap)
+	if got := a.OpAllocBytes(); got["join"] != 4096 {
+		t.Fatalf("cumulative snapshot double-booked: %v", got)
+	}
+	heap.Samples[0].Values[1] = 6096
+	a.AddHeap(heap)
+	if got := a.OpAllocBytes(); got["join"] != 6096 {
+		t.Fatalf("delta not booked: %v", got)
+	}
+}
+
+func TestAttributionBoundsQueryTable(t *testing.T) {
+	a := newAttribution("ftpde/")
+	for i := 0; i < maxTrackedQueries+10; i++ {
+		a.AddCPU(fakeCPUProfile([]Sample{
+			{Values: []int64{1, 1e6}, Labels: map[string]string{
+				LabelQuery: string(rune('a'+i%26)) + string(rune('0'+i/26)), LabelOp: "scan"}},
+		}, nil, nil))
+	}
+	if st := a.Stats(); st.DroppedQueries == 0 && len(a.queryCPU) > maxTrackedQueries {
+		t.Fatalf("query table unbounded: %d entries, %d dropped", len(a.queryCPU), st.DroppedQueries)
+	}
+}

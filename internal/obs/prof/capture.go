@@ -1,0 +1,57 @@
+package prof
+
+import (
+	"sort"
+
+	"ftpde/internal/obs"
+)
+
+// maxCaptureOps bounds the ranked operator lists embedded in a forensics
+// bundle — enough to answer "what was burning CPU at death" without bloating
+// the bundle JSON.
+const maxCaptureOps = 12
+
+// CaptureBundle freezes the sampler's state into the plain-data ProfCapture a
+// forensics bundle embeds. It forces a window rotation and a heap snapshot
+// first (CaptureNow), so the final window covers work right up to the moment
+// of death. Returns nil for a nil sampler, so forensics paths need not gate
+// on whether profiling is enabled.
+func CaptureBundle(s *Sampler) *obs.ProfCapture {
+	if s == nil {
+		return nil
+	}
+	s.CaptureNow()
+	st := s.Attr().Stats()
+	pc := &obs.ProfCapture{
+		Windows:     s.Windows(),
+		Samples:     st.Samples,
+		JoinFrac:    st.JoinFrac(),
+		CPUProfile:  s.LastCPUProfile(),
+		HeapProfile: s.LastHeapProfile(),
+	}
+	for op, sec := range s.Attr().LastWindowOpCPUSeconds() {
+		pc.TopCPU = append(pc.TopCPU, obs.OpCPU{Op: op, Seconds: sec})
+	}
+	sort.Slice(pc.TopCPU, func(i, j int) bool {
+		if pc.TopCPU[i].Seconds != pc.TopCPU[j].Seconds {
+			return pc.TopCPU[i].Seconds > pc.TopCPU[j].Seconds
+		}
+		return pc.TopCPU[i].Op < pc.TopCPU[j].Op
+	})
+	if len(pc.TopCPU) > maxCaptureOps {
+		pc.TopCPU = pc.TopCPU[:maxCaptureOps]
+	}
+	for op, n := range s.Attr().OpAllocBytes() {
+		pc.TopAlloc = append(pc.TopAlloc, obs.OpBytes{Op: op, Bytes: n})
+	}
+	sort.Slice(pc.TopAlloc, func(i, j int) bool {
+		if pc.TopAlloc[i].Bytes != pc.TopAlloc[j].Bytes {
+			return pc.TopAlloc[i].Bytes > pc.TopAlloc[j].Bytes
+		}
+		return pc.TopAlloc[i].Op < pc.TopAlloc[j].Op
+	})
+	if len(pc.TopAlloc) > maxCaptureOps {
+		pc.TopAlloc = pc.TopAlloc[:maxCaptureOps]
+	}
+	return pc
+}

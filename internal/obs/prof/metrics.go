@@ -1,0 +1,107 @@
+package prof
+
+import (
+	"sort"
+
+	"ftpde/internal/obs/metrics"
+)
+
+// RegisterSamplerMetrics exposes the profiler's label join as metric
+// families. Idempotent (duplicate registration is ignored) and nil-tolerant:
+// a nil sampler registers the Descs with empty collectors so `ftsql
+// -list-metrics` documents the families without a live profiler.
+func RegisterSamplerMetrics(reg *metrics.Registry, s *Sampler) {
+	_ = reg.RegisterFunc(metrics.Desc{
+		Name: "ftpde_op_cpu_seconds", Kind: metrics.KindCounter, Unit: "seconds",
+		Labels: []string{"op"},
+		Help:   "Measured per-operator CPU from profile-label joins.",
+	}, func() []metrics.Sample {
+		if s == nil {
+			return nil
+		}
+		return sortedFloatSamples(s.attr.OpCPUSeconds())
+	})
+	_ = reg.RegisterFunc(metrics.Desc{
+		Name: "ftpde_op_alloc_bytes", Kind: metrics.KindCounter, Unit: "bytes",
+		Labels: []string{"op"},
+		Help:   "Per-operator heap allocation via the function-map join.",
+	}, func() []metrics.Sample {
+		if s == nil {
+			return nil
+		}
+		m := s.attr.OpAllocBytes()
+		f := make(map[string]float64, len(m))
+		for k, v := range m {
+			f[k] = float64(v)
+		}
+		return sortedFloatSamples(f)
+	})
+	_ = reg.RegisterFunc(metrics.Desc{
+		Name: "ftpde_prof_windows_total", Kind: metrics.KindCounter,
+		Help: "Complete CPU profile windows ingested by the sampler.",
+	}, func() []metrics.Sample {
+		if s == nil {
+			return nil
+		}
+		return []metrics.Sample{{Value: float64(s.Windows())}}
+	})
+	_ = reg.RegisterFunc(metrics.Desc{
+		Name: "ftpde_prof_samples_total", Kind: metrics.KindCounter,
+		Help: "CPU samples decoded from profile windows.",
+	}, func() []metrics.Sample {
+		if s == nil {
+			return nil
+		}
+		return []metrics.Sample{{Value: float64(s.attr.Stats().Samples)}}
+	})
+	_ = reg.RegisterFunc(metrics.Desc{
+		Name: "ftpde_prof_samples_joined_total", Kind: metrics.KindCounter,
+		Help: "CPU samples that joined to an operator or stage label.",
+	}, func() []metrics.Sample {
+		if s == nil {
+			return nil
+		}
+		return []metrics.Sample{{Value: float64(s.attr.Stats().Joined)}}
+	})
+	_ = reg.RegisterFunc(metrics.Desc{
+		Name: "ftpde_prof_join_frac", Kind: metrics.KindGauge, Unit: "ratio",
+		Help: "CPU-weighted fraction of samples joined to an operator.",
+	}, func() []metrics.Sample {
+		if s == nil {
+			return nil
+		}
+		return []metrics.Sample{{Value: s.attr.Stats().JoinFrac()}}
+	})
+	_ = reg.RegisterFunc(metrics.Desc{
+		Name: "ftpde_prof_heap_snapshots_total", Kind: metrics.KindCounter,
+		Help: "Heap snapshots taken on alloc-threshold triggers.",
+	}, func() []metrics.Sample {
+		if s == nil {
+			return nil
+		}
+		return []metrics.Sample{{Value: float64(s.attr.Stats().HeapSnapshots)}}
+	})
+	_ = reg.RegisterFunc(metrics.Desc{
+		Name: "ftpde_prof_errors_total", Kind: metrics.KindCounter,
+		Help: "Profiler start, decode, and ring-write failures.",
+	}, func() []metrics.Sample {
+		if s == nil {
+			return nil
+		}
+		return []metrics.Sample{{Value: float64(s.Errors())}}
+	})
+}
+
+// sortedFloatSamples renders a map as deterministic one-label samples.
+func sortedFloatSamples(m map[string]float64) []metrics.Sample {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]metrics.Sample, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, metrics.Sample{LabelValues: []string{k}, Value: m[k]})
+	}
+	return out
+}

@@ -1,0 +1,595 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Typed decode failures. Callers branch on these with errors.Is — a truncated
+// file (torn write, crash mid-window) is recoverable by skipping the window,
+// while corrupt bytes indicate the file was never a profile at all.
+var (
+	// ErrTruncated reports input that ends mid-message: a varint, length
+	// prefix, or gzip stream that promises more bytes than are present.
+	ErrTruncated = errors.New("prof: truncated profile")
+	// ErrCorrupt reports bytes that cannot be a profile.proto message: an
+	// unknown wire type, an overflowing varint, or a string-table index out
+	// of range.
+	ErrCorrupt = errors.New("prof: corrupt profile")
+)
+
+// ValueType is one dimension of a profile's sample values, e.g. {cpu,
+// nanoseconds} or {alloc_space, bytes}.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Sample is one decoded profile sample: a stack (location ids, leaf first),
+// one value per sample type, and the pprof labels attached by the producer.
+type Sample struct {
+	Locations []uint64
+	Values    []int64
+	Labels    map[string]string
+	NumLabels map[string]int64
+}
+
+// Profile is the decoded subset of profile.proto this package needs: sample
+// types, samples with labels, the location→function tables (for joining heap
+// samples to operators by function name), and period metadata.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	PeriodType    ValueType
+	Period        int64
+	TimeNanos     int64
+	DurationNanos int64
+
+	funcName map[uint64]string   // function id → fully qualified name
+	locFuncs map[uint64][]uint64 // location id → function ids, leaf line first
+}
+
+// Parse decodes a profile.proto message, transparently gunzipping (profiles
+// written by runtime/pprof are always gzipped). It returns ErrTruncated or
+// ErrCorrupt — never panics — on malformed input.
+func Parse(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad gzip header: %v", ErrCorrupt, err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+				return nil, fmt.Errorf("%w: gzip stream cut short", ErrTruncated)
+			}
+			return nil, fmt.Errorf("%w: gzip: %v", ErrCorrupt, err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, fmt.Errorf("%w: gzip checksum: %v", ErrTruncated, err)
+		}
+		data = raw
+	}
+	return parseRaw(data)
+}
+
+// profile.proto field numbers (the subset we decode).
+const (
+	fldProfileSampleType = 1
+	fldProfileSample     = 2
+	fldProfileLocation   = 4
+	fldProfileFunction   = 5
+	fldProfileStrings    = 6
+	fldProfileTimeNanos  = 9
+	fldProfileDuration   = 10
+	fldProfilePeriodType = 11
+	fldProfilePeriod     = 12
+)
+
+func parseRaw(data []byte) (*Profile, error) {
+	// Pass 1: split the top-level message, deferring sub-message decoding
+	// until the whole string table is known (the spec allows any field
+	// order, and labels/value types reference strings by index).
+	var (
+		strs                 = []string{}
+		rawTypes, rawSamples [][]byte
+		rawLocs, rawFuncs    [][]byte
+		rawPeriodType        []byte
+	)
+	p := &Profile{
+		funcName: make(map[uint64]string),
+		locFuncs: make(map[uint64][]uint64),
+	}
+	r := &reader{data: data}
+	for r.pos < len(r.data) {
+		num, wire, err := r.field()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case fldProfileSampleType, fldProfileSample, fldProfileLocation,
+			fldProfileFunction, fldProfileStrings, fldProfilePeriodType:
+			if wire != wireBytes {
+				return nil, fmt.Errorf("%w: profile field %d has wire type %d", ErrCorrupt, num, wire)
+			}
+			b, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			switch num {
+			case fldProfileSampleType:
+				rawTypes = append(rawTypes, b)
+			case fldProfileSample:
+				rawSamples = append(rawSamples, b)
+			case fldProfileLocation:
+				rawLocs = append(rawLocs, b)
+			case fldProfileFunction:
+				rawFuncs = append(rawFuncs, b)
+			case fldProfileStrings:
+				strs = append(strs, string(b))
+			case fldProfilePeriodType:
+				rawPeriodType = b
+			}
+		case fldProfileTimeNanos, fldProfileDuration, fldProfilePeriod:
+			v, err := r.scalar(wire, num)
+			if err != nil {
+				return nil, err
+			}
+			switch num {
+			case fldProfileTimeNanos:
+				p.TimeNanos = int64(v)
+			case fldProfileDuration:
+				p.DurationNanos = int64(v)
+			case fldProfilePeriod:
+				p.Period = int64(v)
+			}
+		default:
+			if err := r.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Pass 2: decode sub-messages against the complete string table.
+	str := func(idx uint64) (string, error) {
+		if idx >= uint64(len(strs)) {
+			return "", fmt.Errorf("%w: string index %d out of range (table has %d)", ErrCorrupt, idx, len(strs))
+		}
+		return strs[idx], nil
+	}
+	for _, b := range rawTypes {
+		vt, err := parseValueType(b, str)
+		if err != nil {
+			return nil, err
+		}
+		p.SampleTypes = append(p.SampleTypes, vt)
+	}
+	if rawPeriodType != nil {
+		vt, err := parseValueType(rawPeriodType, str)
+		if err != nil {
+			return nil, err
+		}
+		p.PeriodType = vt
+	}
+	for _, b := range rawFuncs {
+		if err := parseFunction(b, str, p.funcName); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range rawLocs {
+		if err := parseLocation(b, p.locFuncs); err != nil {
+			return nil, err
+		}
+	}
+	for _, b := range rawSamples {
+		s, err := parseSample(b, str)
+		if err != nil {
+			return nil, err
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return p, nil
+}
+
+// parseValueType decodes ValueType{type=1, unit=2}.
+func parseValueType(data []byte, str func(uint64) (string, error)) (ValueType, error) {
+	var vt ValueType
+	r := &reader{data: data}
+	for r.pos < len(r.data) {
+		num, wire, err := r.field()
+		if err != nil {
+			return vt, err
+		}
+		switch num {
+		case 1, 2:
+			v, err := r.scalar(wire, num)
+			if err != nil {
+				return vt, err
+			}
+			s, err := str(v)
+			if err != nil {
+				return vt, err
+			}
+			if num == 1 {
+				vt.Type = s
+			} else {
+				vt.Unit = s
+			}
+		default:
+			if err := r.skip(wire); err != nil {
+				return vt, err
+			}
+		}
+	}
+	return vt, nil
+}
+
+// parseFunction decodes Function{id=1, name=2} into the id→name table.
+func parseFunction(data []byte, str func(uint64) (string, error), out map[uint64]string) error {
+	var id uint64
+	var name string
+	r := &reader{data: data}
+	for r.pos < len(r.data) {
+		num, wire, err := r.field()
+		if err != nil {
+			return err
+		}
+		switch num {
+		case 1:
+			if id, err = r.scalar(wire, num); err != nil {
+				return err
+			}
+		case 2:
+			v, err := r.scalar(wire, num)
+			if err != nil {
+				return err
+			}
+			if name, err = str(v); err != nil {
+				return err
+			}
+		default:
+			if err := r.skip(wire); err != nil {
+				return err
+			}
+		}
+	}
+	out[id] = name
+	return nil
+}
+
+// parseLocation decodes Location{id=1, line=4} keeping only each line's
+// function id (Line{function_id=1}), leaf line first as pprof orders them.
+func parseLocation(data []byte, out map[uint64][]uint64) error {
+	var id uint64
+	var funcs []uint64
+	r := &reader{data: data}
+	for r.pos < len(r.data) {
+		num, wire, err := r.field()
+		if err != nil {
+			return err
+		}
+		switch num {
+		case 1:
+			if id, err = r.scalar(wire, num); err != nil {
+				return err
+			}
+		case 4:
+			if wire != wireBytes {
+				return fmt.Errorf("%w: location line has wire type %d", ErrCorrupt, wire)
+			}
+			b, err := r.bytes()
+			if err != nil {
+				return err
+			}
+			fid, err := parseLine(b)
+			if err != nil {
+				return err
+			}
+			funcs = append(funcs, fid)
+		default:
+			if err := r.skip(wire); err != nil {
+				return err
+			}
+		}
+	}
+	out[id] = funcs
+	return nil
+}
+
+// parseLine decodes Line{function_id=1}.
+func parseLine(data []byte) (uint64, error) {
+	var fid uint64
+	r := &reader{data: data}
+	for r.pos < len(r.data) {
+		num, wire, err := r.field()
+		if err != nil {
+			return 0, err
+		}
+		if num == 1 {
+			if fid, err = r.scalar(wire, num); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if err := r.skip(wire); err != nil {
+			return 0, err
+		}
+	}
+	return fid, nil
+}
+
+// parseSample decodes Sample{location_id=1, value=2, label=3}; the repeated
+// numeric fields arrive packed (wire type 2) from runtime/pprof but single
+// varints are accepted too, per proto3 rules.
+func parseSample(data []byte, str func(uint64) (string, error)) (Sample, error) {
+	s := Sample{}
+	r := &reader{data: data}
+	for r.pos < len(r.data) {
+		num, wire, err := r.field()
+		if err != nil {
+			return s, err
+		}
+		switch num {
+		case 1, 2:
+			var vals []uint64
+			if wire == wireBytes {
+				b, err := r.bytes()
+				if err != nil {
+					return s, err
+				}
+				pr := &reader{data: b}
+				for pr.pos < len(pr.data) {
+					v, err := pr.varint()
+					if err != nil {
+						return s, err
+					}
+					vals = append(vals, v)
+				}
+			} else {
+				v, err := r.scalar(wire, num)
+				if err != nil {
+					return s, err
+				}
+				vals = []uint64{v}
+			}
+			if num == 1 {
+				for _, v := range vals {
+					s.Locations = append(s.Locations, v)
+				}
+			} else {
+				for _, v := range vals {
+					s.Values = append(s.Values, int64(v))
+				}
+			}
+		case 3:
+			if wire != wireBytes {
+				return s, fmt.Errorf("%w: sample label has wire type %d", ErrCorrupt, wire)
+			}
+			b, err := r.bytes()
+			if err != nil {
+				return s, err
+			}
+			if err := parseLabel(b, str, &s); err != nil {
+				return s, err
+			}
+		default:
+			if err := r.skip(wire); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// parseLabel decodes Label{key=1, str=2, num=3} into the sample's label maps.
+func parseLabel(data []byte, str func(uint64) (string, error), s *Sample) error {
+	var key, val string
+	var num int64
+	var hasStr, hasNum bool
+	r := &reader{data: data}
+	for r.pos < len(r.data) {
+		fnum, wire, err := r.field()
+		if err != nil {
+			return err
+		}
+		switch fnum {
+		case 1, 2:
+			v, err := r.scalar(wire, fnum)
+			if err != nil {
+				return err
+			}
+			sv, err := str(v)
+			if err != nil {
+				return err
+			}
+			if fnum == 1 {
+				key = sv
+			} else {
+				val, hasStr = sv, true
+			}
+		case 3:
+			v, err := r.scalar(wire, fnum)
+			if err != nil {
+				return err
+			}
+			num, hasNum = int64(v), true
+		default:
+			if err := r.skip(wire); err != nil {
+				return err
+			}
+		}
+	}
+	if hasStr {
+		if s.Labels == nil {
+			s.Labels = make(map[string]string)
+		}
+		s.Labels[key] = val
+	}
+	if hasNum {
+		if s.NumLabels == nil {
+			s.NumLabels = make(map[string]int64)
+		}
+		s.NumLabels[key] = num
+	}
+	return nil
+}
+
+// ValueIndex returns the index into Sample.Values of the sample type with the
+// given name, or -1.
+func (p *Profile) ValueIndex(typ string) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == typ {
+			return i
+		}
+	}
+	return -1
+}
+
+// SampleCPUNanos returns the CPU nanoseconds a sample represents: the "cpu"
+// value when present, otherwise the sample count scaled by the profiling
+// period.
+func (p *Profile) SampleCPUNanos(s *Sample) int64 {
+	if i := p.ValueIndex("cpu"); i >= 0 && i < len(s.Values) {
+		return s.Values[i]
+	}
+	if i := p.ValueIndex("samples"); i >= 0 && i < len(s.Values) && p.Period > 0 {
+		return s.Values[i] * p.Period
+	}
+	return 0
+}
+
+// StackFuncs resolves a sample's stack to function names, leaf first. Unknown
+// location or function ids are skipped (a profile may legitimately omit
+// unsymbolized frames).
+func (p *Profile) StackFuncs(s *Sample) []string {
+	out := make([]string, 0, len(s.Locations))
+	for _, loc := range s.Locations {
+		for _, fid := range p.locFuncs[loc] {
+			if name, ok := p.funcName[fid]; ok && name != "" {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+// protobuf wire types.
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+// reader is a cursor over a raw protobuf message. All methods return
+// ErrTruncated when the data ends early and ErrCorrupt on structurally
+// invalid encodings.
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if r.pos >= len(r.data) {
+			return 0, fmt.Errorf("%w: varint runs past end of message", ErrTruncated)
+		}
+		b := r.data[r.pos]
+		r.pos++
+		if shift >= 64 {
+			return 0, fmt.Errorf("%w: varint overflows 64 bits", ErrCorrupt)
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+}
+
+func (r *reader) field() (num, wire int, err error) {
+	tag, err := r.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	num, wire = int(tag>>3), int(tag&7)
+	if num == 0 {
+		return 0, 0, fmt.Errorf("%w: field number 0", ErrCorrupt)
+	}
+	return num, wire, nil
+}
+
+// bytes reads a length-delimited payload.
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		return nil, fmt.Errorf("%w: length %d exceeds remaining %d bytes", ErrTruncated, n, len(r.data)-r.pos)
+	}
+	b := r.data[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b, nil
+}
+
+// scalar reads a numeric field of any scalar wire type.
+func (r *reader) scalar(wire, num int) (uint64, error) {
+	switch wire {
+	case wireVarint:
+		return r.varint()
+	case wireFixed64:
+		if r.pos+8 > len(r.data) {
+			return 0, fmt.Errorf("%w: fixed64 runs past end of message", ErrTruncated)
+		}
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(r.data[r.pos+i]) << (8 * i)
+		}
+		r.pos += 8
+		return v, nil
+	case wireFixed32:
+		if r.pos+4 > len(r.data) {
+			return 0, fmt.Errorf("%w: fixed32 runs past end of message", ErrTruncated)
+		}
+		var v uint64
+		for i := 0; i < 4; i++ {
+			v |= uint64(r.data[r.pos+i]) << (8 * i)
+		}
+		r.pos += 4
+		return v, nil
+	default:
+		return 0, fmt.Errorf("%w: field %d has non-scalar wire type %d", ErrCorrupt, num, wire)
+	}
+}
+
+// skip advances past a field of the given wire type without decoding it.
+func (r *reader) skip(wire int) error {
+	switch wire {
+	case wireVarint:
+		_, err := r.varint()
+		return err
+	case wireFixed64:
+		if r.pos+8 > len(r.data) {
+			return fmt.Errorf("%w: fixed64 runs past end of message", ErrTruncated)
+		}
+		r.pos += 8
+		return nil
+	case wireBytes:
+		_, err := r.bytes()
+		return err
+	case wireFixed32:
+		if r.pos+4 > len(r.data) {
+			return fmt.Errorf("%w: fixed32 runs past end of message", ErrTruncated)
+		}
+		r.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown wire type %d", ErrCorrupt, wire)
+	}
+}

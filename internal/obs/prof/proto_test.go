@@ -1,0 +1,261 @@
+package prof
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	rpprof "runtime/pprof"
+	"testing"
+	"time"
+)
+
+// spin burns CPU until the deadline so a profiling window has samples.
+func spin(d time.Duration) int {
+	deadline := time.Now().Add(d)
+	acc := 0
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1000; i++ {
+			acc += i * i
+		}
+	}
+	return acc
+}
+
+// collectCPUProfile runs fn under a real runtime/pprof CPU profile and
+// returns the gzipped profile bytes.
+func collectCPUProfile(t *testing.T, fn func()) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rpprof.StartCPUProfile(&buf); err != nil {
+		t.Fatalf("StartCPUProfile: %v", err)
+	}
+	fn()
+	rpprof.StopCPUProfile()
+	return buf.Bytes()
+}
+
+func TestParseRoundTripCPU(t *testing.T) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+	var acc int
+	data := collectCPUProfile(t, func() {
+		Do(context.Background(), Labels{Query: "q7", Tenant: "acme", Op: "scan", Attempt: "0"}, func(context.Context) {
+			acc += spin(300 * time.Millisecond)
+		})
+	})
+	_ = acc
+	p, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse real cpu profile: %v", err)
+	}
+	if p.ValueIndex("cpu") < 0 {
+		t.Fatalf("cpu profile missing cpu sample type: %+v", p.SampleTypes)
+	}
+	if p.ValueIndex("samples") < 0 {
+		t.Fatalf("cpu profile missing samples sample type: %+v", p.SampleTypes)
+	}
+	if p.PeriodType.Type != "cpu" || p.PeriodType.Unit != "nanoseconds" {
+		t.Fatalf("period type = %+v", p.PeriodType)
+	}
+	if p.DurationNanos <= 0 {
+		t.Fatalf("duration = %d", p.DurationNanos)
+	}
+	if len(p.Samples) == 0 {
+		t.Skip("no CPU samples landed in 300ms; machine too contended to assert")
+	}
+	var labeled, withFuncs int64
+	for i := range p.Samples {
+		s := &p.Samples[i]
+		if p.SampleCPUNanos(s) <= 0 {
+			t.Fatalf("sample %d has non-positive cpu nanos", i)
+		}
+		if s.Labels[LabelOp] == "scan" {
+			labeled++
+			if s.Labels[LabelQuery] != "q7" || s.Labels[LabelTenant] != "acme" || s.Labels[LabelAttempt] != "0" {
+				t.Fatalf("sample %d labels incomplete: %v", i, s.Labels)
+			}
+		}
+		if len(p.StackFuncs(s)) > 0 {
+			withFuncs++
+		}
+	}
+	if labeled == 0 {
+		t.Fatalf("no sample carried the op=scan label (of %d samples)", len(p.Samples))
+	}
+	if withFuncs == 0 {
+		t.Fatalf("no sample resolved to function names")
+	}
+}
+
+func TestParseRoundTripHeap(t *testing.T) {
+	// Allocate something attributable, then snapshot the allocs profile.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 64<<10))
+	}
+	_ = sink
+	var buf bytes.Buffer
+	if err := rpprof.Lookup("allocs").WriteTo(&buf, 0); err != nil {
+		t.Fatalf("allocs profile: %v", err)
+	}
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse real heap profile: %v", err)
+	}
+	idx := p.ValueIndex("alloc_space")
+	if idx < 0 {
+		t.Fatalf("heap profile missing alloc_space: %+v", p.SampleTypes)
+	}
+	if len(p.Samples) == 0 {
+		t.Fatalf("heap profile has no samples")
+	}
+	var total int64
+	for i := range p.Samples {
+		if idx < len(p.Samples[i].Values) {
+			total += p.Samples[i].Values[idx]
+		}
+	}
+	if total <= 0 {
+		t.Fatalf("heap profile books no alloc_space")
+	}
+}
+
+func TestParseTruncatedReturnsTypedError(t *testing.T) {
+	SetEnabled(true)
+	data := collectCPUProfile(t, func() { spin(80 * time.Millisecond) })
+	SetEnabled(false)
+	if len(data) < 32 {
+		t.Skipf("profile too small to truncate meaningfully (%d bytes)", len(data))
+	}
+	// Cut the gzip stream short and also truncate the decompressed message:
+	// both must surface ErrTruncated, never a panic.
+	if _, err := Parse(data[:len(data)/2]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("half gzip stream: got %v, want ErrTruncated", err)
+	}
+	for _, n := range []int{3, 8, 11} {
+		if _, err := Parse(data[:n]); err == nil {
+			t.Fatalf("Parse(%d-byte prefix) succeeded", n)
+		} else if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Parse(%d-byte prefix): untyped error %v", n, err)
+		}
+	}
+}
+
+func TestParseCorruptReturnsTypedError(t *testing.T) {
+	// Not gzip, not proto: wire type 7 in the first tag.
+	if _, err := Parse([]byte{0x0f, 0x01, 0x02}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad wire type: got %v, want ErrCorrupt", err)
+	}
+	// A varint that never terminates.
+	if _, err := Parse(bytes.Repeat([]byte{0x80}, 16)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("overflowing varint: got %v, want ErrCorrupt", err)
+	}
+	// Length prefix promising more bytes than present.
+	if _, err := Parse([]byte{0x12, 0x7f, 0x01}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("overlong length: got %v, want ErrTruncated", err)
+	}
+	// gzip magic with garbage body.
+	if _, err := Parse([]byte{0x1f, 0x8b, 0xff, 0xff, 0xff}); err == nil {
+		t.Fatalf("garbage gzip parsed")
+	} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+		t.Fatalf("garbage gzip: untyped error %v", err)
+	}
+}
+
+// TestParseHandBuiltMessage exercises the decoder against a hand-encoded
+// profile covering string labels, packed values, and the location/function
+// tables, independent of what runtime/pprof happens to emit.
+func TestParseHandBuiltMessage(t *testing.T) {
+	var w protoWriter
+	// string_table: ["", "cpu", "nanoseconds", "op", "scan", "main.work"]
+	for _, s := range []string{"", "cpu", "nanoseconds", "op", "scan", "main.work"} {
+		w.bytesField(fldProfileStrings, []byte(s))
+	}
+	// sample_type {type: "cpu", unit: "nanoseconds"}
+	var vt protoWriter
+	vt.varintField(1, 1)
+	vt.varintField(2, 2)
+	w.bytesField(fldProfileSampleType, vt.buf)
+	// function {id: 9, name: "main.work"}
+	var fn protoWriter
+	fn.varintField(1, 9)
+	fn.varintField(2, 5)
+	w.bytesField(fldProfileFunction, fn.buf)
+	// location {id: 4, line {function_id: 9}}
+	var ln protoWriter
+	ln.varintField(1, 9)
+	var loc protoWriter
+	loc.varintField(1, 4)
+	loc.bytesField(4, ln.buf)
+	w.bytesField(fldProfileLocation, loc.buf)
+	// sample {location_id: [4] packed, value: [2500000] packed, label {op: scan}}
+	var lbl protoWriter
+	lbl.varintField(1, 3)
+	lbl.varintField(2, 4)
+	var smp protoWriter
+	smp.bytesField(1, packVarints(4))
+	smp.bytesField(2, packVarints(2500000))
+	smp.bytesField(3, lbl.buf)
+	w.bytesField(fldProfileSample, smp.buf)
+	w.varintField(fldProfilePeriod, 10000000)
+
+	p, err := Parse(w.buf)
+	if err != nil {
+		t.Fatalf("Parse hand-built: %v", err)
+	}
+	if got := p.ValueIndex("cpu"); got != 0 {
+		t.Fatalf("ValueIndex(cpu) = %d", got)
+	}
+	if len(p.Samples) != 1 {
+		t.Fatalf("samples = %d", len(p.Samples))
+	}
+	s := &p.Samples[0]
+	if s.Labels["op"] != "scan" {
+		t.Fatalf("label = %v", s.Labels)
+	}
+	if got := p.SampleCPUNanos(s); got != 2500000 {
+		t.Fatalf("cpu nanos = %d", got)
+	}
+	if fns := p.StackFuncs(s); len(fns) != 1 || fns[0] != "main.work" {
+		t.Fatalf("stack funcs = %v", fns)
+	}
+	// Out-of-range string index must be corrupt, not a panic.
+	var bad protoWriter
+	bad.bytesField(fldProfileStrings, []byte(""))
+	var bvt protoWriter
+	bvt.varintField(1, 99)
+	bad.bytesField(fldProfileSampleType, bvt.buf)
+	if _, err := Parse(bad.buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("string index out of range: got %v, want ErrCorrupt", err)
+	}
+}
+
+// protoWriter is a minimal protobuf encoder for building test fixtures.
+type protoWriter struct{ buf []byte }
+
+func (w *protoWriter) varint(v uint64) {
+	for v >= 0x80 {
+		w.buf = append(w.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	w.buf = append(w.buf, byte(v))
+}
+
+func (w *protoWriter) varintField(num int, v uint64) {
+	w.varint(uint64(num)<<3 | wireVarint)
+	w.varint(v)
+}
+
+func (w *protoWriter) bytesField(num int, b []byte) {
+	w.varint(uint64(num)<<3 | wireBytes)
+	w.varint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func packVarints(vals ...uint64) []byte {
+	var w protoWriter
+	for _, v := range vals {
+		w.varint(v)
+	}
+	return w.buf
+}

@@ -1,0 +1,130 @@
+package prof
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// diskRing persists profile windows to a bounded on-disk ring, following the
+// forensics BundleWriter's crash-safety protocol: temp file, write, fsync,
+// rename, directory fsync. A crash mid-write leaves only a temp file the next
+// open garbage-collects; a torn rename can never be observed.
+type diskRing struct {
+	dir    string
+	prefix string // e.g. "cpu", "heap", "goroutine"
+	ext    string // e.g. ".pb.gz"
+	max    int
+
+	mu  sync.Mutex
+	seq int64
+}
+
+// newDiskRing opens (creating if needed) a ring in dir. Numbering resumes
+// after the newest existing file so restarts keep pruning order intact.
+func newDiskRing(dir, prefix, ext string, max int) (*diskRing, error) {
+	if max <= 0 {
+		max = 16
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("prof: profile dir: %w", err)
+	}
+	r := &diskRing{dir: dir, prefix: prefix, ext: ext, max: max}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("prof: profile dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, prefix+"-tmp-") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		var seq int64
+		if _, err := fmt.Sscanf(name, prefix+"-%d"+ext, &seq); err == nil && seq > r.seq {
+			r.seq = seq
+		}
+	}
+	return r, nil
+}
+
+// write persists one profile and returns its path, pruning the oldest files
+// past the ring bound. A nil ring (profiling without a directory) is a no-op.
+func (r *diskRing) write(data []byte) (string, error) {
+	if r == nil {
+		return "", nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	final := filepath.Join(r.dir, fmt.Sprintf("%s-%06d%s", r.prefix, r.seq, r.ext))
+
+	tmp, err := os.CreateTemp(r.dir, r.prefix+"-tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("prof: write profile: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", fmt.Errorf("prof: write profile: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", fmt.Errorf("prof: sync profile: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("prof: close profile: %w", err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("prof: rename profile: %w", err)
+	}
+	if err := syncRingDir(r.dir); err != nil {
+		return "", err
+	}
+	r.pruneLocked()
+	return final, nil
+}
+
+// pruneLocked deletes the oldest files beyond the ring bound; names are
+// zero-padded so lexical order is creation order.
+func (r *diskRing) pruneLocked() {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, r.prefix+"-") && strings.HasSuffix(name, r.ext) &&
+			!strings.HasPrefix(name, r.prefix+"-tmp-") {
+			names = append(names, name)
+		}
+	}
+	if len(names) <= r.max {
+		return
+	}
+	sort.Strings(names)
+	for _, name := range names[:len(names)-r.max] {
+		os.Remove(filepath.Join(r.dir, name))
+	}
+}
+
+// syncRingDir fsyncs the ring directory so a preceding rename is durable.
+// Filesystems that reject directory fsync (EINVAL) are not a durability
+// failure worth surfacing.
+func syncRingDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	_ = f.Sync()
+	return nil
+}

@@ -1,0 +1,361 @@
+package prof
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	goruntime "runtime"
+	rpprof "runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a Sampler.
+type Config struct {
+	// Dir is the on-disk profile ring (alongside the forensics bundle ring);
+	// empty keeps windows in memory only.
+	Dir string
+	// Window bounds each CPU profiling window (default 5s). The profiler is
+	// continuous — windows abut — but bounded windows keep every on-disk
+	// artifact small and make a crash lose at most one window.
+	Window time.Duration
+	// MaxFiles bounds each on-disk ring (cpu, heap, goroutine; default 16).
+	MaxFiles int
+	// AllocTrigger takes a heap+goroutine snapshot whenever cumulative
+	// allocation has grown by this many bytes since the last snapshot
+	// (default 256 MiB; <0 disables).
+	AllocTrigger int64
+	// MinCut throttles CutWindow: cuts younger than this are skipped so
+	// per-query cutting cannot thrash the profiler under load (default
+	// Window/10, floor 50ms).
+	MinCut time.Duration
+	// Duty is the fraction (0,1] of each window the CPU profiler is armed.
+	// Having the profiler on at all costs wall time — on a single-core box
+	// the measured tax of an always-on 100 Hz profile is several percent —
+	// so long-running servers duty-cycle: profile the first Duty of every
+	// window, stay dark for the rest, and scale attributed CPU by 1/Duty so
+	// per-operator seconds remain unbiased estimates of true on-CPU time.
+	// Default 1 (always on): one-shot CLI runs want every sample, and short
+	// tests must not race a dark phase.
+	Duty float64
+	// FuncPrefix scopes the heap join's function map to this module
+	// (default "ftpde/").
+	FuncPrefix string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 5 * time.Second
+	}
+	if c.MaxFiles <= 0 {
+		c.MaxFiles = 16
+	}
+	if c.AllocTrigger == 0 {
+		c.AllocTrigger = 256 << 20
+	}
+	if c.MinCut <= 0 {
+		c.MinCut = c.Window / 10
+		if c.MinCut < 50*time.Millisecond {
+			c.MinCut = 50 * time.Millisecond
+		}
+	}
+	if c.FuncPrefix == "" {
+		c.FuncPrefix = "ftpde/"
+	}
+	if c.Duty <= 0 || c.Duty > 1 {
+		c.Duty = 1
+	}
+	return c
+}
+
+// Sampler is the continuous profiler: it owns the process's CPU profile
+// (runtime/pprof allows exactly one), rotating it in bounded windows, and
+// feeds every window through the decoder into the label-join Attribution.
+// Heap and goroutine snapshots ride the rotation whenever allocation crosses
+// the trigger. At most one Sampler should run per process; Start fails if
+// something else (e.g. a /debug/pprof/profile fetch) already holds the CPU
+// profile.
+type Sampler struct {
+	cfg  Config
+	attr *Attribution
+
+	cpuRing  *diskRing
+	heapRing *diskRing
+	goroRing *diskRing
+
+	mu          sync.Mutex
+	buf         bytes.Buffer // CPU profile stream for the open window
+	profiling   bool         // a CPU window is open
+	windowStart time.Time
+	started     bool
+	stopCh      chan struct{}
+	doneCh      chan struct{}
+
+	windows   atomic.Int64
+	errors    atomic.Int64
+	lastAlloc uint64 // runtime TotalAlloc at the last heap snapshot
+
+	lastCPU  atomic.Pointer[[]byte] // most recent complete CPU window (gzipped)
+	lastHeap atomic.Pointer[[]byte] // most recent heap snapshot (gzipped)
+}
+
+// New builds a sampler (opening the on-disk rings when Dir is set) without
+// starting it.
+func New(cfg Config) (*Sampler, error) {
+	cfg = cfg.withDefaults()
+	s := &Sampler{cfg: cfg, attr: newAttribution(cfg.FuncPrefix)}
+	if cfg.Dir != "" {
+		var err error
+		if s.cpuRing, err = newDiskRing(cfg.Dir, "cpu", ".pb.gz", cfg.MaxFiles); err != nil {
+			return nil, err
+		}
+		if s.heapRing, err = newDiskRing(cfg.Dir, "heap", ".pb.gz", cfg.MaxFiles); err != nil {
+			return nil, err
+		}
+		if s.goroRing, err = newDiskRing(cfg.Dir, "goroutine", ".pb.gz", cfg.MaxFiles); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Start switches labeling on and opens the first CPU window. It is an error
+// to start a sampler twice or while another CPU profile is active.
+func (s *Sampler) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("prof: sampler already started")
+	}
+	SetEnabled(true)
+	s.buf.Reset()
+	if err := rpprof.StartCPUProfile(&s.buf); err != nil {
+		SetEnabled(false)
+		return fmt.Errorf("prof: start cpu profile: %w", err)
+	}
+	var ms goruntime.MemStats
+	goruntime.ReadMemStats(&ms)
+	s.lastAlloc = ms.TotalAlloc
+	s.profiling = true
+	s.started = true
+	s.windowStart = time.Now()
+	s.stopCh = make(chan struct{})
+	s.doneCh = make(chan struct{})
+	go s.loop(s.stopCh, s.doneCh)
+	return nil
+}
+
+// Stop closes the current window (ingesting its samples), stops the rotation
+// loop, and switches labeling off. Safe to call once after a successful
+// Start.
+func (s *Sampler) Stop() {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return
+	}
+	stopCh, doneCh := s.stopCh, s.doneCh
+	s.mu.Unlock()
+	close(stopCh)
+	<-doneCh
+	s.mu.Lock()
+	s.rotateLocked(true)
+	s.started = false
+	s.mu.Unlock()
+	SetEnabled(false)
+}
+
+// loop rotates windows until stopped. With Duty < 1 each window splits into an
+// armed phase (profiler on) and a dark phase (profiler fully off, so the
+// process pays nothing); with Duty == 1 windows abut. The final (partial)
+// window is flushed by Stop itself so its samples are never lost.
+func (s *Sampler) loop(stopCh <-chan struct{}, doneCh chan<- struct{}) {
+	defer close(doneCh)
+	onDur := time.Duration(float64(s.cfg.Window) * s.cfg.Duty)
+	offDur := s.cfg.Window - onDur
+	timer := time.NewTimer(onDur)
+	defer timer.Stop()
+	for {
+		select {
+		case <-timer.C:
+		case <-stopCh:
+			return
+		}
+		s.mu.Lock()
+		s.rotateLocked(offDur > 0)
+		s.mu.Unlock()
+		if offDur > 0 {
+			timer.Reset(offDur)
+			select {
+			case <-timer.C:
+			case <-stopCh:
+				return
+			}
+			s.mu.Lock()
+			s.openWindowLocked()
+			s.mu.Unlock()
+		}
+		timer.Reset(onDur)
+	}
+}
+
+// openWindowLocked arms the CPU profiler for the next window (the transition
+// out of a duty cycle's dark phase).
+func (s *Sampler) openWindowLocked() {
+	if s.profiling || !s.started {
+		return
+	}
+	s.buf.Reset()
+	if err := rpprof.StartCPUProfile(&s.buf); err != nil {
+		s.errors.Add(1)
+		return
+	}
+	s.profiling = true
+	s.windowStart = time.Now()
+}
+
+// CutWindow force-rotates the current CPU window so its samples become
+// visible to the attribution immediately — the service calls it when a query
+// finishes, so the drift detector sees that query's CPU. Cuts younger than
+// MinCut are skipped (returns false) to bound rotation churn under load.
+func (s *Sampler) CutWindow() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.profiling || time.Since(s.windowStart) < s.cfg.MinCut {
+		return false
+	}
+	s.rotateLocked(false)
+	return true
+}
+
+// rotateLocked closes the open CPU window, ingests it, and (unless the
+// profiler is going dark — a duty cycle's off phase or the final flush at
+// Stop) opens the next one. The ingest work runs under its own "prof-ingest"
+// label so the profiler's overhead shows up as an operator in its own join
+// instead of polluting the unattributed remainder.
+func (s *Sampler) rotateLocked(dark bool) {
+	if !s.profiling {
+		return
+	}
+	rpprof.StopCPUProfile()
+	s.profiling = false
+	data := append([]byte(nil), s.buf.Bytes()...)
+	s.buf.Reset()
+	if !dark {
+		if err := rpprof.StartCPUProfile(&s.buf); err != nil {
+			s.errors.Add(1)
+		} else {
+			s.profiling = true
+			s.windowStart = time.Now()
+		}
+	}
+	Do(context.Background(), Labels{Op: "prof-ingest", Stage: "prof"}, func(context.Context) {
+		s.ingestCPU(data)
+		s.maybeSnapshotHeap(false)
+	})
+}
+
+// ingestCPU decodes one complete CPU window, joins it, and persists it. A
+// duty-cycled window saw only Duty of the wall clock, so its sample weights
+// are scaled by 1/Duty to stay unbiased estimates of true on-CPU seconds.
+func (s *Sampler) ingestCPU(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	p, err := Parse(data)
+	if err != nil {
+		s.errors.Add(1)
+		return
+	}
+	s.attr.AddCPUScaled(p, 1/s.cfg.Duty)
+	s.windows.Add(1)
+	s.lastCPU.Store(&data)
+	if _, err := s.cpuRing.write(data); err != nil {
+		s.errors.Add(1)
+	}
+}
+
+// maybeSnapshotHeap takes a heap (allocs) + goroutine snapshot when the
+// process has allocated AllocTrigger bytes since the last one, or always when
+// forced (forensics capture at death).
+func (s *Sampler) maybeSnapshotHeap(force bool) {
+	if s.cfg.AllocTrigger < 0 && !force {
+		return
+	}
+	var ms goruntime.MemStats
+	goruntime.ReadMemStats(&ms)
+	if !force && ms.TotalAlloc-s.lastAlloc < uint64(s.cfg.AllocTrigger) {
+		return
+	}
+	s.lastAlloc = ms.TotalAlloc
+
+	var hb bytes.Buffer
+	if err := rpprof.Lookup("allocs").WriteTo(&hb, 0); err != nil {
+		s.errors.Add(1)
+		return
+	}
+	heap := append([]byte(nil), hb.Bytes()...)
+	if p, err := Parse(heap); err != nil {
+		s.errors.Add(1)
+	} else {
+		s.attr.AddHeap(p)
+		s.lastHeap.Store(&heap)
+	}
+	if _, err := s.heapRing.write(heap); err != nil {
+		s.errors.Add(1)
+	}
+	var gb bytes.Buffer
+	if err := rpprof.Lookup("goroutine").WriteTo(&gb, 0); err == nil {
+		if _, err := s.goroRing.write(gb.Bytes()); err != nil {
+			s.errors.Add(1)
+		}
+	}
+}
+
+// CaptureNow force-closes the current window and takes a heap snapshot — the
+// forensics hook at recovery exhaustion. It bypasses the MinCut throttle.
+func (s *Sampler) CaptureNow() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.profiling {
+		s.rotateLocked(false)
+	}
+	Do(context.Background(), Labels{Op: "prof-ingest", Stage: "prof"}, func(context.Context) {
+		s.maybeSnapshotHeap(true)
+	})
+}
+
+// Attr exposes the label-join attribution.
+func (s *Sampler) Attr() *Attribution { return s.attr }
+
+// Windows reports how many complete CPU windows have been ingested.
+func (s *Sampler) Windows() int64 { return s.windows.Load() }
+
+// Errors reports profile start, decode, and ring-write failures.
+func (s *Sampler) Errors() int64 { return s.errors.Load() }
+
+// LastCPUProfile returns the most recent complete CPU window (gzipped
+// profile.proto), or nil.
+func (s *Sampler) LastCPUProfile() []byte {
+	if b := s.lastCPU.Load(); b != nil {
+		return *b
+	}
+	return nil
+}
+
+// LastHeapProfile returns the most recent heap snapshot (gzipped
+// profile.proto), or nil.
+func (s *Sampler) LastHeapProfile() []byte {
+	if b := s.lastHeap.Load(); b != nil {
+		return *b
+	}
+	return nil
+}
+
+// Summary renders a one-line digest for CLI stderr reporting.
+func (s *Sampler) Summary() string {
+	st := s.attr.Stats()
+	return fmt.Sprintf("%d window(s), %d samples (%.1f%% joined), %.3fs CPU attributed of %.3fs profiled",
+		s.Windows(), st.Samples, st.JoinFrac()*100, st.JoinedSeconds, st.CPUSeconds)
+}

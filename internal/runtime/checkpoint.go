@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"ftpde/internal/engine"
 	"ftpde/internal/obs"
 	"ftpde/internal/obs/metrics"
+	"ftpde/internal/obs/prof"
 )
 
 // checkpointReq is one partition to persist, carried as the committed batch so
@@ -44,7 +46,11 @@ type checkpointWriter struct {
 	metrics  *Metrics
 	tracer   *obs.Tracer
 	progress *obs.Progress
-	queue    chan checkpointReq
+	// pctx carries the query-level pprof labels; the encode and write stages
+	// re-apply them per request with the checkpointed operator on top, so
+	// asynchronous checkpoint CPU joins to the operator that caused it.
+	pctx  context.Context
+	queue chan checkpointReq
 	writeCh  chan encodedReq
 	// stop unblocks enqueuers and terminates both stage goroutines once the
 	// writer is closed, so no caller can park forever on a full queue.
@@ -61,12 +67,13 @@ type checkpointWriter struct {
 	err error
 }
 
-func newCheckpointWriter(store engine.Store, metrics *Metrics, tracer *obs.Tracer, progress *obs.Progress) *checkpointWriter {
+func newCheckpointWriter(pctx context.Context, store engine.Store, metrics *Metrics, tracer *obs.Tracer, progress *obs.Progress) *checkpointWriter {
 	w := &checkpointWriter{
 		store:    store,
 		metrics:  metrics,
 		tracer:   tracer,
 		progress: progress,
+		pctx:     pctx,
 		queue:    make(chan checkpointReq, 64),
 		writeCh:  make(chan encodedReq, 1),
 		stop:     make(chan struct{}),
@@ -105,13 +112,18 @@ func (w *checkpointWriter) encodeLoop() {
 }
 
 // encode serializes one partition and forwards it to the write stage; encode
-// failures settle the request immediately.
+// failures settle the request immediately. The serialization CPU runs under
+// the checkpointed operator's label.
 func (w *checkpointWriter) encode(req checkpointReq) {
+	var data []byte
 	var rows []engine.Row
-	if req.b != nil {
-		rows = req.b.ToRows()
-	}
-	data, err := engine.EncodeBlockBytes(rows)
+	var err error
+	prof.Do(w.pctx, prof.Labels{Stage: req.op, Op: req.op}, func(context.Context) {
+		if req.b != nil {
+			rows = req.b.ToRows()
+		}
+		data, err = engine.EncodeBlockBytes(rows)
+	})
 	if err != nil {
 		w.settle(fmt.Errorf("runtime: checkpoint %s/%d: %w", req.op, req.part, err))
 		return
@@ -134,6 +146,12 @@ func (w *checkpointWriter) writeLoop() {
 
 // write persists one encoded partition and settles its pending count.
 func (w *checkpointWriter) write(req encodedReq) {
+	prof.Do(w.pctx, prof.Labels{Stage: req.op, Op: req.op}, func(context.Context) {
+		w.writeLabeled(req)
+	})
+}
+
+func (w *checkpointWriter) writeLabeled(req encodedReq) {
 	sp := w.tracer.Begin(obs.KindCheckpoint, req.op, req.part, -1)
 	start := time.Now()
 	var err error

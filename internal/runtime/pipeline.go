@@ -8,6 +8,7 @@ import (
 
 	"ftpde/internal/engine"
 	"ftpde/internal/obs"
+	"ftpde/internal/obs/prof"
 )
 
 // nodeFailure reports an injected node failure while computing op's
@@ -161,7 +162,9 @@ func (rn *run) sourceBatch(s *stage, part int, inputs []*engine.BatchResult) (*e
 // attempt, the worker emits its first batch and then dies mid-stream. Its
 // failure events surface as a nodeFailure the stage worker resolves.
 //
-//lint:spanpair recoverFine
+// Pipeline chain goroutines do not inherit the stage worker's pprof labels
+// (labels are goroutine-local), so each hop re-applies the query and stage
+// labels carried by pctx and adds its own op/attempt pair.
 func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *stage, part int, inputs []*engine.BatchResult, out chan<- *engine.Batch) error {
 	op := s.source()
 	n := rn.attempts.take(op.Name(), part)
@@ -169,6 +172,19 @@ func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *sta
 		cancel()
 		return fmt.Errorf("runtime: partition %d of %s exceeded %d attempts", part, op.Name(), maxAttemptsPerPartition)
 	}
+	var err error
+	prof.Do(pctx, prof.Labels{Op: op.Name(), Attempt: prof.AttemptLabel(n)}, func(pctx context.Context) {
+		err = rn.sourceStream(pctx, cancel, s, part, n, inputs, out)
+	})
+	return err
+}
+
+// sourceStream is runSource's labeled body: compute, slice, and stream the
+// source partition (dying mid-stream when the injector fired for attempt n).
+//
+//lint:spanpair recoverFine
+func (rn *run) sourceStream(pctx context.Context, cancel context.CancelFunc, s *stage, part, n int, inputs []*engine.BatchResult, out chan<- *engine.Batch) error {
+	op := s.source()
 	fail := rn.cfg.Injector.FailCompute(op.Name(), part, n)
 	b, err := rn.sourceBatch(s, part, inputs)
 	if err != nil {
@@ -217,13 +233,26 @@ func (rn *run) runSource(pctx context.Context, cancel context.CancelFunc, s *sta
 // cancelling the partition context. Its failure events surface as a
 // nodeFailure the stage worker resolves.
 //
-//lint:spanpair recoverFine
+// Like runSource, the chain hop re-applies pctx's inherited labels with its
+// own operator and attempt before doing any work.
 func (rn *run) runChainOp(pctx context.Context, cancel context.CancelFunc, op engine.Operator, part int, in <-chan *engine.Batch, out chan<- *engine.Batch) error {
 	n := rn.attempts.take(op.Name(), part)
 	if n > maxAttemptsPerPartition {
 		cancel()
 		return fmt.Errorf("runtime: partition %d of %s exceeded %d attempts", part, op.Name(), maxAttemptsPerPartition)
 	}
+	var err error
+	prof.Do(pctx, prof.Labels{Op: op.Name(), Attempt: prof.AttemptLabel(n)}, func(pctx context.Context) {
+		err = rn.chainStream(pctx, cancel, op, part, n, in, out)
+	})
+	return err
+}
+
+// chainStream is runChainOp's labeled body: drive the kernel batch by batch
+// until end of stream, flush, and die on the scripted attempt.
+//
+//lint:spanpair recoverFine
+func (rn *run) chainStream(pctx context.Context, cancel context.CancelFunc, op engine.Operator, part, n int, in <-chan *engine.Batch, out chan<- *engine.Batch) error {
 	// The kernel owns every batch it consumes: it recycles input buffers into
 	// this goroutine's Local and draws its outputs from the same freelists,
 	// so a steady-state chain reuses one working set of buffers.

@@ -24,6 +24,7 @@ import (
 	"ftpde/internal/lint"
 	lintanalysis "ftpde/internal/lint/analysis"
 	"ftpde/internal/obs"
+	"ftpde/internal/obs/prof"
 	"ftpde/internal/runtime"
 	"ftpde/internal/tpch"
 )
@@ -228,6 +229,52 @@ func BenchmarkRuntimePipelinedQ1Progress(b *testing.B) {
 	}
 }
 
+// BenchmarkRuntimePipelinedQ1Profiled is the same Q1 workload with the
+// continuous profiler attached the way ftserve runs it when -profile-dir is
+// set: pprof labels on every goroutine handoff plus a 100 Hz CPU sampler at
+// the server's default 10% duty cycle (armed for the first tenth of each
+// window, dark for the rest, attribution scaled by 1/duty). The window here is
+// 500ms rather than the server's 5s only so a ~1s measurement spans full
+// cycles. The delta against BenchmarkRuntimePipelinedQ1 is the whole cost of
+// continuous profiling; BENCH_runtime.json records it as prof_overhead_ns /
+// prof_overhead_frac with a 2% bar. (Always-on profiling — duty 1, what the
+// one-shot CLI uses — measures at several percent on a single-core box; the
+// duty cycle is precisely what buys the budget back for servers.)
+func BenchmarkRuntimePipelinedQ1Profiled(b *testing.B) {
+	cat, err := tpch.Generate(0.002, 4, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q1, err := tpch.EngineQ1(cat, 2500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := prof.New(prof.Config{Window: 500 * time.Millisecond, Duty: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer s.Stop()
+	labels := prof.Labels{Query: "bench", Tenant: "bench"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := runtime.New(runtime.Config{Nodes: 4, ProfLabels: labels})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, _, err := r.Execute(context.Background(), q1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.AllRows()) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
 // Scan→filter→project through the shared operator kernels, columnar vs. the
 // []Row baseline. The baseline table carries a plain-int key column, which
 // defeats strict typing: the same kernel objects then execute their
@@ -345,10 +392,18 @@ type benchReport struct {
 	// delta in nanoseconds (clamped at zero: timing jitter can make the
 	// tracked run measure faster), ObsOverheadFrac the same relative to the
 	// untracked baseline — the PR-level bar is staying under 2%.
-	PipelinedQ1         allocPoint       `json:"pipelined_q1"`
-	PipelinedQ1Progress allocPoint       `json:"pipelined_q1_progress"`
-	ObsOverheadNs       float64          `json:"obs_overhead_ns"`
-	ObsOverheadFrac     float64          `json:"obs_overhead_frac"`
+	PipelinedQ1         allocPoint `json:"pipelined_q1"`
+	PipelinedQ1Progress allocPoint `json:"pipelined_q1_progress"`
+	ObsOverheadNs       float64    `json:"obs_overhead_ns"`
+	ObsOverheadFrac     float64    `json:"obs_overhead_frac"`
+	// PipelinedQ1Profiled runs the same Q1 with the continuous profiler
+	// attached (labels + live 100 Hz CPU sampler). ProfOverheadNs /
+	// ProfOverheadFrac isolate its cost against the unprofiled baseline,
+	// clamped at zero like the obs overhead; the bar is staying under 2%,
+	// and benchdiff treats prof_overhead_frac as lower-is-better.
+	PipelinedQ1Profiled allocPoint       `json:"pipelined_q1_profiled"`
+	ProfOverheadNs      float64          `json:"prof_overhead_ns"`
+	ProfOverheadFrac    float64          `json:"prof_overhead_frac"`
 	Speedup             float64          `json:"pipelined_speedup"`
 	Metrics             runtime.Snapshot `json:"pipelined_metrics"`
 	// LintWallMs is the wall time of one full ftlint sweep (load + all
@@ -539,8 +594,21 @@ func TestWriteRuntimeBenchJSON(t *testing.T) {
 
 	lintMs := lintWallMs(t)
 
-	q1Point := toAllocPoint(testing.Benchmark(BenchmarkRuntimePipelinedQ1))
-	q1ProgPoint := toAllocPoint(testing.Benchmark(BenchmarkRuntimePipelinedQ1Progress))
+	// The overhead series are differences of two benchmark runs, and on a
+	// loaded single-core host one run's wall time swings by more than the
+	// 2% effect being measured. Min-of-3 approximates the noise-free run on
+	// both sides of each difference.
+	minPoint := func(bench func(*testing.B)) allocPoint {
+		best := toAllocPoint(testing.Benchmark(bench))
+		for i := 0; i < 2; i++ {
+			if p := toAllocPoint(testing.Benchmark(bench)); p.SecondsPerOp < best.SecondsPerOp {
+				best = p
+			}
+		}
+		return best
+	}
+	q1Point := minPoint(BenchmarkRuntimePipelinedQ1)
+	q1ProgPoint := minPoint(BenchmarkRuntimePipelinedQ1Progress)
 	overheadNs := (q1ProgPoint.SecondsPerOp - q1Point.SecondsPerOp) * 1e9
 	if overheadNs < 0 {
 		overheadNs = 0
@@ -548,6 +616,16 @@ func TestWriteRuntimeBenchJSON(t *testing.T) {
 	overheadFrac := 0.0
 	if q1Point.SecondsPerOp > 0 {
 		overheadFrac = overheadNs / 1e9 / q1Point.SecondsPerOp
+	}
+
+	q1ProfPoint := minPoint(BenchmarkRuntimePipelinedQ1Profiled)
+	profOverheadNs := (q1ProfPoint.SecondsPerOp - q1Point.SecondsPerOp) * 1e9
+	if profOverheadNs < 0 {
+		profOverheadNs = 0
+	}
+	profOverheadFrac := 0.0
+	if q1Point.SecondsPerOp > 0 {
+		profOverheadFrac = profOverheadNs / 1e9 / q1Point.SecondsPerOp
 	}
 
 	last := scaling[len(scaling)-1]
@@ -568,6 +646,9 @@ func TestWriteRuntimeBenchJSON(t *testing.T) {
 		PipelinedQ1Progress:       q1ProgPoint,
 		ObsOverheadNs:             overheadNs,
 		ObsOverheadFrac:           overheadFrac,
+		PipelinedQ1Profiled:       q1ProfPoint,
+		ProfOverheadNs:            profOverheadNs,
+		ProfOverheadFrac:          profOverheadFrac,
 		Speedup:                   last.Speedup,
 		Metrics:                   m.Snapshot(),
 		LintWallMs:                lintMs,
@@ -589,6 +670,8 @@ func TestWriteRuntimeBenchJSON(t *testing.T) {
 		rowGob, colBlock, 100*report.CheckpointBytesReduction)
 	t.Logf("Q1 progress-tracking overhead: %.0fns/op (%.2f%% of %.3fs baseline)",
 		overheadNs, 100*overheadFrac, q1Point.SecondsPerOp)
+	t.Logf("Q1 continuous-profiling overhead: %.0fns/op (%.2f%% of %.3fs baseline; bar 2%%)",
+		profOverheadNs, 100*profOverheadFrac, q1Point.SecondsPerOp)
 	t.Logf("ftlint full-module sweep: %.0fms", lintMs)
 	if report.AllocsReduction < 0.5 {
 		t.Errorf("columnar allocs reduction %.2f below the 0.5 acceptance bar", report.AllocsReduction)
